@@ -1,0 +1,176 @@
+package lossyckpt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// These tests exercise the public façade exactly as a downstream user
+// would, without touching internal packages.
+
+func publicSmoothField(t *testing.T) *Field {
+	t.Helper()
+	f, err := NewField(128, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Data()
+	for i := range d {
+		d[i] = 250 + 40*math.Sin(float64(i)/300) + 5*math.Cos(float64(i)/17)
+	}
+	return f
+}
+
+func TestPublicCompressDecompress(t *testing.T) {
+	f := publicSmoothField(t)
+	res, err := Compress(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatePct() >= 100 {
+		t.Errorf("cr %.1f%%", res.CompressionRatePct())
+	}
+	g, err := Decompress(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompareFields(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgPct > 1 {
+		t.Errorf("avg error %.4f%%", s.AvgPct)
+	}
+}
+
+func TestPublicRoundTripAndOptions(t *testing.T) {
+	f := publicSmoothField(t)
+	opts := DefaultOptions()
+	opts.Method = SimpleQuantization
+	opts.Scheme = CDF53Wavelet
+	opts.Divisions = 32
+	g, res, err := RoundTrip(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressedBytes <= 0 {
+		t.Error("empty result")
+	}
+	if !f.SameShape(g) {
+		t.Error("shape changed")
+	}
+}
+
+func TestPublicFieldFromSlice(t *testing.T) {
+	data := make([]float64, 60)
+	f, err := FieldFromSlice(data, 5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[7] = 3.5
+	if f.Data()[7] != 3.5 {
+		t.Error("FieldFromSlice copied the slice")
+	}
+	if _, err := FieldFromSlice(data, 7, 7); err == nil {
+		t.Error("bad shape accepted")
+	}
+}
+
+func TestPublicCompressionRatePct(t *testing.T) {
+	if got := CompressionRatePct(19, 100); got != 19 {
+		t.Errorf("CompressionRatePct = %g", got)
+	}
+}
+
+func TestPublicManagerWorkflow(t *testing.T) {
+	temp := publicSmoothField(t)
+	orig := temp.Clone()
+
+	for _, mk := range []func() Codec{NewLossyCodec, NewGzipCodec, NewFPCCodec, NewRawCodec} {
+		codec := mk()
+		mgr := NewManager(codec, 0)
+		if err := mgr.Register("temperature", temp); err != nil {
+			t.Fatal(err)
+		}
+		var stream bytes.Buffer
+		rep, err := mgr.Checkpoint(&stream, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if rep.Step != 42 {
+			t.Errorf("%s: step %d", codec.Name(), rep.Step)
+		}
+		temp.Fill(0)
+		if _, err := mgr.Restore(&stream); err != nil {
+			t.Fatalf("%s: restore: %v", codec.Name(), err)
+		}
+		s, _ := CompareFields(orig, temp)
+		if codec.Lossless() && s.MaxPct != 0 {
+			t.Errorf("%s: lossless codec introduced error %v", codec.Name(), s)
+		}
+		if s.AvgPct > 1 {
+			t.Errorf("%s: error %v", codec.Name(), s)
+		}
+		// Restore original content for the next codec round.
+		copy(temp.Data(), orig.Data())
+	}
+}
+
+func TestPublicCodecByName(t *testing.T) {
+	for _, n := range []string{"none", "gzip", "fpc", "lossy"} {
+		c, err := CodecByName(n)
+		if err != nil || c.Name() != n {
+			t.Errorf("CodecByName(%q): %v %v", n, c, err)
+		}
+	}
+	if _, err := CodecByName("sz3"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestPublicChunkedAndPSNR(t *testing.T) {
+	f := publicSmoothField(t)
+	res, err := CompressChunked(f, DefaultOptions(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecompressAny(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameShape(g) {
+		t.Fatal("chunked shape mismatch")
+	}
+	p, err := PSNR(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 40 {
+		t.Errorf("PSNR %g dB unexpectedly low", p)
+	}
+	// DecompressAny also handles plain streams.
+	plain, err := Compress(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressAny(plain.Data); err != nil {
+		t.Errorf("DecompressAny on plain stream: %v", err)
+	}
+}
+
+func TestPublicErrorBound(t *testing.T) {
+	f := publicSmoothField(t)
+	opts := DefaultOptions()
+	opts.ErrorBound = 0.05
+	res, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundUnreachable {
+		t.Error("0.05 bound unreachable on smooth data")
+	}
+	if res.EffectiveDivisions < 1 {
+		t.Error("no effective divisions reported")
+	}
+}

@@ -1,0 +1,113 @@
+// Command experiments regenerates the tables and figures of Sasaki et al.
+// (IPDPS 2015) — see DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	experiments -run all                # every experiment, paper-scale
+//	experiments -run fig7,fig8 -quick   # selected experiments, scaled down
+//	experiments -run fig9 -csv out/     # also write CSV files
+//	experiments -list                   # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lossyckpt/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	runIDs := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	quick := fs.Bool("quick", false, "use the scaled-down workload (fast smoke run)")
+	csvDir := fs.String("csv", "", "directory to also write <id>.csv files into")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	warmup := fs.Int("warmup", 0, "override warm-up steps (0 = config default)")
+	restartSteps := fs.Int("restart-steps", 0, "override fig10 restart steps (0 = config default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range harness.RunnerIDs {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+
+	cfg := harness.Default()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	if *warmup > 0 {
+		cfg.WarmupSteps = *warmup
+	}
+	if *restartSteps > 0 {
+		cfg.RestartSteps = *restartSteps
+	}
+
+	var ids []string
+	if *runIDs == "all" {
+		ids = harness.RunnerIDs
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := harness.Runners[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("nothing to run")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := harness.Runners[id](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

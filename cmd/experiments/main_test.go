@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "datasets"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", ""}, &out); err == nil {
+		t.Error("empty experiment list accepted")
+	}
+}
+
+func TestRunSingleExperimentQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	// tab1 needs no model; keep the test instant.
+	if err := run([]string{"-run", "tab1", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "System specification") {
+		t.Errorf("missing table title in output:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "tab1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "component,value") {
+		t.Errorf("csv header missing: %q", string(csv)[:60])
+	}
+}
+
+func TestRunRealExperimentTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping model-driven experiment in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-run", "fig7", "-quick", "-warmup", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Compression rate vs division number") {
+		t.Error("fig7 output missing")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,282 @@
+// Command lossyckpt is the command-line front end of the lossy checkpoint
+// compressor: it generates demo fields, compresses and decompresses field
+// files, and inspects compressed archives.
+//
+// Field files use the grid package's serialization (extension .grd by
+// convention); compressed archives are the paper's formatted output after
+// gzip (extension .lkc).
+//
+// Usage:
+//
+//	lossyckpt gen -out temp.grd [-shape 1156x82x2] [-steps 720] [-var temperature]
+//	lossyckpt compress -in temp.grd -out temp.lkc [-method proposed] [-n 128] [-d 64] [-levels 1] [-scheme haar]
+//	lossyckpt decompress -in temp.lkc -out restored.grd
+//	lossyckpt inspect -in temp.lkc
+//	lossyckpt diff -a temp.grd -b restored.grd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lossyckpt/internal/climate"
+	"lossyckpt/internal/container"
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/stats"
+	"lossyckpt/internal/wavelet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lossyckpt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "compress":
+		return cmdCompress(args[1:])
+	case "decompress":
+		return cmdDecompress(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func parseShape(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	shape := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid shape %q", s)
+		}
+		shape = append(shape, v)
+	}
+	return shape, nil
+}
+
+func readField(path string) (*grid.Field, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return grid.ReadField(f)
+}
+
+func writeField(path string, fld *grid.Field) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fld.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	out := fs.String("out", "", "output .grd file (required)")
+	shapeStr := fs.String("shape", "1156x82x2", "grid shape, e.g. 1156x82x2 (3D only)")
+	steps := fs.Int("steps", 720, "climate warm-up steps before the snapshot")
+	varName := fs.String("var", "temperature", "which field to export (pressure, temperature, wind_u, wind_v, wind_w)")
+	seed := fs.Int64("seed", 2015, "initial-condition seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	if len(shape) != 3 {
+		return fmt.Errorf("gen: the climate generator needs a 3D shape, got %v", shape)
+	}
+	cfg := climate.DefaultConfig()
+	cfg.Nx, cfg.Nz, cfg.Nc = shape[0], shape[1], shape[2]
+	cfg.Seed = *seed
+	m, err := climate.New(cfg)
+	if err != nil {
+		return err
+	}
+	if m.Field(*varName) == nil {
+		return fmt.Errorf("gen: unknown variable %q", *varName)
+	}
+	m.StepN(*steps)
+	fld := m.Field(*varName)
+	if err := writeField(*out, fld); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s after %d steps\n", *out, fld, *steps)
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
+	in := fs.String("in", "", "input .grd file (required)")
+	out := fs.String("out", "", "output .lkc file (required)")
+	methodStr := fs.String("method", "proposed", "quantization method: simple or proposed")
+	n := fs.Int("n", 128, "division number (1..255)")
+	d := fs.Int("d", quant.DefaultSpikeDivisions, "spike-detection divisions")
+	levels := fs.Int("levels", 1, "wavelet decomposition levels")
+	schemeStr := fs.String("scheme", "haar", "wavelet scheme: haar or cdf53")
+	tempFile := fs.Bool("tempfile", false, "emulate the paper prototype's temp-file gzip path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress: -in and -out are required")
+	}
+	method, err := quant.ParseMethod(*methodStr)
+	if err != nil {
+		return err
+	}
+	scheme, err := wavelet.ParseScheme(*schemeStr)
+	if err != nil {
+		return err
+	}
+	fld, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.Method = method
+	opts.Divisions = *n
+	opts.SpikeDivisions = *d
+	opts.Levels = *levels
+	opts.Scheme = scheme
+	if *tempFile {
+		opts.GzipMode = gzipio.TempFile
+	}
+	res, err := core.Compress(fld, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s: %d -> %d bytes (cr %.2f%%)\n",
+		*in, *out, res.RawBytes, res.CompressedBytes, res.CompressionRatePct())
+	fmt.Printf("phases: wavelet %v, quantize %v, encode %v, format %v, temp-write %v, gzip %v\n",
+		res.Timings.Wavelet, res.Timings.Quantize, res.Timings.Encode,
+		res.Timings.Format, res.Timings.TempWrite, res.Timings.Gzip)
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ContinueOnError)
+	in := fs.String("in", "", "input .lkc file (required)")
+	out := fs.String("out", "", "output .grd file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress: -in and -out are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	fld, err := core.Decompress(data)
+	if err != nil {
+		return err
+	}
+	if err := writeField(*out, fld); err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s: %s\n", *in, *out, fld)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	in := fs.String("in", "", "input .lkc file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	formatted, err := gzipio.Decompress(data)
+	if err != nil {
+		return err
+	}
+	arch, err := container.FromBytes(formatted)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file: %s\n", *in)
+	fmt.Printf("  compressed size:  %d bytes\n", len(data))
+	fmt.Printf("  formatted size:   %d bytes\n", len(formatted))
+	fmt.Printf("  shape:            %v\n", arch.Shape)
+	fmt.Printf("  wavelet scheme:   %s (levels=%d)\n", arch.Params.Scheme, arch.Params.Levels)
+	mode := "pooled"
+	if arch.Params.PerBand {
+		mode = "per-band"
+	}
+	fmt.Printf("  quantization:     %s (n=%d, d=%d, %s)\n", arch.Params.Method, arch.Params.Divisions, arch.Params.SpikeDivisions, mode)
+	fmt.Printf("  low band:         %d values\n", len(arch.Low))
+	highN := 0
+	for bi, b := range arch.Bands {
+		fmt.Printf("  high band %d:      %d values (%d quantized, %d passthrough)\n",
+			bi, b.N, len(b.Codes), len(b.Passthrough))
+		highN += b.N
+	}
+	raw := 8 * (len(arch.Low) + highN)
+	fmt.Printf("  compression rate: %.2f%%\n", stats.CompressionRate(len(data), raw))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	a := fs.String("a", "", "first .grd file (required)")
+	b := fs.String("b", "", "second .grd file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return fmt.Errorf("diff: -a and -b are required")
+	}
+	fa, err := readField(*a)
+	if err != nil {
+		return err
+	}
+	fb, err := readField(*b)
+	if err != nil {
+		return err
+	}
+	if !fa.SameShape(fb) {
+		return fmt.Errorf("shape mismatch: %v vs %v", fa.Shape(), fb.Shape())
+	}
+	s, err := stats.Compare(fa.Data(), fb.Data())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relative error (Eq. 6 of the paper): %s\n", s)
+	return nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lossyckpt/internal/grid"
+)
+
+// The CLI's run() takes its argument vector directly, so the whole tool is
+// testable in-process.
+
+func TestUsageAndUnknownSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	good := map[string][]int{
+		"4":         {4},
+		"8x9":       {8, 9},
+		"1156x82x2": {1156, 82, 2},
+	}
+	for s, want := range good {
+		got, err := parseShape(s)
+		if err != nil {
+			t.Errorf("parseShape(%q): %v", s, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseShape(%q) = %v", s, got)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseShape(%q) = %v, want %v", s, got, want)
+			}
+		}
+	}
+	for _, s := range []string{"", "0", "-4", "4xx2", "axb", "4x"} {
+		if _, err := parseShape(s); err == nil {
+			t.Errorf("parseShape(%q): expected error", s)
+		}
+	}
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "field.grd")
+	lkc := filepath.Join(dir, "field.lkc")
+	out := filepath.Join(dir, "restored.grd")
+
+	if err := run([]string{"gen", "-out", grd, "-shape", "96x20x2", "-steps", "10"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := run([]string{"compress", "-in", grd, "-out", lkc, "-method", "proposed", "-n", "64"}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	st1, _ := os.Stat(grd)
+	st2, _ := os.Stat(lkc)
+	if st2.Size() >= st1.Size() {
+		t.Errorf("compressed file (%d) not smaller than field (%d)", st2.Size(), st1.Size())
+	}
+	if err := run([]string{"inspect", "-in", lkc}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := run([]string{"decompress", "-in", lkc, "-out", out}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if err := run([]string{"diff", "-a", grd, "-b", out}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+
+	// The restored field must parse and have the requested shape.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fld, err := grid.ReadField(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{96, 20, 2}
+	for d, e := range want {
+		if fld.Extent(d) != e {
+			t.Fatalf("restored shape %v, want %v", fld.Shape(), want)
+		}
+	}
+}
+
+func TestCompressFlagsValidation(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "f.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "32x8x2", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"compress", "-in", grd},                                         // missing -out
+		{"compress", "-out", "x.lkc"},                                    // missing -in
+		{"compress", "-in", grd, "-out", "x.lkc", "-method", "vector"},   // bad method
+		{"compress", "-in", grd, "-out", "x.lkc", "-scheme", "dct"},      // bad scheme
+		{"compress", "-in", grd, "-out", "x.lkc", "-n", "0"},             // bad n
+		{"compress", "-in", filepath.Join(dir, "nope.grd"), "-out", "x"}, // missing input
+		{"gen", "-out", filepath.Join(dir, "g.grd"), "-shape", "8x8"},    // gen needs 3D
+		{"gen", "-out", filepath.Join(dir, "g.grd"), "-var", "humidity"}, // unknown var
+		{"gen"}, // missing -out
+		{"decompress", "-in", grd, "-out", filepath.Join(dir, "o.grd")}, // not an .lkc
+		{"inspect", "-in", grd}, // not an .lkc
+		{"inspect"},             // missing -in
+		{"diff", "-a", grd},     // missing -b
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDiffShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.grd")
+	b := filepath.Join(dir, "b.grd")
+	if err := run([]string{"gen", "-out", a, "-shape", "32x8x2", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gen", "-out", b, "-shape", "32x8x1", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"diff", "-a", a, "-b", b})
+	if err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Errorf("diff with mismatched shapes: %v", err)
+	}
+}
+
+func TestCompressTempFileMode(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "f.grd")
+	lkc := filepath.Join(dir, "f.lkc")
+	if err := run([]string{"gen", "-out", grd, "-shape", "64x16x2", "-steps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compress", "-in", grd, "-out", lkc, "-tempfile"}); err != nil {
+		t.Fatalf("temp-file compress: %v", err)
+	}
+	if err := run([]string{"decompress", "-in", lkc, "-out", filepath.Join(dir, "o.grd")}); err != nil {
+		t.Fatalf("decompress after temp-file mode: %v", err)
+	}
+}

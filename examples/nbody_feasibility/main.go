@@ -1,0 +1,81 @@
+// N-body feasibility: apply the wavelet compressor to data that violates
+// its smoothness premise. The paper targets mesh fields (pressure,
+// temperature, velocity) and its related work [31] studies lossy
+// checkpointing of N-body cosmology codes; this example compresses the
+// particle arrays of a gravitational N-body run, contrasts the results
+// with a smooth climate field, and checks the physical damage a lossy
+// restart does via energy conservation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lossyckpt/internal/climate"
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/nbody"
+	"lossyckpt/internal/stats"
+)
+
+func main() {
+	sys, err := nbody.New(nbody.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.StepN(200)
+
+	fmt.Println("lossy compression of N-body particle arrays (proposed, n=128)")
+	fmt.Println("array   cr [%]   avg err [%]   max err [%]")
+	opts := core.DefaultOptions()
+	for _, nf := range sys.Fields() {
+		restored, res, err := core.RoundTrip(nf.Field, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, _ := stats.Compare(nf.Field.Data(), restored.Data())
+		fmt.Printf("%-6s  %6.2f   %11.5f   %11.5f\n",
+			nf.Name, res.CompressionRatePct(), s.AvgPct, s.MaxPct)
+	}
+
+	// Contrast: the same pipeline on a smooth climate field.
+	ccfg := climate.DefaultConfig()
+	ccfg.Nx, ccfg.Nz = 289, 41
+	model, err := climate.New(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.StepN(60)
+	temp := model.Field("temperature")
+	restored, res, err := core.RoundTrip(temp, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, _ := stats.Compare(temp.Data(), restored.Data())
+	fmt.Printf("\nfor comparison, climate temperature: cr %.2f%%, avg err %.5f%%\n",
+		res.CompressionRatePct(), s.AvgPct)
+	fmt.Println("particle-order arrays are not spatially smooth, so the wavelet")
+	fmt.Println("high band does not concentrate and compression degrades (paper §III-A).")
+
+	// Physical impact of a lossy restart: energy conservation.
+	e0 := sys.Energy()
+	restartSys := sys.Clone()
+	for _, nf := range restartSys.Fields() {
+		lossyField, _, err := core.RoundTrip(nf.Field, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copy(nf.Field.Data(), lossyField.Data())
+	}
+	restartSys.RefreshDerived()
+	e1 := restartSys.Energy()
+	fmt.Printf("\nenergy before lossy restart: %.6f, after: %.6f (|Δ| = %.2g)\n",
+		e0, e1, math.Abs(e1-e0))
+	fmt.Println("lossy compression perturbs conserved quantities — the paper's §IV-E")
+	fmt.Println("caveat that some applications may need post-restart data adjustment.")
+
+	sys.StepN(100)
+	restartSys.StepN(100)
+	drift, _ := stats.Compare(sys.Fields()[0].Field.Data(), restartSys.Fields()[0].Field.Data())
+	fmt.Printf("\nposition drift 100 steps after the lossy restart: %s\n", drift)
+}

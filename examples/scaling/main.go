@@ -1,0 +1,79 @@
+// Scaling: the paper's Fig. 9 projection — measure this machine's
+// per-process compression breakdown on a paper-sized array, then model
+// overall checkpoint time with and without compression across process
+// counts on a 20 GB/s shared parallel filesystem, locating the crossover
+// where compression starts to win.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lossyckpt/internal/climate"
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/iomodel"
+)
+
+func main() {
+	// Warm up a paper-shaped model briefly and grab its temperature array
+	// (~1.5 MB, the paper's per-process checkpoint unit).
+	cfg := climate.DefaultConfig()
+	model, err := climate.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.StepN(30)
+	temp := model.Field("temperature")
+
+	// Measure the per-process compression cost with the paper prototype's
+	// temp-file gzip path (so the Fig. 9 "temporal file write" component
+	// exists), taking the fastest of a few runs.
+	opts := core.DefaultOptions()
+	opts.GzipMode = gzipio.TempFile
+	var best *core.Result
+	for i := 0; i < 5; i++ {
+		res, err := core.Compress(temp, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if best == nil || res.Timings.Total < best.Timings.Total {
+			best = res
+		}
+	}
+	fmt.Printf("measured per-process compression of %d bytes (cr %.1f%%):\n",
+		best.RawBytes, best.CompressionRatePct())
+	fmt.Printf("  wavelet %v, quantize+encode %v, temp write %v, gzip %v\n",
+		best.Timings.Wavelet, best.Timings.Quantize+best.Timings.Encode,
+		best.Timings.TempWrite, best.Timings.Gzip)
+
+	est := iomodel.Estimator{
+		PerProcessBytes: int64(best.RawBytes),
+		CompressionRate: float64(best.CompressedBytes) / float64(best.RawBytes),
+		FS:              iomodel.PaperFS,
+		Compression:     best.Timings,
+	}
+
+	fmt.Println("\n    P   with comp [ms]   w/o comp [ms]")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, p := range []int{256, 512, 768, 1024, 1280, 1536, 1792, 2048} {
+		b, err := est.At(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d   %14.2f   %13.2f\n", p, ms(b.TotalWith), ms(b.TotalWithout))
+	}
+
+	cross, err := est.Crossover(1 << 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving, err := est.SavingPctAt(2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompression wins from P = %d processes (paper: ≈768)\n", cross)
+	fmt.Printf("saving at P=2048: %.0f%% (paper: 55%%)\n", saving)
+	fmt.Printf("asymptotic saving: %.0f%% (paper: 81%%)\n", est.AsymptoticSavingPct())
+}

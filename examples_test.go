@@ -1,0 +1,41 @@
+package lossyckpt
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end via `go run`,
+// guaranteeing the documented entry points keep working. Skipped under
+// -short (each example takes a few seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each; skipped in -short mode")
+	}
+	examples := []struct {
+		path string
+		want string // a string the output must contain
+	}{
+		{"./examples/quickstart", "compression rate"},
+		{"./examples/climate_restart", "restored to step"},
+		{"./examples/parameter_sweep", "error-bound-driven"},
+		{"./examples/scaling", "compression wins from P"},
+		{"./examples/nbody_feasibility", "energy before lossy restart"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(strings.TrimPrefix(ex.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", ex.path)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", ex.path, err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Errorf("%s output missing %q:\n%s", ex.path, ex.want, out)
+			}
+		})
+	}
+}

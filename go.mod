@@ -1,0 +1,3 @@
+module lossyckpt
+
+go 1.22

@@ -1,0 +1,313 @@
+package lossyckpt
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/climate"
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/heat"
+	"lossyckpt/internal/nbody"
+	"lossyckpt/internal/parallel"
+	"lossyckpt/internal/stats"
+)
+
+// These integration tests exercise whole-system flows across module
+// boundaries: application → checkpoint manager → codec → stream → restore
+// → continued execution, for all three application substrates.
+
+func climateTestConfig() climate.Config {
+	c := climate.DefaultConfig()
+	c.Nx, c.Nz = 96, 20
+	return c
+}
+
+func registerClimate(t *testing.T, mgr *ckpt.Manager, m *climate.Model) {
+	t.Helper()
+	for _, nf := range m.Fields() {
+		if err := mgr.Register(nf.Name, nf.Field); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClimateFailureRestartLossless is the ground-truth scenario: with a
+// lossless codec, a restarted run must be bit-identical to the reference.
+func TestClimateFailureRestartLossless(t *testing.T) {
+	ref, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.StepN(50)
+
+	mgr := ckpt.NewManager(ckpt.NewGzip(), 0)
+	registerClimate(t, mgr, ref)
+	var stream bytes.Buffer
+	if _, err := mgr.Checkpoint(&stream, ref.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+	ref.StepN(50)
+
+	restarted, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := ckpt.NewManager(ckpt.NewGzip(), 0)
+	registerClimate(t, mgr2, restarted)
+	rep, err := mgr2.Restore(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted.SetStepCount(rep.Step)
+	restarted.StepN(50)
+
+	for i, nf := range ref.Fields() {
+		if !nf.Field.Equal(restarted.Fields()[i].Field) {
+			t.Errorf("lossless restart: field %s diverged", nf.Name)
+		}
+	}
+}
+
+// TestClimateFailureRestartLossy is the paper's headline flow (§IV-E): a
+// lossy restart stays within a small, slowly growing error of the
+// reference.
+func TestClimateFailureRestartLossy(t *testing.T) {
+	ref, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.StepN(50)
+
+	mgr := ckpt.NewManager(ckpt.NewLossy(), 0)
+	registerClimate(t, mgr, ref)
+	var stream bytes.Buffer
+	ckRep, err := mgr.Checkpoint(&stream, ref.StepCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckRep.CompressionRatePct() >= 100 {
+		t.Errorf("lossy checkpoint did not shrink: %.1f%%", ckRep.CompressionRatePct())
+	}
+
+	restarted, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := ckpt.NewManager(ckpt.NewLossy(), 0)
+	registerClimate(t, mgr2, restarted)
+	rep, err := mgr2.Restore(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted.SetStepCount(rep.Step)
+
+	imm, _ := stats.Compare(ref.Field("temperature").Data(), restarted.Field("temperature").Data())
+	if imm.AvgPct == 0 {
+		t.Error("lossy restore had zero error; codec not lossy?")
+	}
+	if imm.AvgPct > 1 {
+		t.Errorf("immediate lossy error %.4f%% too large", imm.AvgPct)
+	}
+
+	ref.StepN(100)
+	restarted.StepN(100)
+	after, _ := stats.Compare(ref.Field("temperature").Data(), restarted.Field("temperature").Data())
+	if after.AvgPct > 100*imm.AvgPct+1 {
+		t.Errorf("error exploded after restart: %.5f%% -> %.5f%%", imm.AvgPct, after.AvgPct)
+	}
+	if !ref.Stable() || !restarted.Stable() {
+		t.Error("model went unstable")
+	}
+}
+
+// TestCheckpointFileOnDisk exercises the whole flow through a real file.
+func TestCheckpointFileOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "climate.ckpt")
+
+	m, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepN(20)
+	mgr := ckpt.NewManager(ckpt.NewLossy(), 0)
+	registerClimate(t, mgr, m)
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Checkpoint(f, m.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := climate.New(climateTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := ckpt.NewManager(ckpt.NewLossy(), 0)
+	registerClimate(t, mgr2, m2)
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rep, err := mgr2.Restore(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Step != 20 {
+		t.Errorf("restored step %d, want 20", rep.Step)
+	}
+}
+
+// TestHeatRestartThroughManager runs the 2-D substrate through the full
+// checkpoint stack.
+func TestHeatRestartThroughManager(t *testing.T) {
+	cfg := heat.DefaultConfig()
+	cfg.Ny, cfg.Nx = 96, 96
+	ref, err := heat.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.StepN(300)
+
+	mgr := ckpt.NewManager(ckpt.NewLossy(), 0)
+	if err := mgr.Register("temperature", ref.Temperature()); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if _, err := mgr.Checkpoint(&stream, ref.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := heat.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := ckpt.NewManager(ckpt.NewLossy(), 0)
+	if err := mgr2.Register("temperature", re.Temperature()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr2.Restore(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.SetStepCount(rep.Step)
+	ref.StepN(200)
+	re.StepN(200)
+	s, _ := stats.Compare(ref.Temperature().Data(), re.Temperature().Data())
+	// Diffusion contracts perturbations: the error must stay around the
+	// compression error.
+	if s.AvgPct > 0.5 {
+		t.Errorf("heat restart error %.4f%%", s.AvgPct)
+	}
+}
+
+// TestNBodyLossyRestartEnergyPerturbation quantifies the paper's §IV-E
+// caveat: lossy restores perturb conserved quantities but the perturbation
+// must scale with the quantizer resolution.
+func TestNBodyLossyRestartEnergyPerturbation(t *testing.T) {
+	cfg := nbody.DefaultConfig()
+	cfg.N = 256
+	sys, err := nbody.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StepN(100)
+	e0 := sys.Energy()
+
+	perturb := func(divisions int) float64 {
+		cp := sys.Clone()
+		opts := core.DefaultOptions()
+		opts.Divisions = divisions
+		for _, nf := range cp.Fields() {
+			lossy, _, err := core.RoundTrip(nf.Field, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(nf.Field.Data(), lossy.Data())
+		}
+		cp.RefreshDerived()
+		return math.Abs(cp.Energy() - e0)
+	}
+	coarse, fine := perturb(2), perturb(128)
+	if fine > coarse {
+		t.Errorf("finer quantization perturbed energy more: n=2 %g, n=128 %g", coarse, fine)
+	}
+	if fine > math.Abs(e0)*0.1 {
+		t.Errorf("energy perturbation %g is >10%% of |E|=%g even at n=128", fine, math.Abs(e0))
+	}
+}
+
+// TestClusterCheckpointAndReplay runs the executed multi-rank scenario end
+// to end and replays every rank.
+func TestClusterCheckpointAndReplay(t *testing.T) {
+	cfg := parallel.DefaultConfig(6, ckpt.NewLossy())
+	cfg.ElemsPerRank = 16384
+	out, err := parallel.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalWith() <= 0 || out.TotalWithout() <= 0 {
+		t.Fatal("degenerate cluster timings")
+	}
+	for r := 0; r < 6; r++ {
+		s, err := parallel.ReplayRank(cfg, out, r)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if s.AvgPct > 1 {
+			t.Errorf("rank %d replay error %.4f%%", r, s.AvgPct)
+		}
+	}
+}
+
+// TestMixedShapesThroughManager checkpoints arrays of different
+// dimensionality in one stream.
+func TestMixedShapesThroughManager(t *testing.T) {
+	mk := func(shape ...int) *grid.Field {
+		f := grid.MustNew(shape...)
+		for i := range f.Data() {
+			f.Data()[i] = math.Sin(float64(i) / 50)
+		}
+		return f
+	}
+	fields := map[string]*grid.Field{
+		"oneD":   mk(5000),
+		"twoD":   mk(100, 50),
+		"threeD": mk(20, 25, 10),
+	}
+	mgr := ckpt.NewManager(ckpt.NewLossy(), 0)
+	for _, name := range []string{"oneD", "twoD", "threeD"} {
+		if err := mgr.Register(name, fields[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stream bytes.Buffer
+	if _, err := mgr.Checkpoint(&stream, 1); err != nil {
+		t.Fatal(err)
+	}
+	originals := map[string]*grid.Field{}
+	for n, f := range fields {
+		originals[n] = f.Clone()
+		f.Fill(0)
+	}
+	if _, err := mgr.Restore(&stream); err != nil {
+		t.Fatal(err)
+	}
+	for n, f := range fields {
+		s, _ := stats.Compare(originals[n].Data(), f.Data())
+		if s.AvgPct > 1 {
+			t.Errorf("%s: error %.4f%% after mixed-shape restore", n, s.AvgPct)
+		}
+	}
+}

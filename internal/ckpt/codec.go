@@ -1,0 +1,229 @@
+// Package ckpt provides the application-level checkpoint/restart manager
+// the reproduced paper's workflow needs: applications register their named
+// state arrays once; Checkpoint compresses every array with a pluggable
+// codec (none / gzip / fpc / the paper's lossy compressor) and writes one
+// framed checkpoint stream; Restore reads such a stream back and copies
+// the decoded data into the registered arrays in place.
+//
+// Per the paper's §IV-D, per-array compression is embarrassingly parallel;
+// Checkpoint compresses registered arrays with a bounded worker pool and
+// reports the per-phase timing breakdown that the paper's Fig. 9 plots.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/fpc"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+)
+
+// Errors returned by codecs and the manager.
+var (
+	ErrCodec = errors.New("ckpt: codec failure")
+)
+
+// Encoded is one array's compressed representation plus accounting.
+type Encoded struct {
+	// Payload is the codec-specific compressed byte stream.
+	Payload []byte
+	// RawBytes is the uncompressed array size.
+	RawBytes int
+	// Timings is the per-phase compression breakdown (zero-valued phases
+	// for codecs without that phase).
+	Timings core.Timings
+}
+
+// Codec turns fields into bytes and back. Implementations must be safe for
+// concurrent use by multiple goroutines (Checkpoint encodes arrays in
+// parallel).
+type Codec interface {
+	// Name identifies the codec in checkpoint headers and reports.
+	Name() string
+	// Encode compresses one field.
+	Encode(f *grid.Field) (*Encoded, error)
+	// Decode reconstructs a field of the given shape from payload bytes.
+	Decode(payload []byte, shape []int) (*grid.Field, error)
+	// Lossless reports whether Decode(Encode(f)) is bit-exact.
+	Lossless() bool
+}
+
+// --- None ------------------------------------------------------------------
+
+// None stores arrays verbatim — the paper's "checkpoint time without
+// compression" baseline.
+type None struct{}
+
+// Name implements Codec.
+func (None) Name() string { return "none" }
+
+// Lossless implements Codec.
+func (None) Lossless() bool { return true }
+
+// Encode implements Codec.
+func (None) Encode(f *grid.Field) (*Encoded, error) {
+	return &Encoded{
+		Payload:  floatsToBytes(f.Data()),
+		RawBytes: f.Bytes(),
+	}, nil
+}
+
+// Decode implements Codec.
+func (None) Decode(payload []byte, shape []int) (*grid.Field, error) {
+	f, err := grid.New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != 8*f.Len() {
+		return nil, fmt.Errorf("%w: none codec payload %d bytes, shape %v needs %d", ErrCodec, len(payload), shape, 8*f.Len())
+	}
+	bytesToFloatsInto(payload, f.Data())
+	return f, nil
+}
+
+// --- Gzip ------------------------------------------------------------------
+
+// Gzip DEFLATE-compresses the raw array bytes — the paper's lossless
+// comparison point (Fig. 6's "gzip" bar).
+type Gzip struct {
+	// Level is a compress/gzip level; use gzipio.Default normally.
+	Level int
+	// Mode selects in-memory or temp-file operation.
+	Mode gzipio.Mode
+	// TmpDir is the temp-file directory ("" = system default).
+	TmpDir string
+}
+
+// NewGzip returns a Gzip codec with default settings.
+func NewGzip() *Gzip { return &Gzip{Level: gzipio.Default, Mode: gzipio.InMemory} }
+
+// Name implements Codec.
+func (*Gzip) Name() string { return "gzip" }
+
+// Lossless implements Codec.
+func (*Gzip) Lossless() bool { return true }
+
+// Encode implements Codec.
+func (g *Gzip) Encode(f *grid.Field) (*Encoded, error) {
+	res, err := core.CompressGzipOnly(f, g.Level, g.Mode, g.TmpDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+}
+
+// Decode implements Codec.
+func (g *Gzip) Decode(payload []byte, shape []int) (*grid.Field, error) {
+	return core.DecompressGzipOnly(payload, shape...)
+}
+
+// --- FPC -------------------------------------------------------------------
+
+// FPC applies the predictive lossless floating-point compressor of package
+// fpc (experiment X3's baseline).
+type FPC struct {
+	// TableBits sizes the predictor tables; 0 means fpc.DefaultTableBits.
+	TableBits int
+}
+
+// Name implements Codec.
+func (*FPC) Name() string { return "fpc" }
+
+// Lossless implements Codec.
+func (*FPC) Lossless() bool { return true }
+
+// Encode implements Codec.
+func (c *FPC) Encode(f *grid.Field) (*Encoded, error) {
+	tb := c.TableBits
+	if tb == 0 {
+		tb = fpc.DefaultTableBits
+	}
+	data, err := fpc.Compress(f.Data(), tb)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoded{Payload: data, RawBytes: f.Bytes()}, nil
+}
+
+// Decode implements Codec.
+func (c *FPC) Decode(payload []byte, shape []int) (*grid.Field, error) {
+	vals, err := fpc.Decompress(payload)
+	if err != nil {
+		return nil, err
+	}
+	return grid.FromSlice(vals, shape...)
+}
+
+// --- Lossy -----------------------------------------------------------------
+
+// Lossy is the paper's wavelet-based lossy compressor (package core).
+type Lossy struct {
+	// Options configures the pipeline; use core.DefaultOptions as a start.
+	Options core.Options
+	// ChunkExtent, when positive, compresses each array in slabs of that
+	// many leading-axis planes (core.CompressChunked), bounding peak
+	// memory for very large arrays. Zero compresses whole arrays.
+	ChunkExtent int
+}
+
+// NewLossy returns a Lossy codec with the paper's default configuration.
+func NewLossy() *Lossy { return &Lossy{Options: core.DefaultOptions()} }
+
+// Name implements Codec.
+func (*Lossy) Name() string { return "lossy" }
+
+// Lossless implements Codec.
+func (*Lossy) Lossless() bool { return false }
+
+// Encode implements Codec.
+func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
+	if c.ChunkExtent > 0 {
+		res, err := core.CompressChunked(f, c.Options, c.ChunkExtent)
+		if err != nil {
+			return nil, err
+		}
+		return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+	}
+	res, err := core.Compress(f, c.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+}
+
+// Decode implements Codec. The shape argument is validated against the
+// shape embedded in the lossy stream; both whole-array and chunked
+// payloads are accepted.
+func (c *Lossy) Decode(payload []byte, shape []int) (*grid.Field, error) {
+	f, err := core.DecompressAny(payload)
+	if err != nil {
+		return nil, err
+	}
+	if f.Dims() != len(shape) {
+		return nil, fmt.Errorf("%w: lossy stream is %d-D, expected %d-D", ErrCodec, f.Dims(), len(shape))
+	}
+	for d, e := range shape {
+		if f.Extent(d) != e {
+			return nil, fmt.Errorf("%w: lossy stream shape %v, expected %v", ErrCodec, f.Shape(), shape)
+		}
+	}
+	return f, nil
+}
+
+// CodecByName constructs a default-configured codec from its Name string.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "gzip":
+		return NewGzip(), nil
+	case "fpc":
+		return &FPC{}, nil
+	case "lossy":
+		return NewLossy(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %q", ErrCodec, name)
+	}
+}

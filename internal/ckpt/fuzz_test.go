@@ -1,0 +1,42 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRestore hardens the checkpoint-stream parser: arbitrary input into
+// Restore must error out cleanly, never panic or corrupt registered state
+// silently.
+func FuzzRestore(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CKPT"))
+
+	// Seed with a real stream and systematic corruptions.
+	seedMgr := NewManager(NewGzip(), 1)
+	fld := smoothField(64, 8)
+	if err := seedMgr.Register("x", fld); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := seedMgr.Checkpoint(&buf, 3); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	for _, pos := range []int{0, 6, len(raw) / 3, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0xA5
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mgr := NewManager(NewGzip(), 1)
+		target := smoothField(64, 8)
+		if err := mgr.Register("x", target); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = mgr.Restore(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,433 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrRegistered indicates a duplicate or invalid registration.
+	ErrRegistered = errors.New("ckpt: registration error")
+	// ErrFormat indicates a malformed checkpoint stream.
+	ErrFormat = errors.New("ckpt: malformed checkpoint stream")
+	// ErrMismatch indicates a checkpoint incompatible with the registered
+	// state (different codec, variables or shapes).
+	ErrMismatch = errors.New("ckpt: checkpoint does not match registered state")
+)
+
+const (
+	fileMagic   = 0x54504B43 // "CKPT"
+	fileVersion = 1
+	maxNameLen  = 4096
+)
+
+// Manager registers an application's state arrays and writes/reads framed
+// checkpoint streams. A Manager is not safe for concurrent use; the
+// internal per-array compression is parallel but externally synchronous.
+type Manager struct {
+	codec   Codec
+	workers int
+	names   []string
+	fields  map[string]*grid.Field
+}
+
+// NewManager returns a manager using the given codec. workers bounds the
+// parallel per-array compression; 0 means GOMAXPROCS.
+func NewManager(codec Codec, workers int) *Manager {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{
+		codec:   codec,
+		workers: workers,
+		fields:  make(map[string]*grid.Field),
+	}
+}
+
+// Register adds a named array to the checkpointed state. The manager keeps
+// a reference: Checkpoint reads the live data, Restore overwrites it.
+func (m *Manager) Register(name string, f *grid.Field) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("%w: invalid name %q", ErrRegistered, name)
+	}
+	if f == nil {
+		return fmt.Errorf("%w: nil field for %q", ErrRegistered, name)
+	}
+	if _, dup := m.fields[name]; dup {
+		return fmt.Errorf("%w: duplicate name %q", ErrRegistered, name)
+	}
+	m.names = append(m.names, name)
+	m.fields[name] = f
+	return nil
+}
+
+// RegisterAll registers a list of named fields, failing on the first error.
+func (m *Manager) RegisterAll(fields []struct {
+	Name  string
+	Field *grid.Field
+}) error {
+	for _, nf := range fields {
+		if err := m.Register(nf.Name, nf.Field); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names returns the registered variable names in registration order.
+func (m *Manager) Names() []string { return append([]string(nil), m.names...) }
+
+// EntryReport is the per-array accounting of one checkpoint.
+type EntryReport struct {
+	Name            string
+	RawBytes        int
+	CompressedBytes int
+	Timings         core.Timings
+}
+
+// Report aggregates one Checkpoint or Restore.
+type Report struct {
+	Codec   string
+	Entries []EntryReport
+	// RawBytes and CompressedBytes sum over all entries (payload only,
+	// excluding framing).
+	RawBytes        int
+	CompressedBytes int
+	// FileBytes is the full framed stream size (Checkpoint only).
+	FileBytes int
+	// Wall is the total wall-clock duration of the operation.
+	Wall time.Duration
+	// Step is the application step counter stored in the stream.
+	Step int
+}
+
+// CompressionRatePct returns the aggregate cr (Eq. 5) in percent.
+func (r *Report) CompressionRatePct() float64 {
+	if r.RawBytes == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(r.CompressedBytes) / float64(r.RawBytes)
+}
+
+// AggregateTimings sums the per-entry phase breakdowns.
+func (r *Report) AggregateTimings() core.Timings {
+	var t core.Timings
+	for _, e := range r.Entries {
+		t.Wavelet += e.Timings.Wavelet
+		t.Quantize += e.Timings.Quantize
+		t.Encode += e.Timings.Encode
+		t.Format += e.Timings.Format
+		t.TempWrite += e.Timings.TempWrite
+		t.Gzip += e.Timings.Gzip
+		t.Total += e.Timings.Total
+	}
+	return t
+}
+
+// Checkpoint compresses every registered array (in parallel, bounded by the
+// worker count) and writes one framed checkpoint stream to w. step is an
+// application-defined counter stored in the header (the paper restarts
+// NICAM at step 720; the counter lets restore resume time-dependent
+// forcing).
+func (m *Manager) Checkpoint(w io.Writer, step int) (*Report, error) {
+	start := time.Now()
+	if len(m.names) == 0 {
+		return nil, fmt.Errorf("%w: no fields registered", ErrRegistered)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("%w: negative step %d", ErrRegistered, step)
+	}
+
+	// Parallel encode, order-preserving.
+	encoded := make([]*Encoded, len(m.names))
+	errs := make([]error, len(m.names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, m.workers)
+	for i, name := range m.names {
+		wg.Add(1)
+		go func(i int, f *grid.Field) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			encoded[i], errs[i] = m.codec.Encode(f)
+		}(i, m.fields[name])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: encoding %q: %w", m.names[i], err)
+		}
+	}
+
+	// Frame and write.
+	var buf bytes.Buffer
+	writeU32(&buf, fileMagic)
+	writeU16(&buf, fileVersion)
+	writeString(&buf, m.codec.Name())
+	writeU64(&buf, uint64(step))
+	writeU32(&buf, uint32(len(m.names)))
+
+	rep := &Report{Codec: m.codec.Name(), Step: step}
+	for i, name := range m.names {
+		f := m.fields[name]
+		var entry bytes.Buffer
+		writeString(&entry, name)
+		writeU16(&entry, uint16(f.Dims()))
+		for _, e := range f.Shape() {
+			writeU64(&entry, uint64(e))
+		}
+		writeU64(&entry, uint64(len(encoded[i].Payload)))
+		entry.Write(encoded[i].Payload)
+		writeU32(&buf, crc32.ChecksumIEEE(entry.Bytes()))
+		writeU64(&buf, uint64(entry.Len()))
+		buf.Write(entry.Bytes())
+
+		rep.Entries = append(rep.Entries, EntryReport{
+			Name:            name,
+			RawBytes:        encoded[i].RawBytes,
+			CompressedBytes: len(encoded[i].Payload),
+			Timings:         encoded[i].Timings,
+		})
+		rep.RawBytes += encoded[i].RawBytes
+		rep.CompressedBytes += len(encoded[i].Payload)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("ckpt: write: %w", err)
+	}
+	rep.FileBytes = buf.Len()
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// Restore reads a checkpoint stream and copies the decoded arrays into the
+// registered fields in place. The stream's codec name must match the
+// manager's codec, and every registered variable must be present with a
+// matching shape. It returns the report and the stored step counter.
+func (m *Manager) Restore(r io.Reader) (*Report, error) {
+	start := time.Now()
+	br := newByteReader(r)
+	if br.u32() != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := br.u16(); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	codecName := br.str()
+	step := br.u64()
+	count := br.u32()
+	if br.err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, br.err)
+	}
+	if codecName != m.codec.Name() {
+		return nil, fmt.Errorf("%w: stream codec %q, manager codec %q", ErrMismatch, codecName, m.codec.Name())
+	}
+	if int(count) != len(m.names) {
+		return nil, fmt.Errorf("%w: stream has %d variables, %d registered", ErrMismatch, count, len(m.names))
+	}
+
+	rep := &Report{Codec: codecName, Step: int(step)}
+	seen := make(map[string]bool, count)
+	for i := 0; i < int(count); i++ {
+		wantCRC := br.u32()
+		entryLen := br.u64()
+		if br.err != nil {
+			return nil, fmt.Errorf("%w: entry %d header: %v", ErrFormat, i, br.err)
+		}
+		if entryLen > 1<<40 {
+			return nil, fmt.Errorf("%w: entry %d implausibly large (%d bytes)", ErrFormat, i, entryLen)
+		}
+		entry, err := readExactly(br, entryLen)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d body: %v", ErrFormat, i, err)
+		}
+		if crc32.ChecksumIEEE(entry) != wantCRC {
+			return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
+		}
+		er := newByteReader(bytes.NewReader(entry))
+		name := er.str()
+		nd := int(er.u16())
+		if er.err != nil || nd == 0 || nd > grid.MaxDims {
+			return nil, fmt.Errorf("%w: entry %d metadata", ErrFormat, i)
+		}
+		shape := make([]int, nd)
+		for d := range shape {
+			e := er.u64()
+			if e == 0 || e > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: entry %d extent %d", ErrFormat, i, e)
+			}
+			shape[d] = int(e)
+		}
+		payloadLen := er.u64()
+		if er.err != nil {
+			return nil, fmt.Errorf("%w: entry %d payload length", ErrFormat, i)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(er, payload); err != nil {
+			return nil, fmt.Errorf("%w: entry %d payload: %v", ErrFormat, i, err)
+		}
+
+		target, ok := m.fields[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: stream variable %q not registered", ErrMismatch, name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("%w: duplicate variable %q", ErrFormat, name)
+		}
+		seen[name] = true
+		if target.Dims() != nd {
+			return nil, fmt.Errorf("%w: %q is %d-D in stream, %d-D registered", ErrMismatch, name, nd, target.Dims())
+		}
+		for d, e := range shape {
+			if target.Extent(d) != e {
+				return nil, fmt.Errorf("%w: %q shape %v in stream, %v registered", ErrMismatch, name, shape, target.Shape())
+			}
+		}
+
+		decoded, err := m.codec.Decode(payload, shape)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: decoding %q: %w", name, err)
+		}
+		copy(target.Data(), decoded.Data())
+
+		rep.Entries = append(rep.Entries, EntryReport{
+			Name:            name,
+			RawBytes:        target.Bytes(),
+			CompressedBytes: len(payload),
+		})
+		rep.RawBytes += target.Bytes()
+		rep.CompressedBytes += len(payload)
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// --- binary helpers ---------------------------------------------------------
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeU16(buf, uint16(len(s)))
+	buf.WriteString(s)
+}
+
+// readExactly reads exactly n bytes, growing the buffer in bounded chunks
+// so a forged length field cannot force a huge allocation before the
+// stream runs dry.
+func readExactly(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, minU64(n, chunk))
+	for uint64(len(out)) < n {
+		take := minU64(n-uint64(len(out)), chunk)
+		buf := make([]byte, take)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type byteReader struct {
+	r   io.Reader
+	err error
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) take(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return nil
+	}
+	return buf
+}
+
+func (b *byteReader) u16() uint16 {
+	d := b.take(2)
+	if d == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(d)
+}
+
+func (b *byteReader) u32() uint32 {
+	d := b.take(4)
+	if d == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d)
+}
+
+func (b *byteReader) u64() uint64 {
+	d := b.take(8)
+	if d == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d)
+}
+
+func (b *byteReader) str() string {
+	n := b.u16()
+	if b.err != nil {
+		return ""
+	}
+	d := b.take(int(n))
+	return string(d)
+}
+
+// floatsToBytes serializes a float64 slice to little-endian bytes.
+func floatsToBytes(fs []float64) []byte {
+	out := make([]byte, 8*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+// bytesToFloatsInto fills dst from little-endian bytes.
+func bytesToFloatsInto(b []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}

@@ -1,0 +1,226 @@
+package climate
+
+import (
+	"math"
+	"testing"
+
+	"lossyckpt/internal/stats"
+	"lossyckpt/internal/wavelet"
+)
+
+// testConfig returns a small, fast grid for unit tests.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Nx, c.Nz, c.Nc = 64, 16, 2
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Nx: 2, Nz: 16, Nc: 2, Dt: 0.05},
+		{Nx: 64, Nz: 2, Nc: 2, Dt: 0.05},
+		{Nx: 64, Nz: 16, Nc: 0, Dt: 0.05},
+		{Nx: 64, Nz: 16, Nc: 2, Dt: 0},
+		{Nx: 64, Nz: 16, Nc: 2, Dt: 0.5},
+		{Nx: 64, Nz: 16, Nc: 2, Dt: math.NaN()},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(testConfig()); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestDeterministicInitialization(t *testing.T) {
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	for i, fa := range a.Fields() {
+		fb := b.Fields()[i]
+		if !fa.Field.Equal(fb.Field) {
+			t.Errorf("field %s differs between identically seeded models", fa.Name)
+		}
+	}
+	c3 := testConfig()
+	c3.Seed = 999
+	c, _ := New(c3)
+	if a.Field("temperature").Equal(c.Field("temperature")) {
+		t.Error("different seeds produced identical temperature")
+	}
+}
+
+func TestDeterministicEvolution(t *testing.T) {
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	a.StepN(50)
+	b.StepN(50)
+	for i, fa := range a.Fields() {
+		if !fa.Field.Equal(b.Fields()[i].Field) {
+			t.Errorf("field %s diverged between identical runs", fa.Name)
+		}
+	}
+}
+
+func TestStabilityLongRun(t *testing.T) {
+	m, _ := New(testConfig())
+	m.StepN(2000)
+	if !m.Stable() {
+		t.Fatal("model blew up within 2000 steps")
+	}
+	// Temperature must stay in a physically plausible band.
+	min, max := m.Field("temperature").MinMax()
+	if min < 100 || max > 500 {
+		t.Errorf("temperature range [%g, %g] implausible", min, max)
+	}
+}
+
+func TestFieldsEvolve(t *testing.T) {
+	m, _ := New(testConfig())
+	before := m.Field("temperature").Clone()
+	m.StepN(10)
+	if m.Field("temperature").Equal(before) {
+		t.Error("temperature did not change over 10 steps")
+	}
+	if m.StepCount() != 10 {
+		t.Errorf("StepCount = %d, want 10", m.StepCount())
+	}
+}
+
+func TestFieldsAreSmooth(t *testing.T) {
+	// The substitution argument (DESIGN.md §2) hinges on this: after the
+	// wavelet transform, high-frequency energy must concentrate near zero
+	// — the property the paper exploits in NICAM data.
+	m, _ := New(testConfig())
+	m.StepN(100)
+	for _, nf := range m.Fields() {
+		f := nf.Field.Clone()
+		p, err := wavelet.NewPlan(f.Shape(), 1, wavelet.Haar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Transform(f); err != nil {
+			t.Fatal(err)
+		}
+		high, _ := p.GatherHigh(f, nil)
+		h, _ := stats.NewHistogram(high, 64)
+		// A uniform distribution over 64 bins would put ~0.016 in the
+		// fullest bin; 0.3 indicates a strong near-zero spike.
+		if frac := h.SpikeFraction(); frac < 0.3 {
+			t.Errorf("%s: high-band spike fraction %.2f < 0.3; field not smooth enough", nf.Name, frac)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := New(testConfig())
+	a.StepN(20)
+	b := a.Clone()
+	if b.StepCount() != 20 {
+		t.Errorf("clone StepCount = %d, want 20", b.StepCount())
+	}
+	a.StepN(10)
+	if a.Field("temperature").Equal(b.Field("temperature")) {
+		t.Error("stepping the original changed the clone")
+	}
+	// Clone advanced by the same 10 steps must match the original exactly.
+	b.StepN(10)
+	for i, fa := range a.Fields() {
+		if !fa.Field.Equal(b.Fields()[i].Field) {
+			t.Errorf("field %s: clone evolution diverged from original", fa.Name)
+		}
+	}
+}
+
+func TestRestartFromExactStateIsSeamless(t *testing.T) {
+	// Restoring the exact field values + step counter must reproduce the
+	// uninterrupted run bit for bit (the lossless-checkpoint sanity case).
+	ref, _ := New(testConfig())
+	ref.StepN(100)
+	snapshot := ref.Clone()
+	ref.StepN(100)
+
+	re, _ := New(testConfig())
+	// Simulate restore: copy snapshot state into a fresh model.
+	for i, nf := range re.Fields() {
+		copy(nf.Field.Data(), snapshot.Fields()[i].Field.Data())
+	}
+	re.SetStepCount(snapshot.StepCount())
+	re.StepN(100)
+	for i, fr := range ref.Fields() {
+		if !fr.Field.Equal(re.Fields()[i].Field) {
+			t.Errorf("field %s: exact restart diverged", fr.Name)
+		}
+	}
+}
+
+func TestPerturbationGrowsSlowly(t *testing.T) {
+	// A tiny state perturbation (as lossy restore introduces) must neither
+	// vanish to zero influence nor explode — Fig. 10's regime.
+	a, _ := New(testConfig())
+	a.StepN(100)
+	b := a.Clone()
+	tf := b.Field("temperature")
+	for i := range tf.Data() {
+		tf.Data()[i] += 1e-3 * math.Sin(float64(i))
+	}
+	s0, _ := stats.Compare(a.Field("temperature").Data(), b.Field("temperature").Data())
+	a.StepN(300)
+	b.StepN(300)
+	s1, _ := stats.Compare(a.Field("temperature").Data(), b.Field("temperature").Data())
+	if s1.AvgPct <= 0 {
+		t.Error("perturbation vanished entirely")
+	}
+	if s1.AvgPct > 100*s0.AvgPct {
+		t.Errorf("perturbation exploded: %.6f%% -> %.6f%%", s0.AvgPct, s1.AvgPct)
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	m, _ := New(testConfig())
+	if len(m.Fields()) != 5 {
+		t.Errorf("Fields() returned %d arrays, want 5", len(m.Fields()))
+	}
+	names := []string{"pressure", "temperature", "wind_u", "wind_v", "wind_w"}
+	for _, n := range names {
+		if m.Field(n) == nil {
+			t.Errorf("Field(%q) = nil", n)
+		}
+	}
+	if m.Field("humidity") != nil {
+		t.Error("unknown field name returned non-nil")
+	}
+	if got := m.Config().Nx; got != 64 {
+		t.Errorf("Config().Nx = %d", got)
+	}
+}
+
+func TestPaperShapeBytes(t *testing.T) {
+	// Default config must produce the paper's ~1.5 MB arrays.
+	cfg := DefaultConfig()
+	if cfg.Nx != 1156 || cfg.Nz != 82 || cfg.Nc != 2 {
+		t.Fatalf("default grid %dx%dx%d, want 1156x82x2", cfg.Nx, cfg.Nz, cfg.Nc)
+	}
+	bytes := cfg.Nx * cfg.Nz * cfg.Nc * 8
+	if bytes < 1400000 || bytes > 1600000 {
+		t.Errorf("array size %d bytes, want ~1.5 MB", bytes)
+	}
+}
+
+func TestComponentsAreCoupledButDistinct(t *testing.T) {
+	m, _ := New(testConfig())
+	m.StepN(50)
+	tf := m.Field("temperature")
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		for k := 0; k < 16 && same; k++ {
+			if tf.At(i, k, 0) != tf.At(i, k, 1) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("the two components are identical; nc axis is degenerate")
+	}
+}

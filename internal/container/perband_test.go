@@ -1,0 +1,105 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+
+	"lossyckpt/internal/encode"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/wavelet"
+)
+
+// multiBandArchive builds a per-band archive with several band sections of
+// different sizes.
+func multiBandArchive(t *testing.T, seed int64, nBands int) *Archive {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bands := make([]*encode.EncodedBand, 0, nBands)
+	for bi := 0; bi < nBands; bi++ {
+		n := 100 + rng.Intn(900)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * float64(bi+1)
+		}
+		q, err := quant.Quantize(vals, quant.Config{Method: quant.Proposed, Divisions: 8 + bi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		band, err := encode.Encode(vals, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bands = append(bands, band)
+	}
+	return &Archive{
+		Params: Params{
+			Scheme:         wavelet.Haar,
+			Method:         quant.Proposed,
+			Levels:         2,
+			Divisions:      32,
+			SpikeDivisions: 64,
+			PerBand:        true,
+		},
+		Shape: []int{64, 32},
+		Low:   []float64{1, 2, 3},
+		Bands: bands,
+	}
+}
+
+func TestPerBandRoundTrip(t *testing.T) {
+	for _, nBands := range []int{1, 3, 7} {
+		a := multiBandArchive(t, int64(nBands), nBands)
+		raw, err := a.Bytes()
+		if err != nil {
+			t.Fatalf("%d bands: %v", nBands, err)
+		}
+		if len(raw) != a.SerializedSize() {
+			t.Errorf("%d bands: SerializedSize %d, actual %d", nBands, a.SerializedSize(), len(raw))
+		}
+		b, err := FromBytes(raw)
+		if err != nil {
+			t.Fatalf("%d bands: %v", nBands, err)
+		}
+		if !b.Params.PerBand {
+			t.Error("PerBand flag lost")
+		}
+		if !archivesEqual(a, b) {
+			t.Errorf("%d bands: round trip mismatch", nBands)
+		}
+	}
+}
+
+func TestBandAccessorPanicsOnMultiBand(t *testing.T) {
+	a := multiBandArchive(t, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Band() on multi-band archive did not panic")
+		}
+	}()
+	_ = a.Band()
+}
+
+func TestBandAccessorPooled(t *testing.T) {
+	a := multiBandArchive(t, 2, 1)
+	if a.Band() != a.Bands[0] {
+		t.Error("Band() did not return the single section")
+	}
+}
+
+func TestPerBandCorruptionDetected(t *testing.T) {
+	a := multiBandArchive(t, 3, 5)
+	raw, _ := a.Bytes()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 16; trial++ {
+		mut := append([]byte(nil), raw...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		if _, err := FromBytes(mut); err == nil {
+			t.Fatal("corrupted multi-band archive accepted")
+		}
+	}
+	for _, cut := range []int{len(raw) / 4, len(raw) / 2, len(raw) - 5} {
+		if _, err := FromBytes(raw[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+}

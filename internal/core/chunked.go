@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lossyckpt/internal/grid"
+)
+
+// The paper stresses that compression must be "not only fast but also
+// scalable to checkpoint size" (§II-A) and that its O(n) pipeline keeps
+// its advantage "with larger checkpoint sizes" (§IV-D). Chunked
+// compression operationalizes that: the array is split along axis 0 into
+// slabs, each slab runs through the full pipeline independently, and the
+// output frames the per-chunk streams. Peak additional memory is one slab
+// instead of one array, and chunks decompress independently.
+//
+// Chunked layout (little-endian):
+//
+//	uint32 magic "LKCC"
+//	uint16 version
+//	uint16 ndims, int64 extents…   (full array shape)
+//	uint32 chunk count
+//	per chunk: uint32 slab extent, uint64 payload length, payload
+//
+// Each payload is a complete Compress stream (self-describing, CRC'd).
+
+// ErrChunked indicates malformed chunked-stream data.
+var ErrChunked = errors.New("core: malformed chunked stream")
+
+const (
+	chunkedMagic   = 0x43434B4C // "LKCC"
+	chunkedVersion = 1
+)
+
+// ChunkedResult aggregates a chunked compression.
+type ChunkedResult struct {
+	// Data is the framed multi-chunk stream.
+	Data []byte
+	// Chunks is the number of slabs.
+	Chunks int
+	// RawBytes and CompressedBytes sum over chunks (CompressedBytes
+	// excludes the small framing overhead; len(Data) includes it).
+	RawBytes        int
+	CompressedBytes int
+	// Timings sums the per-chunk phase breakdowns.
+	Timings Timings
+}
+
+// CompressionRatePct returns cr (Eq. 5) in percent, framing included.
+func (r *ChunkedResult) CompressionRatePct() float64 {
+	return 100 * float64(len(r.Data)) / float64(r.RawBytes)
+}
+
+// CompressChunked splits the field into slabs of chunkExtent planes along
+// axis 0 and compresses each independently with the same options. The
+// trailing slab may be smaller; every slab must satisfy the wavelet level
+// constraint, so chunkExtent must be ≥ 2^levels.
+func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if chunkExtent < 1 {
+		return nil, fmt.Errorf("%w: chunk extent %d", ErrOptions, chunkExtent)
+	}
+	shape := f.Shape()
+	planeElems := f.Len() / shape[0]
+
+	res := &ChunkedResult{RawBytes: f.Bytes()}
+	var out []byte
+	hdr := make([]byte, 0, 64)
+	hdr = append32(hdr, chunkedMagic)
+	hdr = append16(hdr, chunkedVersion)
+	hdr = append16(hdr, uint16(len(shape)))
+	for _, e := range shape {
+		hdr = append64(hdr, uint64(e))
+	}
+	nChunks := (shape[0] + chunkExtent - 1) / chunkExtent
+	hdr = append32(hdr, uint32(nChunks))
+	out = append(out, hdr...)
+
+	for start := 0; start < shape[0]; start += chunkExtent {
+		ext := chunkExtent
+		if rem := shape[0] - start; rem < ext {
+			ext = rem
+		}
+		slabShape := append([]int{ext}, shape[1:]...)
+		slab, err := grid.FromSlice(f.Data()[start*planeElems:(start+ext)*planeElems], slabShape...)
+		if err != nil {
+			return nil, err
+		}
+		cres, err := Compress(slab, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk at plane %d: %w", start, err)
+		}
+		var frame [12]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(ext))
+		binary.LittleEndian.PutUint64(frame[4:], uint64(len(cres.Data)))
+		out = append(out, frame[:]...)
+		out = append(out, cres.Data...)
+
+		res.Chunks++
+		res.CompressedBytes += cres.CompressedBytes
+		res.Timings.Wavelet += cres.Timings.Wavelet
+		res.Timings.Quantize += cres.Timings.Quantize
+		res.Timings.Encode += cres.Timings.Encode
+		res.Timings.Format += cres.Timings.Format
+		res.Timings.TempWrite += cres.Timings.TempWrite
+		res.Timings.Gzip += cres.Timings.Gzip
+		res.Timings.Total += cres.Timings.Total
+	}
+	res.Data = out
+	return res, nil
+}
+
+// DecompressChunked reconstructs the field from a CompressChunked stream.
+func DecompressChunked(data []byte) (*grid.Field, error) {
+	pos := 0
+	need := func(n int) ([]byte, error) {
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("%w: truncated at byte %d", ErrChunked, pos)
+		}
+		b := data[pos : pos+n]
+		pos += n
+		return b, nil
+	}
+	b, err := need(4)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(b) != chunkedMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrChunked)
+	}
+	if b, err = need(2); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(b); v != chunkedVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrChunked, v)
+	}
+	if b, err = need(2); err != nil {
+		return nil, err
+	}
+	nd := int(binary.LittleEndian.Uint16(b))
+	if nd == 0 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: ndims %d", ErrChunked, nd)
+	}
+	shape := make([]int, nd)
+	for d := range shape {
+		if b, err = need(8); err != nil {
+			return nil, err
+		}
+		e := binary.LittleEndian.Uint64(b)
+		if e == 0 || e > 1<<31 {
+			return nil, fmt.Errorf("%w: extent %d", ErrChunked, e)
+		}
+		shape[d] = int(e)
+	}
+	if b, err = need(4); err != nil {
+		return nil, err
+	}
+	nChunks := int(binary.LittleEndian.Uint32(b))
+	if nChunks < 1 || nChunks > shape[0] {
+		return nil, fmt.Errorf("%w: chunk count %d for extent %d", ErrChunked, nChunks, shape[0])
+	}
+
+	f, err := grid.New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	planeElems := f.Len() / shape[0]
+	plane := 0
+	for c := 0; c < nChunks; c++ {
+		if b, err = need(4); err != nil {
+			return nil, err
+		}
+		ext := int(binary.LittleEndian.Uint32(b))
+		if b, err = need(8); err != nil {
+			return nil, err
+		}
+		plen := binary.LittleEndian.Uint64(b)
+		if plen > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("%w: chunk %d payload %d bytes", ErrChunked, c, plen)
+		}
+		payload, err := need(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		slab, err := Decompress(payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
+		}
+		if slab.Dims() != nd || slab.Extent(0) != ext || plane+ext > shape[0] {
+			return nil, fmt.Errorf("%w: chunk %d shape %v at plane %d", ErrChunked, c, slab.Shape(), plane)
+		}
+		for d := 1; d < nd; d++ {
+			if slab.Extent(d) != shape[d] {
+				return nil, fmt.Errorf("%w: chunk %d shape %v", ErrChunked, c, slab.Shape())
+			}
+		}
+		copy(f.Data()[plane*planeElems:], slab.Data())
+		plane += ext
+	}
+	if plane != shape[0] {
+		return nil, fmt.Errorf("%w: chunks cover %d of %d planes", ErrChunked, plane, shape[0])
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrChunked, len(data)-pos)
+	}
+	return f, nil
+}
+
+// DecompressAny decodes either a plain Compress stream or a chunked
+// CompressChunked stream, sniffing the leading magic bytes.
+func DecompressAny(data []byte) (*grid.Field, error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == chunkedMagic {
+		return DecompressChunked(data)
+	}
+	return Decompress(data)
+}
+
+func append16(b []byte, v uint16) []byte {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	return append(b, t[:]...)
+}
+
+func append32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func append64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}

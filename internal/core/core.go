@@ -1,0 +1,446 @@
+// Package core implements the paper's primary contribution: the
+// end-to-end floating-point lossy compressor of Sasaki, Sato, Endo and
+// Matsuoka, "Exploration of Lossy Compression for Application-Level
+// Checkpoint/Restart" (IPDPS 2015).
+//
+// Compress runs the four stages of the paper's Fig. 1 over one
+// N-dimensional double-precision array:
+//
+//  1. Wavelet transformation (package wavelet) — Haar, O(n).
+//  2. Quantization (package quant) — simple or spike-detecting proposed
+//     method over the pooled high-frequency coefficients.
+//  3. Encoding (package encode) — 1-byte codes into the average table,
+//     with a bitmap separating codes from lossless passthrough values.
+//  4. Formatting + gzip (packages container, gzipio) — the serialized
+//     archive is DEFLATE-compressed, either in memory or via a temporary
+//     file as in the paper's prototype.
+//
+// Decompress inverts all four stages. Only stage 2 is lossy; the overall
+// reconstruction error is the quantization error plus ≤ a few ulps of
+// wavelet rounding (see DESIGN.md §5).
+//
+// Every Compress reports the per-phase timing breakdown that the paper's
+// Fig. 9 plots (wavelet / quantization+encoding / temporary-file write /
+// gzip / other).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lossyckpt/internal/container"
+	"lossyckpt/internal/encode"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/wavelet"
+)
+
+// ErrOptions indicates invalid compressor options.
+var ErrOptions = errors.New("core: invalid options")
+
+// Options parameterizes the compressor. The zero value is NOT valid; start
+// from DefaultOptions.
+type Options struct {
+	// Scheme is the wavelet kernel (default Haar, as in the paper).
+	Scheme wavelet.Scheme
+	// Levels is the decomposition depth (default 1, as in the paper).
+	Levels int
+	// Method is the quantization method (paper default: Proposed).
+	Method quant.Method
+	// Divisions is the paper's n (default 128, the paper's largest sweep
+	// point and its Fig. 6 setting).
+	Divisions int
+	// SpikeDivisions is the paper's d (default 64, §IV-A).
+	SpikeDivisions int
+	// GzipLevel is the DEFLATE level (default gzip's own default, -6).
+	GzipLevel int
+	// GzipMode selects in-memory DEFLATE or the paper prototype's
+	// temporary-file path (default InMemory).
+	GzipMode gzipio.Mode
+	// GzipFormat selects the DEFLATE framing: gzip (the paper prototype's
+	// command-line tool) or zlib (the paper's proposed improvement).
+	// Decompress auto-detects either.
+	GzipFormat gzipio.Format
+	// TmpDir is where TempFile mode puts its temporary ("" = system temp).
+	TmpDir string
+	// PerBandQuant quantizes each wavelet sub-band separately instead of
+	// pooling all high-frequency values as the paper does (ablation; see
+	// DESIGN.md experiment X8). Each band gets its own average table,
+	// which adapts the partition width to that band's value range.
+	PerBandQuant bool
+	// ZeroThreshold, when positive, zeroes every high-frequency
+	// coefficient with |v| ≤ ZeroThreshold before quantization — classic
+	// wavelet thresholding (ablation X9). It adds at most ZeroThreshold
+	// of absolute error per coefficient but makes the code stream more
+	// redundant for the gzip stage.
+	ZeroThreshold float64
+	// LogQuant switches the quantizer to symmetric-log partitioning
+	// (extension; see quant.Config.LogScale): finer partitions near zero,
+	// where the high-band values concentrate.
+	LogQuant bool
+	// ErrorBound, when positive, overrides Divisions: the pipeline picks
+	// the smallest division number whose maximum quantization error stays
+	// ≤ ErrorBound (absolute, in coefficient units). This is the paper's
+	// §IV-C future work — "control the errors by specifying a value" — as
+	// a first-class option. When even the largest division number misses
+	// the bound, compression proceeds at the cap and the Result reports
+	// BoundUnreachable.
+	ErrorBound float64
+}
+
+// DefaultOptions returns the paper's headline configuration: single-level
+// Haar, proposed quantization with n=128, d=64, in-memory gzip.
+func DefaultOptions() Options {
+	return Options{
+		Scheme:         wavelet.Haar,
+		Levels:         1,
+		Method:         quant.Proposed,
+		Divisions:      128,
+		SpikeDivisions: quant.DefaultSpikeDivisions,
+		GzipLevel:      gzipio.Default,
+		GzipMode:       gzipio.InMemory,
+	}
+}
+
+// Timings is the per-phase cost breakdown of one compression, matching the
+// components stacked in the paper's Fig. 9.
+type Timings struct {
+	Wavelet   time.Duration // stage 1
+	Quantize  time.Duration // stage 2
+	Encode    time.Duration // stage 3 (codes + bitmap assembly)
+	Format    time.Duration // stage 4a: container serialization
+	TempWrite time.Duration // stage 4b: temporary-file write (TempFile mode)
+	Gzip      time.Duration // stage 4c: DEFLATE
+	Total     time.Duration // wall clock of Compress
+}
+
+// Other returns the unattributed remainder (Total minus the named phases),
+// the paper's "other overheads" component.
+func (t Timings) Other() time.Duration {
+	o := t.Total - t.Wavelet - t.Quantize - t.Encode - t.Format - t.TempWrite - t.Gzip
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// Result is the output of one Compress call.
+type Result struct {
+	// Data is the final compressed stream (gzip over the formatted
+	// container).
+	Data []byte
+	// RawBytes is the uncompressed array size (8 bytes per element).
+	RawBytes int
+	// FormattedBytes is the container size before gzip.
+	FormattedBytes int
+	// CompressedBytes is len(Data).
+	CompressedBytes int
+	// NumQuantized is how many high-frequency values were quantized.
+	NumQuantized int
+	// NumHigh is the total number of high-frequency values.
+	NumHigh int
+	// SpikePartitions is the number of spiked histogram partitions the
+	// proposed quantizer selected (0 for the simple method).
+	SpikePartitions int
+	// EffectiveDivisions is the division number actually used: Divisions
+	// normally, or the bound-chosen value when Options.ErrorBound is set
+	// (the maximum across bands in per-band mode).
+	EffectiveDivisions int
+	// BoundUnreachable reports that Options.ErrorBound could not be met
+	// even at the division cap; the stream still holds the best effort.
+	BoundUnreachable bool
+	// Timings is the per-phase breakdown.
+	Timings Timings
+}
+
+// CompressionRatePct returns the paper's cr (Eq. 5) in percent.
+func (r *Result) CompressionRatePct() float64 {
+	return 100 * float64(r.CompressedBytes) / float64(r.RawBytes)
+}
+
+func (o Options) validate() error {
+	if o.Levels < 1 {
+		return fmt.Errorf("%w: levels %d", ErrOptions, o.Levels)
+	}
+	if o.Divisions < 1 || o.Divisions > quant.MaxDivisions {
+		return fmt.Errorf("%w: divisions %d", ErrOptions, o.Divisions)
+	}
+	if o.SpikeDivisions < 1 {
+		return fmt.Errorf("%w: spike divisions %d", ErrOptions, o.SpikeDivisions)
+	}
+	if o.ZeroThreshold < 0 || o.ZeroThreshold != o.ZeroThreshold {
+		return fmt.Errorf("%w: zero threshold %g", ErrOptions, o.ZeroThreshold)
+	}
+	if o.ErrorBound < 0 || o.ErrorBound != o.ErrorBound {
+		return fmt.Errorf("%w: error bound %g", ErrOptions, o.ErrorBound)
+	}
+	return nil
+}
+
+// Compress runs the full pipeline over the field. The input field is not
+// modified.
+func Compress(f *grid.Field, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{RawBytes: f.Bytes()}
+
+	// Stage 1: wavelet transform (on a copy; callers keep their data).
+	t0 := time.Now()
+	levels := opts.Levels
+	if max := wavelet.MaxLevels(f.Shape()); levels > max {
+		return nil, fmt.Errorf("%w: %d levels exceeds max %d for shape %v", ErrOptions, levels, max, f.Shape())
+	}
+	plan, err := wavelet.NewPlan(f.Shape(), levels, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	work := f.Clone()
+	if err := plan.Transform(work); err != nil {
+		return nil, err
+	}
+	res.Timings.Wavelet = time.Since(t0)
+
+	// Stage 2: quantize the high-frequency coefficients — pooled across
+	// all bands (the paper's method) or separately per sub-band.
+	t0 = time.Now()
+	qcfg := quant.Config{
+		Method:         opts.Method,
+		Divisions:      opts.Divisions,
+		SpikeDivisions: opts.SpikeDivisions,
+		LogScale:       opts.LogQuant,
+	}
+	var highGroups [][]float64
+	if opts.PerBandQuant {
+		all, err := plan.GatherBands(work)
+		if err != nil {
+			return nil, err
+		}
+		// Bands() lists high bands first, the low band last; drop the low.
+		highGroups = all[:len(all)-1]
+	} else {
+		high, err := plan.GatherHigh(work, nil)
+		if err != nil {
+			return nil, err
+		}
+		highGroups = [][]float64{high}
+	}
+	if opts.ZeroThreshold > 0 {
+		for _, g := range highGroups {
+			for i, v := range g {
+				if v <= opts.ZeroThreshold && v >= -opts.ZeroThreshold {
+					g[i] = 0
+				}
+			}
+		}
+	}
+	quants := make([]*quant.Quantization, len(highGroups))
+	for i, g := range highGroups {
+		res.NumHigh += len(g)
+		var q *quant.Quantization
+		if opts.ErrorBound > 0 {
+			n, chosen, err := quant.ChooseDivisions(g, opts.ErrorBound, opts.Method, opts.SpikeDivisions)
+			if err == quant.ErrBoundUnreachable {
+				res.BoundUnreachable = true
+			} else if err != nil {
+				return nil, err
+			}
+			q = chosen
+			if n > res.EffectiveDivisions {
+				res.EffectiveDivisions = n
+			}
+		} else {
+			var err error
+			q, err = quant.Quantize(g, qcfg)
+			if err != nil {
+				return nil, err
+			}
+			res.EffectiveDivisions = opts.Divisions
+		}
+		res.NumQuantized += q.NumQuantized
+		res.SpikePartitions += q.SpikePartitions
+		quants[i] = q
+	}
+	res.Timings.Quantize = time.Since(t0)
+
+	// Stage 3: encode.
+	t0 = time.Now()
+	bands := make([]*encode.EncodedBand, len(highGroups))
+	for i, g := range highGroups {
+		band, err := encode.Encode(g, quants[i])
+		if err != nil {
+			return nil, err
+		}
+		bands[i] = band
+	}
+	res.Timings.Encode = time.Since(t0)
+
+	// Stage 4a: format.
+	t0 = time.Now()
+	low, err := plan.GatherLow(work, nil)
+	if err != nil {
+		return nil, err
+	}
+	arch := &container.Archive{
+		Params: container.Params{
+			Scheme:         opts.Scheme,
+			Method:         opts.Method,
+			Levels:         levels,
+			Divisions:      opts.Divisions,
+			SpikeDivisions: opts.SpikeDivisions,
+			PerBand:        opts.PerBandQuant,
+		},
+		Shape: f.Shape(),
+		Low:   low,
+		Bands: bands,
+	}
+	formatted, err := arch.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	res.FormattedBytes = len(formatted)
+	res.Timings.Format = time.Since(t0)
+
+	// Stage 4b/4c: DEFLATE (with optional temp-file emulation).
+	gz, err := gzipio.CompressFormat(formatted, opts.GzipLevel, opts.GzipMode, opts.TmpDir, opts.GzipFormat)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.TempWrite = gz.TempWrite
+	res.Timings.Gzip = gz.Gzip
+	res.Data = gz.Compressed
+	res.CompressedBytes = len(gz.Compressed)
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// Decompress inverts the pipeline, reconstructing the (lossy) field from a
+// stream produced by Compress.
+func Decompress(data []byte) (*grid.Field, error) {
+	formatted, err := gzipio.DecompressAuto(data)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := container.FromBytes(formatted)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := wavelet.NewPlan(arch.Shape, arch.Params.Levels, arch.Params.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if len(arch.Low) != plan.LowCount() {
+		return nil, fmt.Errorf("%w: low band has %d values, plan needs %d", container.ErrFormat, len(arch.Low), plan.LowCount())
+	}
+	f, err := grid.New(arch.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if arch.Params.PerBand {
+		meta := plan.Bands()
+		if len(arch.Bands) != len(meta)-1 {
+			return nil, fmt.Errorf("%w: %d band sections, plan has %d high bands",
+				container.ErrFormat, len(arch.Bands), len(meta)-1)
+		}
+		groups := make([][]float64, len(meta))
+		for i, b := range arch.Bands {
+			if b.N != meta[i].Count {
+				return nil, fmt.Errorf("%w: band %s has %d values, plan needs %d",
+					container.ErrFormat, meta[i].Name, b.N, meta[i].Count)
+			}
+			decoded, err := b.Decode(nil)
+			if err != nil {
+				return nil, err
+			}
+			groups[i] = decoded
+		}
+		groups[len(meta)-1] = arch.Low
+		if err := plan.ScatterBands(f, groups); err != nil {
+			return nil, err
+		}
+	} else {
+		if len(arch.Bands) != 1 {
+			return nil, fmt.Errorf("%w: pooled archive with %d band sections", container.ErrFormat, len(arch.Bands))
+		}
+		band := arch.Band()
+		if band.N != plan.HighCount() {
+			return nil, fmt.Errorf("%w: high band has %d values, plan needs %d", container.ErrFormat, band.N, plan.HighCount())
+		}
+		high, err := band.Decode(nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.ScatterLow(f, arch.Low); err != nil {
+			return nil, err
+		}
+		if err := plan.ScatterHigh(f, high); err != nil {
+			return nil, err
+		}
+	}
+	if err := plan.Inverse(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RoundTrip compresses and immediately decompresses the field, returning
+// the lossy reconstruction together with the compression result. It is the
+// building block of the paper's error evaluations (Figs. 8 and 10).
+func RoundTrip(f *grid.Field, opts Options) (*grid.Field, *Result, error) {
+	res, err := Compress(f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Decompress(res.Data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, res, nil
+}
+
+// CompressGzipOnly is the paper's lossless baseline (Fig. 6's "gzip" bar):
+// the raw array bytes straight through DEFLATE, no lossy stages. It reuses
+// the same Result bookkeeping so harness code can treat baselines
+// uniformly.
+func CompressGzipOnly(f *grid.Field, level int, mode gzipio.Mode, tmpDir string) (*Result, error) {
+	start := time.Now()
+	res := &Result{RawBytes: f.Bytes()}
+
+	t0 := time.Now()
+	raw := make([]byte, 0, f.Bytes())
+	buf := floatBytes(f.Data())
+	raw = append(raw, buf...)
+	res.FormattedBytes = len(raw)
+	res.Timings.Format = time.Since(t0)
+
+	gz, err := gzipio.Compress(raw, level, mode, tmpDir)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.TempWrite = gz.TempWrite
+	res.Timings.Gzip = gz.Gzip
+	res.Data = gz.Compressed
+	res.CompressedBytes = len(gz.Compressed)
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// DecompressGzipOnly inverts CompressGzipOnly given the original shape.
+func DecompressGzipOnly(data []byte, shape ...int) (*grid.Field, error) {
+	raw, err := gzipio.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	f, err := grid.New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != 8*f.Len() {
+		return nil, fmt.Errorf("core: gzip payload is %d bytes, shape %v needs %d", len(raw), shape, 8*f.Len())
+	}
+	bytesToFloats(raw, f.Data())
+	return f, nil
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// floatBytes serializes a float64 slice to little-endian bytes.
+func floatBytes(fs []float64) []byte {
+	out := make([]byte, 8*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+// bytesToFloats fills dst from little-endian bytes; len(b) must be
+// 8*len(dst).
+func bytesToFloats(b []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}

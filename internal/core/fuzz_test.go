@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+// FuzzDecompress hardens the end-to-end decoder: gzip layer, container
+// parser and wavelet reconstruction must survive arbitrary input.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	fld := smooth3D(16, 8, 2, 99)
+	if res, err := Compress(fld, DefaultOptions()); err == nil {
+		f.Add(res.Data)
+		f.Add(res.Data[:len(res.Data)/2])
+		mut := append([]byte(nil), res.Data...)
+		mut[len(mut)/3] ^= 0x55
+		f.Add(mut)
+	}
+	perBand := DefaultOptions()
+	perBand.PerBandQuant = true
+	if res, err := Compress(fld, perBand); err == nil {
+		f.Add(res.Data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(data)
+		if err == nil && out == nil {
+			t.Fatal("nil field without error")
+		}
+	})
+}
+
+// FuzzDecompressChunked covers the chunked framing path.
+func FuzzDecompressChunked(f *testing.F) {
+	f.Add([]byte{})
+	fld := smooth3D(24, 8, 2, 98)
+	if res, err := CompressChunked(fld, DefaultOptions(), 8); err == nil {
+		f.Add(res.Data)
+		f.Add(res.Data[:len(res.Data)-3])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressChunked(data)
+		if err == nil && out == nil {
+			t.Fatal("nil field without error")
+		}
+	})
+}

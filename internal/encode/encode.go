@@ -1,0 +1,116 @@
+// Package encode implements stage 3 of the lossy checkpoint compressor of
+// Sasaki et al. (IPDPS 2015): replacing quantized high-frequency values
+// with 1-byte indexes into the average table (paper §III-C), and assembling
+// the pieces the output format needs (§III-D) — the code stream, the
+// bitmap of which values were encoded, the average table, and the verbatim
+// passthrough values.
+//
+// Encoding is lossless with respect to the quantized stream: decoding an
+// EncodedBand reproduces exactly the dequantized values (table averages at
+// quantized positions, original values elsewhere).
+package encode
+
+import (
+	"errors"
+	"fmt"
+
+	"lossyckpt/internal/bitpack"
+	"lossyckpt/internal/quant"
+)
+
+// ErrCorrupt indicates an internally inconsistent encoded band.
+var ErrCorrupt = errors.New("encode: corrupt encoded band")
+
+// EncodedBand is the encoded form of one array's pooled high-frequency
+// coefficients.
+type EncodedBand struct {
+	// N is the total number of high-frequency values (quantized plus
+	// passthrough).
+	N int
+	// Bitmap has N bits; bit i is set when value i is represented by a
+	// code, clear when it is stored verbatim in Passthrough.
+	Bitmap *bitpack.Bitmap
+	// Codes holds one byte per quantized value, in value order.
+	Codes []uint8
+	// Averages is the representative-value table the codes index.
+	Averages []float64
+	// Passthrough holds the verbatim values, in value order.
+	Passthrough []float64
+}
+
+// Encode assembles an EncodedBand from the raw high-frequency values and
+// their quantization.
+func Encode(values []float64, q *quant.Quantization) (*EncodedBand, error) {
+	if len(values) != len(q.Mask) {
+		return nil, fmt.Errorf("encode: %d values but mask of %d", len(values), len(q.Mask))
+	}
+	pass, err := q.Passthrough(values, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodedBand{
+		N:           len(values),
+		Bitmap:      bitpack.FromBools(q.Mask),
+		Codes:       q.Codes,
+		Averages:    q.Averages,
+		Passthrough: pass,
+	}, nil
+}
+
+// Validate checks the band's internal consistency without decoding it.
+func (e *EncodedBand) Validate() error {
+	if e.Bitmap == nil {
+		return fmt.Errorf("%w: nil bitmap", ErrCorrupt)
+	}
+	if e.Bitmap.Len() != e.N {
+		return fmt.Errorf("%w: bitmap has %d bits for %d values", ErrCorrupt, e.Bitmap.Len(), e.N)
+	}
+	nq := e.Bitmap.Count()
+	if nq != len(e.Codes) {
+		return fmt.Errorf("%w: bitmap marks %d encoded values, have %d codes", ErrCorrupt, nq, len(e.Codes))
+	}
+	if e.N-nq != len(e.Passthrough) {
+		return fmt.Errorf("%w: bitmap leaves %d passthrough values, have %d", ErrCorrupt, e.N-nq, len(e.Passthrough))
+	}
+	for i, c := range e.Codes {
+		if int(c) >= len(e.Averages) {
+			return fmt.Errorf("%w: code[%d]=%d out of range (%d averages)", ErrCorrupt, i, c, len(e.Averages))
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs the (lossy) high-frequency value stream, appending to
+// dst and returning it.
+func (e *EncodedBand) Decode(dst []float64) ([]float64, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if cap(dst)-len(dst) < e.N {
+		grown := make([]float64, len(dst), len(dst)+e.N)
+		copy(grown, dst)
+		dst = grown
+	}
+	ci, pi := 0, 0
+	for i := 0; i < e.N; i++ {
+		if e.Bitmap.Get(i) {
+			dst = append(dst, e.Averages[e.Codes[ci]])
+			ci++
+		} else {
+			dst = append(dst, e.Passthrough[pi])
+			pi++
+		}
+	}
+	return dst, nil
+}
+
+// PayloadBytes returns the serialized payload size in bytes, before any
+// entropy coding: bitmap + 1 byte per code + 8 bytes per average + 8 bytes
+// per passthrough value. This is the quantity the paper's compression-rate
+// accounting needs prior to the gzip stage.
+func (e *EncodedBand) PayloadBytes() int {
+	return e.Bitmap.SerializedSize() + len(e.Codes) + 8*len(e.Averages) + 8*len(e.Passthrough)
+}
+
+// RawBytes returns the size of the unencoded high-frequency values.
+func (e *EncodedBand) RawBytes() int { return 8 * e.N }

@@ -1,0 +1,180 @@
+package encode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lossyckpt/internal/bitpack"
+	"lossyckpt/internal/quant"
+)
+
+func spiky(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		if rng.Float64() < 0.9 {
+			out[i] = rng.NormFloat64() * 0.01
+		} else {
+			out[i] = rng.NormFloat64() * 5
+		}
+	}
+	return out
+}
+
+func TestEncodeDecodeMatchesDequantize(t *testing.T) {
+	vals := spiky(8000, 1)
+	for _, m := range []quant.Method{quant.Simple, quant.Proposed} {
+		cfg := quant.Config{Method: m, Divisions: 32}
+		want, q, err := quant.Apply(vals, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		band, err := Encode(vals, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := band.Decode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: decoded %d values, want %d", m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+				t.Fatalf("%v: value %d: got %g want %g", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEncodeLengthMismatch(t *testing.T) {
+	vals := spiky(100, 2)
+	q, _ := quant.Quantize(vals, quant.Config{Method: quant.Simple, Divisions: 4})
+	if _, err := Encode(vals[:50], q); err == nil {
+		t.Error("mismatched input length: expected error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	vals := spiky(500, 3)
+	q, _ := quant.Quantize(vals, quant.Config{Method: quant.Proposed, Divisions: 8})
+	band, err := Encode(vals, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := band.Validate(); err != nil {
+		t.Fatalf("fresh band invalid: %v", err)
+	}
+
+	// Nil bitmap.
+	b1 := *band
+	b1.Bitmap = nil
+	if b1.Validate() == nil {
+		t.Error("nil bitmap accepted")
+	}
+	// Wrong bitmap length.
+	b2 := *band
+	b2.Bitmap = bitpack.New(band.N + 1)
+	if b2.Validate() == nil {
+		t.Error("wrong bitmap length accepted")
+	}
+	// Missing codes.
+	b3 := *band
+	if len(band.Codes) > 0 {
+		b3.Codes = band.Codes[:len(band.Codes)-1]
+		if b3.Validate() == nil {
+			t.Error("short code stream accepted")
+		}
+	}
+	// Out-of-range code.
+	b4 := *band
+	b4.Codes = append([]uint8(nil), band.Codes...)
+	if len(b4.Codes) > 0 {
+		b4.Codes[0] = uint8(len(band.Averages))
+		if b4.Validate() == nil {
+			t.Error("out-of-range code accepted")
+		}
+	}
+	// Extra passthrough.
+	b5 := *band
+	b5.Passthrough = append(append([]float64(nil), band.Passthrough...), 1)
+	if b5.Validate() == nil {
+		t.Error("extra passthrough accepted")
+	}
+}
+
+func TestPayloadSmallerThanRawForSpikyData(t *testing.T) {
+	// The whole point of stages 2-3: for spiky high bands, codes (1 byte)
+	// replace doubles (8 bytes), so payload << raw.
+	vals := spiky(20000, 4)
+	q, _ := quant.Quantize(vals, quant.Config{Method: quant.Proposed, Divisions: 128})
+	band, _ := Encode(vals, q)
+	if band.PayloadBytes() >= band.RawBytes() {
+		t.Errorf("payload %d >= raw %d", band.PayloadBytes(), band.RawBytes())
+	}
+	// Simple quantization encodes everything: payload ~ N bytes + table.
+	qs, _ := quant.Quantize(vals, quant.Config{Method: quant.Simple, Divisions: 128})
+	bs, _ := Encode(vals, qs)
+	if got, bound := bs.PayloadBytes(), len(vals)+8*128+9+64; got > bound {
+		t.Errorf("simple payload %d exceeds expected bound %d", got, bound)
+	}
+}
+
+func TestDecodeAppendsToDst(t *testing.T) {
+	vals := spiky(100, 5)
+	q, _ := quant.Quantize(vals, quant.Config{Method: quant.Simple, Divisions: 4})
+	band, _ := Encode(vals, q)
+	prefix := []float64{42}
+	out, err := band.Decode(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 101 || out[0] != 42 {
+		t.Errorf("Decode did not append: len=%d out[0]=%g", len(out), out[0])
+	}
+}
+
+func TestEmptyBand(t *testing.T) {
+	q, _ := quant.Quantize(nil, quant.Config{Method: quant.Simple, Divisions: 4})
+	band, err := Encode(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := band.Decode(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty band decode: %v %v", out, err)
+	}
+}
+
+// Property: encode/decode round trip equals quant.Apply for random data.
+func TestQuickEncodeDecode(t *testing.T) {
+	fn := func(seed int64, nRaw, div uint8) bool {
+		n := int(nRaw)%500 + 1
+		d := int(div)%quant.MaxDivisions + 1
+		vals := spiky(n, seed)
+		want, q, err := quant.Apply(vals, quant.Config{Method: quant.Proposed, Divisions: d})
+		if err != nil {
+			return false
+		}
+		band, err := Encode(vals, q)
+		if err != nil {
+			return false
+		}
+		got, err := band.Decode(nil)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

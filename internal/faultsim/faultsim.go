@@ -1,0 +1,233 @@
+// Package faultsim injects failures into a checkpointed application run —
+// the methodology of Ni et al. (SC 2014), the lossy-checkpointing
+// feasibility study the reproduced paper builds on (its reference [31],
+// §V): run an application under a failure process, roll back to the last
+// (lossy) checkpoint on every failure, and measure both the time cost and
+// the damage the accumulated lossy restarts do to the solution.
+//
+// The simulation advances an application in virtual time: each model step
+// costs StepCost, each checkpoint CheckpointCost, each restart
+// RestartCost. Failures arrive by a seeded exponential process with the
+// configured MTBF (in virtual time). On failure, the run rolls back to
+// the last checkpoint — whose state passed through the configured codec,
+// so every rollback of a lossy run re-injects compression error — and
+// replays the lost steps. At the end the run's state is compared with a
+// failure-free reference.
+//
+// Applications plug in via the App interface; Adapt wraps the climate
+// model's step/fields surface.
+package faultsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/stats"
+)
+
+// ErrConfig indicates invalid simulation parameters.
+var ErrConfig = errors.New("faultsim: invalid configuration")
+
+// App is the application surface the simulator drives. Implementations
+// must step deterministically given their state and step counter.
+type App interface {
+	// Step advances the application one step.
+	Step()
+	// StepCount returns the number of completed steps.
+	StepCount() int
+	// SetStepCount overrides the step counter after a restore.
+	SetStepCount(int)
+	// Fields exposes the checkpointable state arrays by name, in a stable
+	// order. The returned fields are live: mutating them mutates the app.
+	Fields() []NamedField
+}
+
+// NamedField couples a state array with its variable name.
+type NamedField struct {
+	Name  string
+	Field *grid.Field
+}
+
+// Config parameterizes a failure-injected run.
+type Config struct {
+	// TotalSteps is the amount of useful work to complete.
+	TotalSteps int
+	// CheckpointEvery is the checkpoint interval in steps.
+	CheckpointEvery int
+	// Codec compresses checkpoints.
+	Codec ckpt.Codec
+	// MTBF is the mean time between failures in virtual time.
+	MTBF time.Duration
+	// StepCost, CheckpointCost and RestartCost are the virtual-time costs
+	// charged per step, per checkpoint, and per rollback.
+	StepCost, CheckpointCost, RestartCost time.Duration
+	// Seed drives the failure process.
+	Seed int64
+	// MaxFailures aborts pathological runs (0 = 10·expected).
+	MaxFailures int
+}
+
+func (c Config) validate() error {
+	if c.TotalSteps < 1 || c.CheckpointEvery < 1 {
+		return fmt.Errorf("%w: steps %d, interval %d", ErrConfig, c.TotalSteps, c.CheckpointEvery)
+	}
+	if c.Codec == nil {
+		return fmt.Errorf("%w: nil codec", ErrConfig)
+	}
+	if c.MTBF <= 0 || c.StepCost <= 0 || c.CheckpointCost < 0 || c.RestartCost < 0 {
+		return fmt.Errorf("%w: mtbf %v, step %v, ckpt %v, restart %v",
+			ErrConfig, c.MTBF, c.StepCost, c.CheckpointCost, c.RestartCost)
+	}
+	return nil
+}
+
+// Result reports one failure-injected run.
+type Result struct {
+	// Failures is the number of injected failures.
+	Failures int
+	// ReworkSteps counts steps that had to be re-executed after rollbacks.
+	ReworkSteps int
+	// Checkpoints is the number of checkpoints written.
+	Checkpoints int
+	// VirtualTime is the total simulated wall-clock time (work + rework +
+	// checkpoints + restarts).
+	VirtualTime time.Duration
+	// IdealTime is TotalSteps × StepCost: the failure- and
+	// checkpoint-free floor.
+	IdealTime time.Duration
+	// FinalError compares the run's first state array with the
+	// failure-free reference at the same step (zero for lossless codecs).
+	FinalError stats.Summary
+}
+
+// OverheadPct returns the virtual-time overhead over the ideal run.
+func (r *Result) OverheadPct() float64 {
+	if r.IdealTime <= 0 {
+		return math.NaN()
+	}
+	return 100 * (float64(r.VirtualTime)/float64(r.IdealTime) - 1)
+}
+
+// Run executes the failure-injected simulation on app and compares the
+// final state against reference, an identical app instance that is
+// stepped without failures or checkpoints.
+func Run(app, reference App, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mgr := ckpt.NewManager(cfg.Codec, 0)
+	for _, nf := range app.Fields() {
+		if err := mgr.Register(nf.Name, nf.Field); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextFailure := exponential(rng, cfg.MTBF)
+	maxFailures := cfg.MaxFailures
+	if maxFailures == 0 {
+		expected := int(float64(cfg.TotalSteps)*float64(cfg.StepCost)/float64(cfg.MTBF)) + 1
+		maxFailures = 10 * expected
+	}
+
+	res := &Result{IdealTime: time.Duration(cfg.TotalSteps) * cfg.StepCost}
+	var clock time.Duration
+	var lastCkpt bytes.Buffer
+	haveCkpt := false
+
+	checkpoint := func() error {
+		lastCkpt.Reset()
+		if _, err := mgr.Checkpoint(&lastCkpt, app.StepCount()); err != nil {
+			return err
+		}
+		haveCkpt = true
+		res.Checkpoints++
+		clock += cfg.CheckpointCost
+		return nil
+	}
+	// Initial checkpoint so a failure before the first interval has a
+	// rollback target.
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+	baseStep := app.StepCount()
+
+	for app.StepCount() < baseStep+cfg.TotalSteps {
+		// Fail any number of times before this step completes.
+		for clock+cfg.StepCost > nextFailure {
+			if res.Failures >= maxFailures {
+				return nil, fmt.Errorf("faultsim: exceeded %d failures; MTBF too small for the workload", maxFailures)
+			}
+			res.Failures++
+			clock = nextFailure
+			nextFailure = clock + exponential(rng, cfg.MTBF)
+			if !haveCkpt {
+				return nil, errors.New("faultsim: failure before any checkpoint")
+			}
+			before := app.StepCount()
+			rep, err := mgr.Restore(bytes.NewReader(lastCkpt.Bytes()))
+			if err != nil {
+				return nil, err
+			}
+			app.SetStepCount(rep.Step)
+			res.ReworkSteps += before - rep.Step
+			clock += cfg.RestartCost
+		}
+		app.Step()
+		clock += cfg.StepCost
+		done := app.StepCount() - baseStep
+		if done%cfg.CheckpointEvery == 0 && done < cfg.TotalSteps {
+			if err := checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.VirtualTime = clock
+
+	// Advance the reference to the same step, failure-free.
+	for reference.StepCount() < app.StepCount() {
+		reference.Step()
+	}
+	af, rf := app.Fields(), reference.Fields()
+	if len(af) == 0 || len(af) != len(rf) {
+		return nil, fmt.Errorf("faultsim: app exposes %d fields, reference %d", len(af), len(rf))
+	}
+	s, err := stats.Compare(rf[0].Field.Data(), af[0].Field.Data())
+	if err != nil {
+		return nil, err
+	}
+	res.FinalError = s
+	return res, nil
+}
+
+// exponential draws an exponentially distributed interarrival time.
+func exponential(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// AppFuncs adapts any application exposing step/counter/fields functions
+// to the App interface, so substrates (climate, heat, nbody) plug in
+// without depending on this package.
+type AppFuncs struct {
+	StepFn         func()
+	StepCountFn    func() int
+	SetStepCountFn func(int)
+	FieldsFn       func() []NamedField
+}
+
+// Step implements App.
+func (a AppFuncs) Step() { a.StepFn() }
+
+// StepCount implements App.
+func (a AppFuncs) StepCount() int { return a.StepCountFn() }
+
+// SetStepCount implements App.
+func (a AppFuncs) SetStepCount(n int) { a.SetStepCountFn(n) }
+
+// Fields implements App.
+func (a AppFuncs) Fields() []NamedField { return a.FieldsFn() }

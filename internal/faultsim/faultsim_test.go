@@ -1,0 +1,172 @@
+package faultsim
+
+import (
+	"testing"
+	"time"
+
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/climate"
+)
+
+func climateApp(t *testing.T) (App, App) {
+	t.Helper()
+	cfg := climate.DefaultConfig()
+	cfg.Nx, cfg.Nz = 64, 16
+	mk := func() App {
+		m, err := climate.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AppFuncs{
+			StepFn:         m.Step,
+			StepCountFn:    m.StepCount,
+			SetStepCountFn: m.SetStepCount,
+			FieldsFn: func() []NamedField {
+				var out []NamedField
+				for _, nf := range m.Fields() {
+					out = append(out, NamedField{Name: nf.Name, Field: nf.Field})
+				}
+				return out
+			},
+		}
+	}
+	return mk(), mk()
+}
+
+func baseConfig(codec ckpt.Codec) Config {
+	return Config{
+		TotalSteps:      120,
+		CheckpointEvery: 20,
+		Codec:           codec,
+		MTBF:            400 * time.Millisecond, // several failures expected
+		StepCost:        10 * time.Millisecond,
+		CheckpointCost:  5 * time.Millisecond,
+		RestartCost:     8 * time.Millisecond,
+		Seed:            7,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	app, ref := climateApp(t)
+	bad := []Config{
+		{},
+		func() Config { c := baseConfig(ckpt.None{}); c.TotalSteps = 0; return c }(),
+		func() Config { c := baseConfig(ckpt.None{}); c.CheckpointEvery = 0; return c }(),
+		func() Config { c := baseConfig(ckpt.None{}); c.Codec = nil; return c }(),
+		func() Config { c := baseConfig(ckpt.None{}); c.MTBF = 0; return c }(),
+		func() Config { c := baseConfig(ckpt.None{}); c.StepCost = 0; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := Run(app, ref, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLosslessRunMatchesReferenceExactly(t *testing.T) {
+	app, ref := climateApp(t)
+	res, err := Run(app, ref, baseConfig(ckpt.None{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures injected; MTBF too large for the test to be meaningful")
+	}
+	if res.FinalError.MaxPct != 0 {
+		t.Errorf("lossless rollbacks changed the result: %v", res.FinalError)
+	}
+	if res.ReworkSteps == 0 {
+		t.Error("failures without rework")
+	}
+	if res.VirtualTime <= res.IdealTime {
+		t.Error("virtual time not above ideal despite failures and checkpoints")
+	}
+	if res.OverheadPct() <= 0 {
+		t.Error("non-positive overhead")
+	}
+}
+
+func TestLossyRunSmallBoundedError(t *testing.T) {
+	app, ref := climateApp(t)
+	res, err := Run(app, ref, baseConfig(ckpt.NewLossy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures injected")
+	}
+	if res.FinalError.AvgPct == 0 {
+		t.Error("lossy rollbacks introduced no error at all")
+	}
+	if res.FinalError.AvgPct > 1 {
+		t.Errorf("final error %.4f%% too large", res.FinalError.AvgPct)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() *Result {
+		app, ref := climateApp(t)
+		res, err := Run(app, ref, baseConfig(ckpt.NewLossy()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Failures != b.Failures || a.ReworkSteps != b.ReworkSteps || a.VirtualTime != b.VirtualTime {
+		t.Errorf("seeded runs differ: %+v vs %+v", a, b)
+	}
+	if a.FinalError != b.FinalError {
+		t.Errorf("seeded final errors differ: %v vs %v", a.FinalError, b.FinalError)
+	}
+}
+
+func TestNoFailuresWithHugeMTBF(t *testing.T) {
+	app, ref := climateApp(t)
+	cfg := baseConfig(ckpt.NewLossy())
+	cfg.MTBF = 1000 * time.Hour
+	res, err := Run(app, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.ReworkSteps != 0 {
+		t.Errorf("failures under huge MTBF: %+v", res)
+	}
+	// No rollback ever happened, so even the lossy run matches exactly:
+	// checkpoints were written but never read back.
+	if res.FinalError.MaxPct != 0 {
+		t.Errorf("error without any restore: %v", res.FinalError)
+	}
+	wantCkpts := 1 + (cfg.TotalSteps-1)/cfg.CheckpointEvery
+	if res.Checkpoints != wantCkpts {
+		t.Errorf("checkpoints = %d, want %d", res.Checkpoints, wantCkpts)
+	}
+}
+
+func TestMoreFailuresMoreRework(t *testing.T) {
+	overhead := func(mtbf time.Duration) float64 {
+		app, ref := climateApp(t)
+		cfg := baseConfig(ckpt.NewLossy())
+		cfg.MTBF = mtbf
+		res, err := Run(app, ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OverheadPct()
+	}
+	frequent := overhead(300 * time.Millisecond)
+	rare := overhead(30 * time.Second)
+	if frequent <= rare {
+		t.Errorf("overhead with frequent failures (%.1f%%) not above rare (%.1f%%)", frequent, rare)
+	}
+}
+
+func TestPathologicalMTBFAborts(t *testing.T) {
+	app, ref := climateApp(t)
+	cfg := baseConfig(ckpt.None{})
+	cfg.MTBF = time.Nanosecond // failures faster than any step completes
+	cfg.MaxFailures = 50
+	if _, err := Run(app, ref, cfg); err == nil {
+		t.Error("pathological MTBF did not abort")
+	}
+}

@@ -1,0 +1,217 @@
+// Package fpc implements a lossless double-precision floating-point
+// compressor in the style of FPC (Burtscher & Ratanaworabhan, "High
+// Throughput Compression of Double-Precision Floating-Point Data",
+// DCC 2007) — reference [17] of Sasaki et al. (IPDPS 2015). It serves as
+// an additional lossless baseline beyond gzip for the experiments
+// (DESIGN.md experiment X3): the paper argues lossless floating-point
+// compression is fundamentally limited on checkpoint data, and FPC is the
+// strongest representative of that family.
+//
+// Each value is predicted twice — by an FCM (finite context method) table
+// keyed on a hash of recent values and by a DFCM (differential FCM) table
+// keyed on a hash of recent deltas — and XORed with the closer prediction.
+// The XOR residue's leading zero bytes are elided: a 4-bit header per value
+// records which predictor won (1 bit) and how many leading zero bytes were
+// stripped (3 bits), followed by the remaining residue bytes.
+package fpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrFormat indicates malformed compressed data.
+var ErrFormat = errors.New("fpc: malformed data")
+
+// DefaultTableBits sizes the predictor hash tables at 2^16 entries each
+// (1 MB total), comparable to the original FPC's defaults.
+const DefaultTableBits = 16
+
+const (
+	magic   = 0x43504646 // "FFPC"
+	version = 1
+)
+
+// lzbCode maps a leading-zero-byte count (0..8) to the 3-bit code. Counts
+// of 7 are transmitted as 6 (one extra zero byte is sent explicitly), as in
+// the original FPC, freeing a code for the common all-zero case.
+func lzbCode(lzb int) (code, encodedLZB int) {
+	if lzb >= 8 {
+		return 7, 8
+	}
+	if lzb == 7 {
+		return 6, 6
+	}
+	return lzb, lzb
+}
+
+// codeLZB is the inverse of lzbCode's code column.
+func codeLZB(code int) int {
+	if code == 7 {
+		return 8
+	}
+	return code
+}
+
+type predictor struct {
+	fcm      []uint64
+	dfcm     []uint64
+	fcmHash  uint64
+	dfcmHash uint64
+	last     uint64
+	mask     uint64
+}
+
+func newPredictor(tableBits int) *predictor {
+	size := 1 << uint(tableBits)
+	return &predictor{
+		fcm:  make([]uint64, size),
+		dfcm: make([]uint64, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// predictions returns the FCM and DFCM predictions for the next value.
+func (p *predictor) predictions() (fcm, dfcm uint64) {
+	return p.fcm[p.fcmHash&p.mask], p.dfcm[p.dfcmHash&p.mask] + p.last
+}
+
+// update trains both tables with the actual value.
+func (p *predictor) update(v uint64) {
+	p.fcm[p.fcmHash&p.mask] = v
+	p.fcmHash = (p.fcmHash << 6) ^ (v >> 48)
+	delta := v - p.last
+	p.dfcm[p.dfcmHash&p.mask] = delta
+	p.dfcmHash = (p.dfcmHash << 2) ^ (delta >> 40)
+	p.last = v
+}
+
+// Compress encodes the values losslessly. tableBits ∈ [4, 24]; pass
+// DefaultTableBits normally.
+func Compress(values []float64, tableBits int) ([]byte, error) {
+	if tableBits < 4 || tableBits > 24 {
+		return nil, fmt.Errorf("fpc: tableBits %d out of range [4,24]", tableBits)
+	}
+	p := newPredictor(tableBits)
+
+	// Header: magic, version, tableBits, count.
+	out := make([]byte, 0, 16+len(values)*9/2)
+	var hdr [15]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	hdr[4] = version
+	hdr[5] = byte(tableBits)
+	hdr[6] = 0 // reserved
+	binary.LittleEndian.PutUint64(hdr[7:], uint64(len(values)))
+	out = append(out, hdr[:]...)
+
+	// Nibble headers are buffered pairwise; residue bytes stream after each
+	// pair, as in the original format. Residues stage in fixed scratch
+	// buffers — no per-value allocation.
+	var nibbleBuf [2]byte
+	var resBuf [2][8]byte
+	var resLen [2]int
+	flush := func(n int) {
+		out = append(out, nibbleBuf[0]<<4|nibbleBuf[1])
+		for i := 0; i < n; i++ {
+			out = append(out, resBuf[i][:resLen[i]]...)
+		}
+	}
+	for i, v := range values {
+		bitsV := math.Float64bits(v)
+		f, d := p.predictions()
+		xf, xd := bitsV^f, bitsV^d
+		sel := byte(0)
+		x := xf
+		if clz(xd) > clz(xf) {
+			sel, x = 1, xd
+		}
+		lzb := clz(x)
+		code, enc := lzbCode(lzb)
+		nib := sel<<3 | byte(code)
+
+		slot := i % 2
+		nibbleBuf[slot] = nib
+		var res [8]byte
+		binary.BigEndian.PutUint64(res[:], x)
+		resLen[slot] = copy(resBuf[slot][:], res[enc:])
+		if slot == 1 {
+			flush(2)
+		}
+		p.update(bitsV)
+	}
+	if len(values)%2 == 1 {
+		nibbleBuf[1] = 0
+		flush(1)
+	}
+	return out, nil
+}
+
+// clz returns the number of leading zero bytes of x (0..8).
+func clz(x uint64) int { return bits.LeadingZeros64(x) / 8 }
+
+// Decompress decodes a stream produced by Compress.
+func Decompress(data []byte) ([]float64, error) {
+	if len(data) < 15 {
+		return nil, fmt.Errorf("%w: short header", ErrFormat)
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
+	}
+	tableBits := int(data[5])
+	if tableBits < 4 || tableBits > 24 {
+		return nil, fmt.Errorf("%w: tableBits %d", ErrFormat, tableBits)
+	}
+	count := binary.LittleEndian.Uint64(data[7:])
+	if count > uint64(len(data))*8 { // ≥ half a nibble per value
+		return nil, fmt.Errorf("%w: implausible count %d", ErrFormat, count)
+	}
+	p := newPredictor(tableBits)
+	// Grow the output as data actually decodes; preallocating `count`
+	// values would let a forged header force a 64x-amplified allocation.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	out := make([]float64, 0, prealloc)
+	pos := 15
+	for uint64(len(out)) < count {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated at value %d", ErrFormat, len(out))
+		}
+		nibs := data[pos]
+		pos++
+		pair := [2]byte{nibs >> 4, nibs & 0x0F}
+		for slot := 0; slot < 2 && uint64(len(out)) < count; slot++ {
+			nib := pair[slot]
+			sel := nib >> 3
+			lzb := codeLZB(int(nib & 7))
+			nres := 8 - lzb
+			if pos+nres > len(data) {
+				return nil, fmt.Errorf("%w: truncated residue at value %d", ErrFormat, len(out))
+			}
+			var res [8]byte
+			copy(res[lzb:], data[pos:pos+nres])
+			pos += nres
+			x := binary.BigEndian.Uint64(res[:])
+			f, d := p.predictions()
+			var v uint64
+			if sel == 0 {
+				v = x ^ f
+			} else {
+				v = x ^ d
+			}
+			p.update(v)
+			out = append(out, math.Float64frombits(v))
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(data)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package fpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []float64, tableBits int) []byte {
+	t.Helper()
+	data, err := Compress(vals, tableBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(out), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got %x want %x", i, math.Float64bits(out[i]), math.Float64bits(vals[i]))
+		}
+	}
+	return data
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{1, 2, 3, 4.5, -1e300, 0, math.Pi}, DefaultTableBits)
+}
+
+func TestRoundTripOddAndEvenCounts(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 100, 101} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i) * 1.1
+		}
+		roundTrip(t, vals, DefaultTableBits)
+	}
+}
+
+func TestRoundTripSpecialValues(t *testing.T) {
+	vals := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, -math.MaxFloat64,
+	}
+	data, err := Compress(vals, DefaultTableBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("special value %d not bit-exact", i)
+		}
+	}
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	// Smooth, slowly varying series: predictions should hit often and the
+	// output should be clearly smaller than 8 bytes/value.
+	n := 100000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1000 + math.Sin(float64(i)/500)
+	}
+	data := roundTrip(t, vals, DefaultTableBits)
+	if len(data) >= 8*n {
+		t.Errorf("smooth data did not compress: %d bytes for %d values", len(data), n)
+	}
+}
+
+func TestRandomDataDoesNotExplode(t *testing.T) {
+	// Incompressible data may expand slightly (nibble overhead) but must
+	// stay under 8.5 bytes 8.5/8 = 1.0625x.
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	data := roundTrip(t, vals, DefaultTableBits)
+	if len(data) > n*17/2+32 {
+		t.Errorf("random data expanded too much: %d bytes for %d values", len(data), n)
+	}
+}
+
+func TestTableBitsValidation(t *testing.T) {
+	for _, tb := range []int{3, 25, -1} {
+		if _, err := Compress([]float64{1}, tb); err == nil {
+			t.Errorf("tableBits %d accepted", tb)
+		}
+	}
+	for _, tb := range []int{4, 12, 20} {
+		roundTrip(t, []float64{1, 2, 3}, tb)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decompress(make([]byte, 15)); err == nil {
+		t.Error("zeroed header accepted")
+	}
+	good, _ := Compress([]float64{1, 2, 3, 4, 5}, DefaultTableBits)
+	if _, err := Decompress(good[:len(good)-2]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := Decompress(append(good, 0xAB)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 1
+	if _, err := Decompress(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[4] = 99
+	if _, err := Decompress(bad2); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad3 := append([]byte(nil), good...)
+	bad3[5] = 60
+	if _, err := Decompress(bad3); err == nil {
+		t.Error("bad tableBits accepted")
+	}
+}
+
+// Property: Compress/Decompress is a bit-exact identity for arbitrary
+// doubles, including NaN payloads.
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(raw []uint64) bool {
+		vals := make([]float64, len(raw))
+		for i, u := range raw {
+			vals[i] = math.Float64frombits(u)
+		}
+		data, err := Compress(vals, 8)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(data)
+		if err != nil || len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(out[i]) != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package fpc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompress hardens the FPC decoder against arbitrary input.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	good, _ := Compress([]float64{1, 2, 3, 3.5, -7}, 8)
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	mut := append([]byte(nil), good...)
+	mut[6] ^= 0x10
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decompress(data)
+		if err == nil {
+			// A decodable stream must re-encode to the same values.
+			re, cerr := Compress(vals, 8)
+			if cerr != nil {
+				t.Fatalf("decoded values do not re-compress: %v", cerr)
+			}
+			back, derr := Decompress(re)
+			if derr != nil || len(back) != len(vals) {
+				t.Fatalf("re-encoded stream broken: %v", derr)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks bit-exactness over arbitrary float bit patterns.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := bytesToValues(raw)
+		data, err := Compress(vals, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(vals) {
+			t.Fatalf("decoded %d of %d values", len(out), len(vals))
+		}
+		for i := range vals {
+			if toBits(out[i]) != toBits(vals[i]) {
+				t.Fatalf("value %d not bit-exact", i)
+			}
+		}
+	})
+}
+
+// bytesToValues reinterprets fuzz bytes as float64 values (8 bytes each,
+// trailing remainder dropped).
+func bytesToValues(raw []byte) []float64 {
+	n := len(raw) / 8
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u = u<<8 | uint64(raw[8*i+j])
+		}
+		vals[i] = math.Float64frombits(u)
+	}
+	return vals
+}
+
+func toBits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,408 @@
+// Package grid provides the N-dimensional double-precision field abstraction
+// that every other package in this repository builds on.
+//
+// A Field is a dense, row-major (C-order) array of float64 values together
+// with its shape. Scientific checkpoint data in the reproduced paper
+// (Sasaki et al., IPDPS 2015) consists of 1D/2D/3D arrays of physical
+// quantities such as pressure, temperature and wind velocity; Field models
+// exactly that: a flat backing slice plus shape/stride bookkeeping, with
+// helpers for axis iteration that the wavelet transform needs and a compact
+// binary serialization used by the checkpoint container.
+package grid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxDims is the largest number of dimensions a Field may have. The paper
+// only exercises 1D–3D arrays; we allow a little headroom.
+const MaxDims = 8
+
+// Errors returned by this package.
+var (
+	// ErrShape indicates an invalid shape (empty, a non-positive extent, or
+	// too many dimensions).
+	ErrShape = errors.New("grid: invalid shape")
+	// ErrSize indicates that a provided backing slice does not match the
+	// number of elements implied by the shape.
+	ErrSize = errors.New("grid: data length does not match shape")
+	// ErrFormat indicates malformed serialized field data.
+	ErrFormat = errors.New("grid: malformed serialized field")
+)
+
+// Field is a dense N-dimensional array of float64 in row-major order.
+// The zero value is not usable; construct Fields with New or FromSlice.
+type Field struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New allocates a zero-filled Field with the given shape.
+func New(shape ...int) (*Field, error) {
+	n, err := checkShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	f := &Field{
+		shape: append([]int(nil), shape...),
+		data:  make([]float64, n),
+	}
+	f.stride = strides(f.shape)
+	return f, nil
+}
+
+// MustNew is New but panics on error. Intended for tests and for literals
+// with compile-time-constant shapes.
+func MustNew(shape ...int) *Field {
+	f, err := New(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromSlice wraps an existing backing slice in a Field without copying.
+// The slice length must equal the product of the shape extents.
+func FromSlice(data []float64, shape ...int) (*Field, error) {
+	n, err := checkShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: have %d elements, shape %v needs %d", ErrSize, len(data), shape, n)
+	}
+	f := &Field{
+		shape: append([]int(nil), shape...),
+		data:  data,
+	}
+	f.stride = strides(f.shape)
+	return f, nil
+}
+
+func checkShape(shape []int) (int, error) {
+	if len(shape) == 0 || len(shape) > MaxDims {
+		return 0, fmt.Errorf("%w: %v", ErrShape, shape)
+	}
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			return 0, fmt.Errorf("%w: extent %d in %v", ErrShape, s, shape)
+		}
+		if n > math.MaxInt/s {
+			return 0, fmt.Errorf("%w: %v overflows", ErrShape, shape)
+		}
+		n *= s
+	}
+	return n, nil
+}
+
+func strides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= shape[i]
+	}
+	return st
+}
+
+// Dims returns the number of dimensions.
+func (f *Field) Dims() int { return len(f.shape) }
+
+// Shape returns a copy of the field's shape.
+func (f *Field) Shape() []int { return append([]int(nil), f.shape...) }
+
+// Extent returns the size of dimension d.
+func (f *Field) Extent(d int) int { return f.shape[d] }
+
+// Stride returns the row-major stride (in elements) of dimension d.
+func (f *Field) Stride(d int) int { return f.stride[d] }
+
+// Len returns the total number of elements.
+func (f *Field) Len() int { return len(f.data) }
+
+// Data returns the backing slice (not a copy). Mutating it mutates the field.
+func (f *Field) Data() []float64 { return f.data }
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	g := &Field{
+		shape:  append([]int(nil), f.shape...),
+		stride: append([]int(nil), f.stride...),
+		data:   append([]float64(nil), f.data...),
+	}
+	return g
+}
+
+// SameShape reports whether f and g have identical shapes.
+func (f *Field) SameShape(g *Field) bool {
+	if len(f.shape) != len(g.shape) {
+		return false
+	}
+	for i := range f.shape {
+		if f.shape[i] != g.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Offset converts a multi-dimensional index to a flat offset.
+// It panics if the number of indexes differs from the number of dimensions
+// or any index is out of range, matching built-in slice behaviour.
+func (f *Field) Offset(idx ...int) int {
+	if len(idx) != len(f.shape) {
+		panic(fmt.Sprintf("grid: %d indexes for %d-D field", len(idx), len(f.shape)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= f.shape[d] {
+			panic(fmt.Sprintf("grid: index %d out of range [0,%d) in dim %d", i, f.shape[d], d))
+		}
+		off += i * f.stride[d]
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (f *Field) At(idx ...int) float64 { return f.data[f.Offset(idx...)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (f *Field) Set(v float64, idx ...int) { f.data[f.Offset(idx...)] = v }
+
+// Fill sets every element to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.data {
+		f.data[i] = v
+	}
+}
+
+// Apply replaces every element x with fn(x).
+func (f *Field) Apply(fn func(float64) float64) {
+	for i, v := range f.data {
+		f.data[i] = fn(v)
+	}
+}
+
+// MinMax returns the minimum and maximum element values. NaNs are ignored;
+// if every element is NaN both results are NaN.
+func (f *Field) MinMax() (min, max float64) {
+	min, max = math.NaN(), math.NaN()
+	for _, v := range f.data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(min) || v < min {
+			min = v
+		}
+		if math.IsNaN(max) || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Sum returns the sum of all elements using Neumaier compensated summation,
+// which keeps conservation checks in the application substrates meaningful
+// even when individual addends dwarf the running sum.
+func (f *Field) Sum() float64 {
+	var sum, c float64
+	for _, v := range f.data {
+		t := sum + v
+		if math.Abs(sum) >= math.Abs(v) {
+			c += (sum - t) + v
+		} else {
+			c += (v - t) + sum
+		}
+		sum = t
+	}
+	return sum + c
+}
+
+// Equal reports whether f and g have the same shape and bit-identical data
+// (NaNs compare equal to NaNs of any payload).
+func (f *Field) Equal(g *Field) bool {
+	if !f.SameShape(g) {
+		return false
+	}
+	for i, v := range f.data {
+		w := g.data[i]
+		if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (f *Field) String() string {
+	min, max := f.MinMax()
+	return fmt.Sprintf("Field%v[%d elems, min=%g max=%g]", f.shape, len(f.data), min, max)
+}
+
+// Bytes returns the number of bytes the raw (uncompressed) field data
+// occupies: 8 bytes per element.
+func (f *Field) Bytes() int { return 8 * len(f.data) }
+
+// Lane describes one 1-D line through a field along a given axis: the flat
+// offset of its first element and the stride between consecutive elements.
+// The wavelet transform walks fields lane-by-lane.
+type Lane struct {
+	Start  int // flat offset of element 0
+	Stride int // distance between consecutive elements
+	Len    int // number of elements
+}
+
+// Lanes returns every 1-D lane along the given axis, in deterministic order.
+// A D-dimensional field with N total elements has N/extent(axis) lanes.
+func (f *Field) Lanes(axis int) []Lane {
+	if axis < 0 || axis >= len(f.shape) {
+		panic(fmt.Sprintf("grid: axis %d out of range for %d-D field", axis, len(f.shape)))
+	}
+	count := len(f.data) / f.shape[axis]
+	lanes := make([]Lane, 0, count)
+	// Iterate over all index tuples with the chosen axis fixed at 0.
+	idx := make([]int, len(f.shape))
+	for {
+		off := 0
+		for d, i := range idx {
+			off += i * f.stride[d]
+		}
+		lanes = append(lanes, Lane{Start: off, Stride: f.stride[axis], Len: f.shape[axis]})
+		// Advance idx, skipping the transform axis.
+		d := len(f.shape) - 1
+		for d >= 0 {
+			if d == axis {
+				d--
+				continue
+			}
+			idx[d]++
+			if idx[d] < f.shape[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return lanes
+}
+
+// Gather copies the lane's elements out of data into dst, which must have
+// length lane.Len.
+func (l Lane) Gather(data, dst []float64) {
+	for i := 0; i < l.Len; i++ {
+		dst[i] = data[l.Start+i*l.Stride]
+	}
+}
+
+// Scatter copies src (length lane.Len) back into data along the lane.
+func (l Lane) Scatter(data, src []float64) {
+	for i := 0; i < l.Len; i++ {
+		data[l.Start+i*l.Stride] = src[i]
+	}
+}
+
+// --- Serialization -----------------------------------------------------
+//
+// Layout (little-endian):
+//   uint32 magic "GRDF"
+//   uint16 version (1)
+//   uint16 ndims
+//   int64  extent × ndims
+//   float64 data × prod(extents)
+
+const (
+	fieldMagic   = 0x46445247 // "GRDF"
+	fieldVersion = 1
+)
+
+// WriteTo serializes the field. It implements io.WriterTo.
+func (f *Field) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 8+8*len(f.shape))
+	binary.LittleEndian.PutUint32(hdr[0:], fieldMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], fieldVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(len(f.shape)))
+	for d, s := range f.shape {
+		binary.LittleEndian.PutUint64(hdr[8+8*d:], uint64(s))
+	}
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 8*4096)
+	for i := 0; i < len(f.data); {
+		m := len(f.data) - i
+		if m > 4096 {
+			m = 4096
+		}
+		for j := 0; j < m; j++ {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(f.data[i+j]))
+		}
+		k, err = w.Write(buf[:8*m])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		i += m
+	}
+	return n, nil
+}
+
+// ReadField deserializes a field written by WriteTo.
+func ReadField(r io.Reader) (*Field, error) {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if binary.LittleEndian.Uint32(fixed[0:]) != fieldMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint16(fixed[4:]); v != fieldVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	nd := int(binary.LittleEndian.Uint16(fixed[6:]))
+	if nd == 0 || nd > MaxDims {
+		return nil, fmt.Errorf("%w: ndims %d", ErrFormat, nd)
+	}
+	shape := make([]int, nd)
+	ext := make([]byte, 8*nd)
+	if _, err := io.ReadFull(r, ext); err != nil {
+		return nil, fmt.Errorf("%w: extents: %v", ErrFormat, err)
+	}
+	for d := range shape {
+		e := binary.LittleEndian.Uint64(ext[8*d:])
+		if e == 0 || e > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: extent %d", ErrFormat, e)
+		}
+		shape[d] = int(e)
+	}
+	f, err := New(shape...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	buf := make([]byte, 8*4096)
+	for i := 0; i < len(f.data); {
+		m := len(f.data) - i
+		if m > 4096 {
+			m = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:8*m]); err != nil {
+			return nil, fmt.Errorf("%w: data: %v", ErrFormat, err)
+		}
+		for j := 0; j < m; j++ {
+			f.data[i+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		i += m
+	}
+	return f, nil
+}

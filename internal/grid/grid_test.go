@@ -1,0 +1,361 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	cases := []struct {
+		shape []int
+		ok    bool
+	}{
+		{[]int{4}, true},
+		{[]int{3, 5}, true},
+		{[]int{2, 3, 4}, true},
+		{[]int{1}, true},
+		{[]int{1, 1, 1, 1, 1, 1, 1, 1}, true},
+		{[]int{}, false},
+		{[]int{0}, false},
+		{[]int{-1, 4}, false},
+		{[]int{1, 1, 1, 1, 1, 1, 1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		f, err := New(c.shape...)
+		if c.ok && err != nil {
+			t.Errorf("New(%v): unexpected error %v", c.shape, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("New(%v): expected error, got %v", c.shape, f)
+		}
+	}
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	f := MustNew(3, 4)
+	if f.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", f.Len())
+	}
+	for i, v := range f.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	f, err := FromSlice(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %g, want 6", f.At(1, 2))
+	}
+	// No copy: mutating the slice mutates the field.
+	d[5] = 99
+	if f.At(1, 2) != 99 {
+		t.Errorf("FromSlice copied; At(1,2) = %g, want 99", f.At(1, 2))
+	}
+	if _, err := FromSlice(d, 7); err == nil {
+		t.Error("FromSlice with wrong size: expected error")
+	}
+}
+
+func TestOffsetRowMajor(t *testing.T) {
+	f := MustNew(2, 3, 4)
+	// Row-major: offset = i*12 + j*4 + k.
+	want := 0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				if got := f.Offset(i, j, k); got != want {
+					t.Fatalf("Offset(%d,%d,%d) = %d, want %d", i, j, k, got, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+func TestOffsetPanics(t *testing.T) {
+	f := MustNew(2, 3)
+	for _, idx := range [][]int{{1}, {1, 2, 3}, {2, 0}, {0, 3}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Offset(%v) did not panic", idx)
+				}
+			}()
+			f.Offset(idx...)
+		}()
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	f := MustNew(4, 5)
+	f.Set(3.25, 2, 3)
+	if got := f.At(2, 3); got != 3.25 {
+		t.Errorf("At = %g, want 3.25", got)
+	}
+	if got := f.Data()[2*5+3]; got != 3.25 {
+		t.Errorf("flat = %g, want 3.25", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := MustNew(3)
+	f.Set(1, 0)
+	g := f.Clone()
+	g.Set(2, 0)
+	if f.At(0) != 1 {
+		t.Error("Clone shares backing storage")
+	}
+	if !f.SameShape(g) {
+		t.Error("Clone changed shape")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	f, _ := FromSlice([]float64{3, -1, math.NaN(), 7, 2}, 5)
+	min, max := f.MinMax()
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%g,%g), want (-1,7)", min, max)
+	}
+	g, _ := FromSlice([]float64{math.NaN(), math.NaN()}, 2)
+	min, max = g.MinMax()
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Errorf("all-NaN MinMax = (%g,%g), want NaNs", min, max)
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	// 1 + 1e16 + 1 + -1e16 naive summation loses one of the 1s.
+	f, _ := FromSlice([]float64{1, 1e16, 1, -1e16}, 4)
+	if got := f.Sum(); got != 2 {
+		t.Errorf("Sum = %g, want 2 (compensated)", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, _ := FromSlice([]float64{1, math.NaN()}, 2)
+	b, _ := FromSlice([]float64{1, math.NaN()}, 2)
+	c, _ := FromSlice([]float64{1, 2}, 2)
+	d, _ := FromSlice([]float64{1, math.NaN()}, 1, 2)
+	if !a.Equal(b) {
+		t.Error("NaN-equal fields reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different fields reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+func TestFillApply(t *testing.T) {
+	f := MustNew(2, 2)
+	f.Fill(2)
+	f.Apply(func(x float64) float64 { return x * x })
+	for _, v := range f.Data() {
+		if v != 4 {
+			t.Fatalf("got %g, want 4", v)
+		}
+	}
+}
+
+func TestLanes1D(t *testing.T) {
+	f := MustNew(6)
+	lanes := f.Lanes(0)
+	if len(lanes) != 1 {
+		t.Fatalf("1D field has %d lanes, want 1", len(lanes))
+	}
+	l := lanes[0]
+	if l.Start != 0 || l.Stride != 1 || l.Len != 6 {
+		t.Errorf("lane = %+v, want {0,1,6}", l)
+	}
+}
+
+func TestLanes2D(t *testing.T) {
+	f := MustNew(3, 4) // 3 rows of 4
+	rows := f.Lanes(1) // along x: 3 lanes of length 4, stride 1
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, l := range rows {
+		if l.Start != i*4 || l.Stride != 1 || l.Len != 4 {
+			t.Errorf("row %d = %+v", i, l)
+		}
+	}
+	cols := f.Lanes(0) // along y: 4 lanes of length 3, stride 4
+	if len(cols) != 4 {
+		t.Fatalf("cols = %d, want 4", len(cols))
+	}
+	for i, l := range cols {
+		if l.Start != i || l.Stride != 4 || l.Len != 3 {
+			t.Errorf("col %d = %+v", i, l)
+		}
+	}
+}
+
+func TestLanes3DCoverEveryElementOnce(t *testing.T) {
+	f := MustNew(3, 4, 5)
+	for axis := 0; axis < 3; axis++ {
+		seen := make([]int, f.Len())
+		for _, l := range f.Lanes(axis) {
+			for i := 0; i < l.Len; i++ {
+				seen[l.Start+i*l.Stride]++
+			}
+		}
+		for off, c := range seen {
+			if c != 1 {
+				t.Fatalf("axis %d: offset %d visited %d times", axis, off, c)
+			}
+		}
+	}
+}
+
+func TestLaneGatherScatterRoundTrip(t *testing.T) {
+	f := MustNew(4, 6)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.Data() {
+		f.Data()[i] = rng.NormFloat64()
+	}
+	orig := f.Clone()
+	buf := make([]float64, 4)
+	for _, l := range f.Lanes(0) {
+		l.Gather(f.Data(), buf)
+		l.Scatter(f.Data(), buf)
+	}
+	if !f.Equal(orig) {
+		t.Error("gather/scatter round trip modified data")
+	}
+}
+
+func TestLanesPanicsOnBadAxis(t *testing.T) {
+	f := MustNew(2, 2)
+	for _, axis := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lanes(%d) did not panic", axis)
+				}
+			}()
+			f.Lanes(axis)
+		}()
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	shapes := [][]int{{1}, {7}, {4, 9}, {3, 5, 7}, {2, 2, 2, 2}}
+	rng := rand.New(rand.NewSource(42))
+	for _, shape := range shapes {
+		f := MustNew(shape...)
+		for i := range f.Data() {
+			f.Data()[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-5))
+		}
+		f.Data()[0] = math.NaN()
+		if f.Len() > 1 {
+			f.Data()[1] = math.Inf(-1)
+		}
+		var buf bytes.Buffer
+		n, err := f.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("WriteTo(%v): %v", shape, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+		}
+		g, err := ReadField(&buf)
+		if err != nil {
+			t.Fatalf("ReadField(%v): %v", shape, err)
+		}
+		if !f.Equal(g) {
+			t.Errorf("round trip of %v changed data", shape)
+		}
+	}
+}
+
+func TestReadFieldErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadField(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header: expected error")
+	}
+	// Bad magic.
+	bad := make([]byte, 16)
+	if _, err := ReadField(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic: expected error")
+	}
+	// Truncated data.
+	f := MustNew(10)
+	var buf bytes.Buffer
+	_, _ = f.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadField(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated data: expected error")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := MustNew(10, 10).Bytes(); got != 800 {
+		t.Errorf("Bytes = %d, want 800", got)
+	}
+}
+
+// Property: serialization round trip is the identity for arbitrary 1D data.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	fn := func(data []float64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		f, err := FromSlice(data, len(data))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err != nil {
+			return false
+		}
+		g, err := ReadField(&buf)
+		if err != nil {
+			return false
+		}
+		return f.Equal(g)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any small 2D shape, every element is covered exactly once by
+// the lanes of each axis.
+func TestQuickLanesPartition(t *testing.T) {
+	fn := func(a, b uint8) bool {
+		h, w := int(a%16)+1, int(b%16)+1
+		f := MustNew(h, w)
+		for axis := 0; axis < 2; axis++ {
+			seen := make([]bool, f.Len())
+			for _, l := range f.Lanes(axis) {
+				for i := 0; i < l.Len; i++ {
+					off := l.Start + i*l.Stride
+					if seen[off] {
+						return false
+					}
+					seen[off] = true
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

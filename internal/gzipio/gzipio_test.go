@@ -1,0 +1,178 @@
+package gzipio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTripInMemory(t *testing.T) {
+	data := bytes.Repeat([]byte("checkpoint data "), 1000)
+	res, err := Compress(data, Default, InMemory, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compressed) >= len(data) {
+		t.Errorf("redundant data did not compress: %d -> %d", len(data), len(res.Compressed))
+	}
+	if res.TempWrite != 0 {
+		t.Errorf("in-memory mode reported temp-write time %v", res.TempWrite)
+	}
+	out, err := Decompress(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestRoundTripTempFile(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 4096)
+	res, err := Compress(data, Default, TempFile, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TempWrite <= 0 {
+		t.Error("temp-file mode reported zero temp-write time")
+	}
+	out, err := Decompress(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestModesProduceSameDecompressedBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(8)) // compressible
+	}
+	a, err := Compress(data, gzip.BestSpeed, InMemory, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(data, gzip.BestSpeed, TempFile, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := Decompress(a.Compressed)
+	db, _ := Decompress(b.Compressed)
+	if !bytes.Equal(da, db) || !bytes.Equal(da, data) {
+		t.Error("modes disagree after decompression")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Compress(nil, Default, InMemory, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(res.Compressed)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty round trip: %v, %v", out, err)
+	}
+}
+
+func TestBadLevel(t *testing.T) {
+	if _, err := Compress([]byte("x"), 42, InMemory, ""); err == nil {
+		t.Error("invalid level accepted")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte("not gzip at all")); err == nil {
+		t.Error("non-gzip input accepted")
+	}
+	res, _ := Compress([]byte("hello world hello world"), Default, InMemory, "")
+	trunc := res.Compressed[:len(res.Compressed)-4]
+	if _, err := Decompress(trunc); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+}
+
+func TestIncompressibleDataSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 32*1024)
+	rng.Read(data)
+	res, err := Compress(data, gzip.BestCompression, InMemory, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("random data round trip mismatch")
+	}
+}
+
+func TestZlibFormatRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("zlib in memory "), 2048)
+	res, err := CompressFormat(data, Default, InMemory, "", FormatZlib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compressed) >= len(data) {
+		t.Error("zlib did not compress")
+	}
+	out, err := DecompressAuto(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("zlib round trip mismatch")
+	}
+	// Plain Decompress must reject zlib framing.
+	if _, err := Decompress(res.Compressed); err == nil {
+		t.Error("gzip reader accepted zlib stream")
+	}
+}
+
+func TestDecompressAutoHandlesGzip(t *testing.T) {
+	data := []byte("auto-sniffing test payload, repeated repeated repeated")
+	res, err := CompressFormat(data, Default, InMemory, "", FormatGzip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecompressAuto(res.Compressed)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Errorf("auto-decompress of gzip failed: %v", err)
+	}
+}
+
+func TestZlibSmallerFramingThanGzip(t *testing.T) {
+	data := bytes.Repeat([]byte{9, 9, 9, 9}, 1000)
+	gz, err := CompressFormat(data, Default, InMemory, "", FormatGzip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zl, err := CompressFormat(data, Default, InMemory, "", FormatZlib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zlib framing is 2+4 bytes vs gzip's 10+8.
+	if len(zl.Compressed) >= len(gz.Compressed) {
+		t.Errorf("zlib (%d) not smaller than gzip (%d)", len(zl.Compressed), len(gz.Compressed))
+	}
+}
+
+func TestCompressFormatValidation(t *testing.T) {
+	if _, err := CompressFormat([]byte("x"), Default, InMemory, "", Format(9)); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if Format(0).String() != "gzip" || Format(1).String() != "zlib" {
+		t.Error("format names wrong")
+	}
+}
+
+func TestDecompressAutoRejectsGarbage(t *testing.T) {
+	if _, err := DecompressAuto([]byte{0x00, 0x11, 0x22}); err == nil {
+		t.Error("garbage accepted by auto-decompress")
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/stats"
+)
+
+// PerBand is experiment X8: the paper pools all high-frequency bands into
+// one quantization (§III-B); this ablation quantizes each wavelet sub-band
+// separately, which adapts partition widths to each band's value range at
+// the cost of one average table per band.
+func PerBand(cfg Config) (*Table, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	temp := m.Field("temperature")
+	t := &Table{
+		ID:     "perband",
+		Title:  "Pooled (paper) vs per-band quantization, temperature array, n=128",
+		Header: []string{"method", "mode", "cr [%]", "avg err [%]", "max err [%]"},
+	}
+	for _, method := range []quant.Method{quant.Simple, quant.Proposed} {
+		for _, perBand := range []bool{false, true} {
+			opts := optionsFor(method, 128, cfg.TmpDir)
+			opts.PerBandQuant = perBand
+			opts.Levels = 2 // deeper decomposition makes band ranges differ more
+			g, res, err := core.RoundTrip(temp, opts)
+			if err != nil {
+				return nil, err
+			}
+			s, err := stats.Compare(temp.Data(), g.Data())
+			if err != nil {
+				return nil, err
+			}
+			mode := "pooled"
+			if perBand {
+				mode = "per-band"
+			}
+			t.AddRow(method.String(), mode, res.CompressionRatePct(), s.AvgPct, s.MaxPct)
+		}
+	}
+	t.Notes = append(t.Notes, "the paper pools all high bands (its Fig. 4 histogram is over the whole high region)")
+	return t, nil
+}
+
+// Threshold is experiment X9: classic wavelet coefficient thresholding as
+// a pre-quantization stage — a candidate for the paper's §VI "improvement
+// of the compression algorithm" future work.
+func Threshold(cfg Config) (*Table, error) {
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	temp := m.Field("temperature")
+	t := &Table{
+		ID:     "threshold",
+		Title:  "Coefficient thresholding before quantization (proposed, n=128), temperature array",
+		Header: []string{"threshold", "cr [%]", "avg err [%]", "max err [%]"},
+	}
+	for _, th := range []float64{0, 1e-4, 1e-3, 1e-2, 1e-1} {
+		opts := optionsFor(quant.Proposed, 128, cfg.TmpDir)
+		opts.ZeroThreshold = th
+		g, res, err := core.RoundTrip(temp, opts)
+		if err != nil {
+			return nil, err
+		}
+		s, err := stats.Compare(temp.Data(), g.Data())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(th, res.CompressionRatePct(), s.AvgPct, s.MaxPct)
+	}
+	t.Notes = append(t.Notes, "thresholding trades bounded extra error for more redundant codes (better gzip)")
+	return t, nil
+}

@@ -1,0 +1,218 @@
+// Package harness regenerates every table and figure of the evaluation
+// section of Sasaki et al. (IPDPS 2015), plus the extension experiments
+// listed in DESIGN.md §4. Each runner produces a Table — the same rows or
+// series the paper plots — that cmd/experiments renders as text or CSV and
+// EXPERIMENTS.md records.
+//
+// Runners take a Config so tests can execute them on scaled-down grids;
+// the zero-effort Default() matches the paper's setup (1156×82×2 arrays,
+// 720 warm-up steps, d=64).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"lossyckpt/internal/climate"
+)
+
+// Config scales the experiment workloads.
+type Config struct {
+	// Nx, Nz, Nc are the climate grid extents (paper: 1156×82×2).
+	Nx, Nz, Nc int
+	// WarmupSteps is how long the model runs before checkpointing
+	// (paper: 720).
+	WarmupSteps int
+	// RestartSteps is how far the Fig. 10 study runs past the checkpoint
+	// (paper: 1500, to step 2220).
+	RestartSteps int
+	// SampleEvery is the Fig. 10 sampling stride in steps (paper plots
+	// every 50).
+	SampleEvery int
+	// Seed drives all workload initializations.
+	Seed int64
+	// TmpDir hosts temp-file-mode gzip scratch files ("" = system temp).
+	TmpDir string
+	// Repeats is how many times timing measurements are repeated (the
+	// median is reported).
+	Repeats int
+}
+
+// Default returns the paper-faithful configuration. Running all figures at
+// this scale takes on the order of minutes (dominated by the 2220-step
+// Fig. 10 integration).
+func Default() Config {
+	return Config{
+		Nx: climate.DefaultNx, Nz: climate.DefaultNz, Nc: climate.DefaultNc,
+		WarmupSteps:  720,
+		RestartSteps: 1500,
+		SampleEvery:  50,
+		Seed:         2015,
+		Repeats:      5,
+	}
+}
+
+// Quick returns a scaled-down configuration (≈1/16 of the paper's points,
+// 1/8 of the steps) for smoke runs and tests.
+func Quick() Config {
+	c := Default()
+	c.Nx, c.Nz = 289, 41
+	c.WarmupSteps = 90
+	c.RestartSteps = 180
+	c.SampleEvery = 20
+	c.Repeats = 3
+	return c
+}
+
+// modelCache memoizes warmed-up models: the 720-step paper warm-up costs
+// over a minute at full scale and every runner needs the same state. Cached
+// models are cloned before being handed out, so runners can mutate freely.
+var modelCache sync.Map // modelKey -> *climate.Model
+
+type modelKey struct {
+	nx, nz, nc, warmup int
+	seed               int64
+}
+
+// model builds and warms up the climate workload, cloning from the cache
+// when the same configuration was already prepared.
+func (c Config) model() (*climate.Model, error) {
+	key := modelKey{c.Nx, c.Nz, c.Nc, c.WarmupSteps, c.Seed}
+	if cached, ok := modelCache.Load(key); ok {
+		return cached.(*climate.Model).Clone(), nil
+	}
+	mc := climate.DefaultConfig()
+	mc.Nx, mc.Nz, mc.Nc = c.Nx, c.Nz, c.Nc
+	mc.Seed = c.Seed
+	m, err := climate.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	m.StepN(c.WarmupSteps)
+	modelCache.Store(key, m)
+	return m.Clone(), nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "fig7").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes carries free-form findings (crossover points, fits, paper
+	// reference values).
+	Notes []string
+}
+
+// AddRow appends a formatted row built from arbitrary values.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	return total + 2*(len(widths)-1)
+}
+
+// CSV writes the table as comma-separated values (header + rows; notes are
+// emitted as trailing comment lines).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

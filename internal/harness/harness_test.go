@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	c := Quick()
+	c.Nx, c.Nz, c.Nc = 72, 18, 2
+	c.WarmupSteps = 30
+	c.RestartSteps = 40
+	c.SampleEvery = 10
+	c.Repeats = 1
+	return c
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	cfg := tiny()
+	for _, id := range RunnerIDs {
+		run, ok := Runners[id]
+		if !ok {
+			t.Fatalf("runner %q missing from map", id)
+		}
+		tab, err := run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tab.ID != id {
+			t.Errorf("%s: table id %q", id, tab.ID)
+		}
+		if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		for ri, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row %d has %d cells for %d columns", id, ri, len(row), len(tab.Header))
+			}
+		}
+	}
+}
+
+func TestRunnerIDsCoverRunnersMap(t *testing.T) {
+	if len(RunnerIDs) != len(Runners) {
+		t.Errorf("RunnerIDs has %d entries, Runners has %d", len(RunnerIDs), len(Runners))
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fig6 rows = %d, want 3", len(tab.Rows))
+	}
+	gzip := parseFloat(t, tab.Rows[0][1])
+	simple := parseFloat(t, tab.Rows[1][1])
+	proposed := parseFloat(t, tab.Rows[2][1])
+	// The paper's headline: both lossy rates far below gzip.
+	if simple >= gzip || proposed >= gzip {
+		t.Errorf("lossy (%.1f / %.1f) not below gzip (%.1f)", simple, proposed, gzip)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(DivisionSweep) {
+		t.Fatalf("fig7 rows = %d", len(tab.Rows))
+	}
+	// Proposed cr ≥ simple cr at equal n (proposed stores passthroughs).
+	for _, row := range tab.Rows {
+		s, p := parseFloat(t, row[1]), parseFloat(t, row[2])
+		if p < s-1 { // tolerate ~1pp noise
+			t.Errorf("n=%s: proposed cr %.2f far below simple %.2f", row[0], p, s)
+		}
+	}
+}
+
+func TestFig8ErrorTrend(t *testing.T) {
+	tab, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	for col := 1; col <= 2; col++ { // simple avg, proposed avg
+		if parseFloat(t, last[col]) > parseFloat(t, first[col]) {
+			t.Errorf("column %d: error grew from n=1 to n=128", col)
+		}
+	}
+	// Proposed ≤ simple at n=128.
+	if parseFloat(t, last[2]) > parseFloat(t, last[1]) {
+		t.Errorf("proposed err %s above simple %s at n=128", last[2], last[1])
+	}
+}
+
+func TestFig9ShapeAndCrossover(t *testing.T) {
+	tab, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ParallelismSweep) {
+		t.Fatalf("fig9 rows = %d", len(tab.Rows))
+	}
+	// With-compression totals must grow more slowly than without.
+	firstWith := parseFloat(t, tab.Rows[0][7])
+	lastWith := parseFloat(t, tab.Rows[len(tab.Rows)-1][7])
+	firstWithout := parseFloat(t, tab.Rows[0][8])
+	lastWithout := parseFloat(t, tab.Rows[len(tab.Rows)-1][8])
+	if lastWith-firstWith >= lastWithout-firstWithout {
+		t.Error("with-compression slope not flatter than without")
+	}
+}
+
+func TestFig10ErrorsBoundedAndSampled(t *testing.T) {
+	cfg := tiny()
+	tab, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := cfg.RestartSteps/cfg.SampleEvery + 1
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("fig10 rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	for _, row := range tab.Rows {
+		s, p := parseFloat(t, row[1]), parseFloat(t, row[2])
+		if s < 0 || p < 0 || s > 50 || p > 50 {
+			t.Errorf("step %s: errors out of plausible range: %g %g", row[0], s, p)
+		}
+	}
+	// Immediate error at the restart step must be nonzero (it is the lossy
+	// compression error) and small.
+	if parseFloat(t, tab.Rows[0][2]) <= 0 {
+		t.Error("zero immediate error after lossy restart")
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "demo",
+		Title:  "demo table",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("x", 1.5)
+	tab.AddRow("y,z", 2)
+
+	var txt bytes.Buffer
+	if err := tab.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	for _, want := range []string{"demo table", "y,z  2", "x    1.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[2] != `"y,z",2` {
+		t.Errorf("csv quoting = %q", lines[2])
+	}
+	if lines[3] != "# a note" {
+		t.Errorf("csv note = %q", lines[3])
+	}
+}
+
+func TestQuickAndDefaultConfigs(t *testing.T) {
+	d := Default()
+	if d.Nx != 1156 || d.Nz != 82 || d.WarmupSteps != 720 || d.RestartSteps != 1500 {
+		t.Errorf("Default() not paper-faithful: %+v", d)
+	}
+	q := Quick()
+	if q.Nx >= d.Nx || q.WarmupSteps >= d.WarmupSteps {
+		t.Errorf("Quick() not smaller than Default(): %+v", q)
+	}
+}

@@ -1,0 +1,116 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/stats"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Ny, c.Nx = 64, 48
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Ny: 2, Nx: 48, Alpha: 0.2, Dt: 1},
+		{Ny: 64, Nx: 2, Alpha: 0.2, Dt: 1},
+		{Ny: 64, Nx: 48, Alpha: 0, Dt: 1},
+		{Ny: 64, Nx: 48, Alpha: 0.2, Dt: 0},
+		{Ny: 64, Nx: 48, Alpha: 0.3, Dt: 1}, // violates FTCS bound
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHeatsUpAndStaysStable(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.MaxTemperature()
+	s.StepN(2000)
+	m1 := s.MaxTemperature()
+	if m1 <= m0 {
+		t.Errorf("no heating: %g -> %g", m0, m1)
+	}
+	if math.IsNaN(m1) || math.IsInf(m1, 0) || m1 > 1e6 {
+		t.Errorf("solver unstable: max temperature %g", m1)
+	}
+	if s.StepCount() != 2000 {
+		t.Errorf("StepCount = %d", s.StepCount())
+	}
+}
+
+func TestBoundariesFixed(t *testing.T) {
+	s, _ := New(testConfig())
+	s.StepN(500)
+	f := s.Temperature()
+	for x := 0; x < 48; x++ {
+		if f.At(0, x) != 300 || f.At(63, x) != 300 {
+			t.Fatalf("boundary drifted at x=%d", x)
+		}
+	}
+	for y := 0; y < 64; y++ {
+		if f.At(y, 0) != 300 || f.At(y, 47) != 300 {
+			t.Fatalf("boundary drifted at y=%d", y)
+		}
+	}
+}
+
+func TestDeterminismAndClone(t *testing.T) {
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	a.StepN(100)
+	b.StepN(100)
+	if !a.Temperature().Equal(b.Temperature()) {
+		t.Error("identical runs diverged")
+	}
+	c := a.Clone()
+	a.StepN(50)
+	c.StepN(50)
+	if !a.Temperature().Equal(c.Temperature()) {
+		t.Error("clone evolution diverged")
+	}
+}
+
+func TestExactRestartSeamless(t *testing.T) {
+	ref, _ := New(testConfig())
+	ref.StepN(300)
+	snap := ref.Clone()
+	ref.StepN(300)
+
+	re, _ := New(testConfig())
+	copy(re.Temperature().Data(), snap.Temperature().Data())
+	re.SetStepCount(snap.StepCount())
+	re.StepN(300)
+	if !ref.Temperature().Equal(re.Temperature()) {
+		t.Error("exact restart diverged")
+	}
+}
+
+func TestHeatFieldCompressesExtremelyWell(t *testing.T) {
+	// The smoothest workload: the lossy compressor should crush it with
+	// tiny error.
+	cfg := DefaultConfig() // 256x256: large enough that headers are noise
+	s, _ := New(cfg)
+	s.StepN(1000)
+	f := s.Temperature()
+	g, res, err := core.RoundTrip(f, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatePct() > 40 {
+		t.Errorf("cr %.1f%% on a diffusion field; expected much lower", res.CompressionRatePct())
+	}
+	sum, _ := stats.Compare(f.Data(), g.Data())
+	if sum.AvgPct > 0.5 {
+		t.Errorf("avg error %.4f%% on a diffusion field", sum.AvgPct)
+	}
+}

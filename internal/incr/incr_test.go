@@ -1,0 +1,166 @@
+package incr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+)
+
+func randomField(seed int64, n int) *grid.Field {
+	f := grid.MustNew(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data() {
+		f.Data()[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func TestDiffChainRestoresExactly(t *testing.T) {
+	f := randomField(1, 5000)
+	tr := NewTracker(gzipio.Default)
+	re := NewRestorer()
+	tr.Register("x", f)
+	re.Register("x", f)
+
+	rng := rand.New(rand.NewSource(2))
+	var diffs [][]byte
+	var want []*grid.Field
+	for step := 0; step < 5; step++ {
+		// Mutate a subset of values.
+		for k := 0; k < 500; k++ {
+			f.Data()[rng.Intn(f.Len())] = rng.NormFloat64()
+		}
+		d, err := tr.EncodeDiff("x", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs = append(diffs, d)
+		want = append(want, f.Clone())
+	}
+
+	got := grid.MustNew(5000)
+	for i, d := range diffs {
+		if err := re.ApplyDiff("x", d); err != nil {
+			t.Fatalf("diff %d: %v", i, err)
+		}
+		if err := re.State("x", got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want[i]) {
+			t.Fatalf("state after diff %d not bit-exact", i)
+		}
+	}
+}
+
+func TestSparseUpdatesCompressWell(t *testing.T) {
+	// The case incremental checkpointing is built for: only 1% of values
+	// change between checkpoints.
+	f := randomField(3, 100000)
+	tr := NewTracker(gzipio.Default)
+	tr.Register("x", f)
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 1000; k++ {
+		f.Data()[rng.Intn(f.Len())] = rng.NormFloat64()
+	}
+	d, err := tr.EncodeDiff("x", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) > f.Bytes()/10 {
+		t.Errorf("sparse diff is %d bytes for %d raw; expected ≫10x reduction", len(d), f.Bytes())
+	}
+}
+
+func TestDenseUpdatesCompressPoorly(t *testing.T) {
+	// The paper's §I argument: when every value changes, the diff is as
+	// incompressible as the data.
+	f := randomField(5, 50000)
+	tr := NewTracker(gzipio.Default)
+	tr.Register("x", f)
+	rng := rand.New(rand.NewSource(6))
+	for i := range f.Data() {
+		f.Data()[i] += 1e-9 * rng.NormFloat64() // everything changes a little
+	}
+	d, err := tr.EncodeDiff("x", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) < f.Bytes()/2 {
+		t.Errorf("dense diff is %d bytes for %d raw; expected poor compression", len(d), f.Bytes())
+	}
+}
+
+func TestOutOfSequenceRejected(t *testing.T) {
+	f := randomField(7, 100)
+	tr := NewTracker(gzipio.Default)
+	re := NewRestorer()
+	tr.Register("x", f)
+	re.Register("x", f)
+	f.Data()[0] = 1
+	d1, _ := tr.EncodeDiff("x", f)
+	f.Data()[1] = 2
+	d2, _ := tr.EncodeDiff("x", f)
+	if err := re.ApplyDiff("x", d2); !errors.Is(err, ErrSequence) {
+		t.Errorf("skipping diff #1: got %v", err)
+	}
+	if err := re.ApplyDiff("x", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.ApplyDiff("x", d1); !errors.Is(err, ErrSequence) {
+		t.Errorf("replaying diff #1: got %v", err)
+	}
+}
+
+func TestUnknownNameAndFormatErrors(t *testing.T) {
+	f := randomField(8, 10)
+	tr := NewTracker(gzipio.Default)
+	if _, err := tr.EncodeDiff("nope", f); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown encode: %v", err)
+	}
+	if !tr.Registered("nope") == false {
+		t.Error("Registered returned wrong answer")
+	}
+	re := NewRestorer()
+	if err := re.ApplyDiff("nope", make([]byte, 32)); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown apply: %v", err)
+	}
+	re.Register("x", f)
+	if err := re.ApplyDiff("x", []byte{1, 2}); !errors.Is(err, ErrFormat) {
+		t.Errorf("short diff: %v", err)
+	}
+	if err := re.State("nope", f); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown state: %v", err)
+	}
+	g := randomField(9, 11)
+	if err := re.State("x", g); err == nil {
+		t.Error("wrong-size state accepted")
+	}
+}
+
+func TestSizeChangeRejected(t *testing.T) {
+	f := randomField(10, 100)
+	tr := NewTracker(gzipio.Default)
+	tr.Register("x", f)
+	g := randomField(11, 101)
+	if _, err := tr.EncodeDiff("x", g); err == nil {
+		t.Error("size change accepted")
+	}
+}
+
+func TestCorruptDiffRejected(t *testing.T) {
+	f := randomField(12, 1000)
+	tr := NewTracker(gzipio.Default)
+	re := NewRestorer()
+	tr.Register("x", f)
+	re.Register("x", f)
+	f.Data()[0] = 42
+	d, _ := tr.EncodeDiff("x", f)
+	mut := append([]byte(nil), d...)
+	mut[len(mut)-3] ^= 0xFF // corrupt gzip payload
+	if err := re.ApplyDiff("x", mut); err == nil {
+		t.Error("corrupt diff accepted")
+	}
+}

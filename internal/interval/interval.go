@@ -1,0 +1,182 @@
+// Package interval implements checkpoint-interval optimization — the
+// classical Young/Daly models — specialized to the question the reproduced
+// paper leaves as future work (§VI: "optimizing checkpoint frequency by
+// checkpointing model for lossy compression"): how much total runtime does
+// lossy compression save once the checkpoint interval is re-optimized for
+// the cheaper checkpoints?
+//
+// Given a mean time between failures M, a per-checkpoint cost δ and a
+// restart cost R, Young's first-order optimum is τ = √(2δM) and Daly's
+// higher-order refinement (J. T. Daly, "A higher order estimate of the
+// optimum checkpoint interval for restart dumps", FGCS 2006) is
+//
+//	τ = √(2δM)·[1 + ⅓·√(δ/2M) + (1/9)·(δ/2M)] − δ   for δ < 2M.
+//
+// ExpectedRuntime evaluates Daly's complete expected-runtime model
+//
+//	T = M·e^{R/M}·(e^{(τ+δ)/M} − 1)·Ts/τ,
+//
+// so Compare can report the end-to-end speedup of compressed checkpoints
+// over uncompressed ones at each method's own optimal interval — turning
+// the paper's per-checkpoint 81% saving into a whole-run number.
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrParams indicates invalid model parameters.
+var ErrParams = errors.New("interval: invalid parameters")
+
+func sec(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+func dur(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+func pos(d time.Duration, name string) error {
+	if d <= 0 {
+		return fmt.Errorf("%w: %s = %v", ErrParams, name, d)
+	}
+	return nil
+}
+
+// Young returns Young's first-order optimal checkpoint interval √(2δM).
+func Young(delta, mtbf time.Duration) (time.Duration, error) {
+	if err := pos(delta, "checkpoint cost"); err != nil {
+		return 0, err
+	}
+	if err := pos(mtbf, "MTBF"); err != nil {
+		return 0, err
+	}
+	return dur(math.Sqrt(2 * sec(delta) * sec(mtbf))), nil
+}
+
+// Daly returns Daly's higher-order optimal interval. For δ ≥ 2M the model
+// degenerates and Daly prescribes τ = M.
+func Daly(delta, mtbf time.Duration) (time.Duration, error) {
+	if err := pos(delta, "checkpoint cost"); err != nil {
+		return 0, err
+	}
+	if err := pos(mtbf, "MTBF"); err != nil {
+		return 0, err
+	}
+	d, m := sec(delta), sec(mtbf)
+	if d >= 2*m {
+		return mtbf, nil
+	}
+	x := d / (2 * m)
+	tau := math.Sqrt(2*d*m)*(1+math.Sqrt(x)/3+x/9) - d
+	if tau <= 0 {
+		tau = m
+	}
+	return dur(tau), nil
+}
+
+// WasteFraction returns the first-order fraction of machine time lost to
+// checkpointing and failure rework at interval τ: δ/τ + τ/(2M).
+func WasteFraction(tau, delta, mtbf time.Duration) (float64, error) {
+	if err := pos(tau, "interval"); err != nil {
+		return 0, err
+	}
+	if err := pos(delta, "checkpoint cost"); err != nil {
+		return 0, err
+	}
+	if err := pos(mtbf, "MTBF"); err != nil {
+		return 0, err
+	}
+	return sec(delta)/sec(tau) + sec(tau)/(2*sec(mtbf)), nil
+}
+
+// ExpectedRuntime evaluates Daly's complete model: the expected wall-clock
+// time to finish solve-time work of length ts, checkpointing every tau at
+// cost delta, restarting at cost restart, under exponential failures with
+// the given MTBF.
+func ExpectedRuntime(ts, tau, delta, restart, mtbf time.Duration) (time.Duration, error) {
+	if err := pos(ts, "solve time"); err != nil {
+		return 0, err
+	}
+	if err := pos(tau, "interval"); err != nil {
+		return 0, err
+	}
+	if err := pos(delta, "checkpoint cost"); err != nil {
+		return 0, err
+	}
+	if restart < 0 {
+		return 0, fmt.Errorf("%w: restart = %v", ErrParams, restart)
+	}
+	if err := pos(mtbf, "MTBF"); err != nil {
+		return 0, err
+	}
+	m := sec(mtbf)
+	t := m * math.Exp(sec(restart)/m) * (math.Exp((sec(tau)+sec(delta))/m) - 1) * sec(ts) / sec(tau)
+	if math.IsInf(t, 0) || math.IsNaN(t) {
+		return 0, fmt.Errorf("%w: model diverged (tau+delta ≫ MTBF)", ErrParams)
+	}
+	return dur(t), nil
+}
+
+// Scenario describes one checkpointing configuration to optimize.
+type Scenario struct {
+	// Name labels the configuration in reports.
+	Name string
+	// CheckpointCost is δ: the full per-checkpoint cost (compression +
+	// I/O) of this configuration.
+	CheckpointCost time.Duration
+	// RestartCost is R: reading and decoding the checkpoint.
+	RestartCost time.Duration
+}
+
+// Plan is an optimized scenario.
+type Plan struct {
+	Scenario
+	// OptimalInterval is Daly's τ for this scenario.
+	OptimalInterval time.Duration
+	// Waste is the first-order waste fraction at the optimum.
+	Waste float64
+	// ExpectedRuntime is Daly's complete-model runtime for the solve time
+	// passed to Compare.
+	ExpectedRuntime time.Duration
+}
+
+// Compare optimizes every scenario for the given MTBF and solve time and
+// returns the plans, in input order. Use it to put the paper's compressed
+// and uncompressed checkpoint costs side by side.
+func Compare(solveTime, mtbf time.Duration, scenarios []Scenario) ([]Plan, error) {
+	if err := pos(solveTime, "solve time"); err != nil {
+		return nil, err
+	}
+	if err := pos(mtbf, "MTBF"); err != nil {
+		return nil, err
+	}
+	plans := make([]Plan, 0, len(scenarios))
+	for _, sc := range scenarios {
+		tau, err := Daly(sc.CheckpointCost, mtbf)
+		if err != nil {
+			return nil, fmt.Errorf("interval: scenario %q: %w", sc.Name, err)
+		}
+		waste, err := WasteFraction(tau, sc.CheckpointCost, mtbf)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ExpectedRuntime(solveTime, tau, sc.CheckpointCost, sc.RestartCost, mtbf)
+		if err != nil {
+			return nil, fmt.Errorf("interval: scenario %q: %w", sc.Name, err)
+		}
+		plans = append(plans, Plan{
+			Scenario:        sc,
+			OptimalInterval: tau,
+			Waste:           waste,
+			ExpectedRuntime: rt,
+		})
+	}
+	return plans, nil
+}
+
+// SpeedupPct returns the expected-runtime saving of plan a over plan b in
+// percent (positive when a is faster).
+func SpeedupPct(a, b Plan) float64 {
+	if b.ExpectedRuntime <= 0 {
+		return math.NaN()
+	}
+	return 100 * (1 - float64(a.ExpectedRuntime)/float64(b.ExpectedRuntime))
+}

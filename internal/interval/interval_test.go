@@ -1,0 +1,142 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestYoungKnownValue(t *testing.T) {
+	// δ = 50s, M = 3600s: τ = √(2·50·3600) = 600s.
+	tau, err := Young(50*time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tau - 600*time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("Young = %v, want 600s", tau)
+	}
+}
+
+func TestDalyCloseToYoungForSmallDelta(t *testing.T) {
+	// For δ ≪ M, Daly's refinement stays within a few percent of Young.
+	delta, mtbf := 10*time.Second, 24*time.Hour
+	y, _ := Young(delta, mtbf)
+	d, err := Daly(delta, mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(d) / float64(y)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("Daly/Young = %.3f for tiny δ; want ≈1", ratio)
+	}
+}
+
+func TestDalyDegenerateCase(t *testing.T) {
+	// δ ≥ 2M: Daly prescribes τ = M.
+	tau, err := Daly(3*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != time.Hour {
+		t.Errorf("degenerate Daly = %v, want MTBF", tau)
+	}
+}
+
+func TestWasteMinimizedNearOptimum(t *testing.T) {
+	delta, mtbf := 30*time.Second, 2*time.Hour
+	tau, _ := Young(delta, mtbf)
+	wOpt, err := WasteFraction(tau, delta, mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0.25, 0.5, 2, 4} {
+		w, _ := WasteFraction(time.Duration(float64(tau)*f), delta, mtbf)
+		if w < wOpt {
+			t.Errorf("waste at %.2fτ (%.5f) below optimum (%.5f)", f, w, wOpt)
+		}
+	}
+}
+
+func TestExpectedRuntimeExceedsSolveTime(t *testing.T) {
+	rt, err := ExpectedRuntime(10*time.Hour, 10*time.Minute, 30*time.Second, time.Minute, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt <= 10*time.Hour {
+		t.Errorf("expected runtime %v not above solve time", rt)
+	}
+	if rt > 20*time.Hour {
+		t.Errorf("expected runtime %v implausibly large", rt)
+	}
+}
+
+func TestExpectedRuntimeMonotoneInMTBF(t *testing.T) {
+	ts, tau, delta, r := 10*time.Hour, 10*time.Minute, 30*time.Second, time.Minute
+	rShort, _ := ExpectedRuntime(ts, tau, delta, r, time.Hour)
+	rLong, _ := ExpectedRuntime(ts, tau, delta, r, 12*time.Hour)
+	if rLong >= rShort {
+		t.Errorf("more failures should cost more: MTBF 1h -> %v, 12h -> %v", rShort, rLong)
+	}
+}
+
+func TestCompareCompressionWins(t *testing.T) {
+	// The paper's scenario: compressed checkpoints cost ~19% of the raw
+	// ones; at each method's own optimal interval, the compressed plan
+	// must be faster end to end.
+	scenarios := []Scenario{
+		{Name: "lossy", CheckpointCost: 19 * time.Second, RestartCost: 25 * time.Second},
+		{Name: "none", CheckpointCost: 100 * time.Second, RestartCost: 110 * time.Second},
+	}
+	plans, err := Compare(100*time.Hour, 2*time.Hour, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatal("wrong plan count")
+	}
+	lossy, none := plans[0], plans[1]
+	if lossy.OptimalInterval >= none.OptimalInterval {
+		t.Error("cheaper checkpoints should checkpoint more often")
+	}
+	if lossy.ExpectedRuntime >= none.ExpectedRuntime {
+		t.Error("compressed plan not faster end to end")
+	}
+	if s := SpeedupPct(lossy, none); s <= 0 || s >= 100 {
+		t.Errorf("speedup %.1f%% implausible", s)
+	}
+	if lossy.Waste >= none.Waste {
+		t.Error("compressed plan should waste less")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := Young(0, time.Hour); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := Young(time.Second, 0); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := Daly(-time.Second, time.Hour); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := WasteFraction(0, time.Second, time.Hour); err == nil {
+		t.Error("zero tau accepted")
+	}
+	if _, err := ExpectedRuntime(time.Hour, time.Minute, time.Second, -time.Second, time.Hour); err == nil {
+		t.Error("negative restart accepted")
+	}
+	if _, err := Compare(0, time.Hour, nil); err == nil {
+		t.Error("zero solve time accepted")
+	}
+	if math.IsNaN(SpeedupPct(Plan{}, Plan{})) == false {
+		t.Error("SpeedupPct of empty plans should be NaN")
+	}
+}
+
+func TestExpectedRuntimeDivergenceGuard(t *testing.T) {
+	// τ+δ vastly above MTBF overflows the exponential; the model must
+	// refuse rather than return garbage.
+	if _, err := ExpectedRuntime(time.Hour, 100000*time.Hour, time.Hour, 0, time.Second); err == nil {
+		t.Error("diverged model accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Package iomodel reproduces the analytic checkpoint-time estimator of
+// Sasaki et al. (IPDPS 2015, §IV-D, Fig. 9).
+//
+// The paper projects overall checkpoint time at scale by combining (a) the
+// measured per-process compression-phase breakdown — constant in the
+// process count P, because per-process checkpoints compress in an
+// embarrassingly parallel fashion — with (b) an analytic I/O term for a
+// shared parallel filesystem of fixed aggregate bandwidth:
+//
+//	T_io(P)      = perProcessBytes × rate × P / bandwidth
+//	T_with(P)    = T_compression + T_io(P)            (rate = cr)
+//	T_without(P) = perProcessBytes × P / bandwidth    (rate = 1)
+//
+// The paper instantiates this with 1.5 MB/process, 20 GB/s aggregate
+// bandwidth, and a measured compression rate; this package keeps all three
+// as parameters so experiments can sweep them.
+package iomodel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lossyckpt/internal/core"
+)
+
+// ErrModel indicates invalid model parameters.
+var ErrModel = errors.New("iomodel: invalid parameters")
+
+// FileSystem models a shared parallel filesystem by its aggregate
+// bandwidth; writes from all processes share it.
+type FileSystem struct {
+	// BandwidthBytesPerSec is the aggregate write bandwidth.
+	BandwidthBytesPerSec float64
+}
+
+// PaperFS is the paper's assumed parallel filesystem: 20 GB/s aggregate.
+var PaperFS = FileSystem{BandwidthBytesPerSec: 20e9}
+
+// WriteTime returns the modeled time for all processes together to write
+// totalBytes.
+func (fs FileSystem) WriteTime(totalBytes int64) time.Duration {
+	if fs.BandwidthBytesPerSec <= 0 || totalBytes < 0 {
+		return 0
+	}
+	sec := float64(totalBytes) / fs.BandwidthBytesPerSec
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Estimator projects overall checkpoint time across process counts.
+type Estimator struct {
+	// PerProcessBytes is the uncompressed checkpoint size per process
+	// (the paper uses 1.5 MB, one NICAM array).
+	PerProcessBytes int64
+	// CompressionRate is the paper's cr as a fraction (e.g. 0.19).
+	CompressionRate float64
+	// FS is the shared filesystem model.
+	FS FileSystem
+	// Compression is the measured per-process compression breakdown.
+	Compression core.Timings
+}
+
+// Validate checks the estimator's parameters.
+func (e Estimator) Validate() error {
+	if e.PerProcessBytes <= 0 {
+		return fmt.Errorf("%w: per-process bytes %d", ErrModel, e.PerProcessBytes)
+	}
+	if e.CompressionRate <= 0 || e.CompressionRate > 1 {
+		return fmt.Errorf("%w: compression rate %g (want (0,1])", ErrModel, e.CompressionRate)
+	}
+	if e.FS.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("%w: bandwidth %g", ErrModel, e.FS.BandwidthBytesPerSec)
+	}
+	return nil
+}
+
+// Breakdown is one point of the Fig. 9 plot: the stacked cost components at
+// process count P.
+type Breakdown struct {
+	P int
+	// Compression phases (constant in P).
+	Wavelet   time.Duration
+	Quantize  time.Duration // quantization + encoding, as the paper stacks them
+	TempWrite time.Duration
+	Gzip      time.Duration
+	Other     time.Duration
+	// IO is the modeled parallel-filesystem write of the compressed data.
+	IO time.Duration
+	// TotalWith is the overall checkpoint time with compression.
+	TotalWith time.Duration
+	// TotalWithout is the overall checkpoint time without compression
+	// (raw data straight to the filesystem).
+	TotalWithout time.Duration
+}
+
+// At evaluates the model at process count P.
+func (e Estimator) At(p int) (Breakdown, error) {
+	if err := e.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if p < 1 {
+		return Breakdown{}, fmt.Errorf("%w: P=%d", ErrModel, p)
+	}
+	t := e.Compression
+	b := Breakdown{
+		P:         p,
+		Wavelet:   t.Wavelet,
+		Quantize:  t.Quantize + t.Encode + t.Format,
+		TempWrite: t.TempWrite,
+		Gzip:      t.Gzip,
+		Other:     t.Other(),
+	}
+	compressedTotal := int64(float64(e.PerProcessBytes) * e.CompressionRate * float64(p))
+	rawTotal := e.PerProcessBytes * int64(p)
+	b.IO = e.FS.WriteTime(compressedTotal)
+	b.TotalWith = b.Wavelet + b.Quantize + b.TempWrite + b.Gzip + b.Other + b.IO
+	b.TotalWithout = e.FS.WriteTime(rawTotal)
+	return b, nil
+}
+
+// Sweep evaluates the model at every process count in ps (the paper plots
+// 256, 512, …, 2048).
+func (e Estimator) Sweep(ps []int) ([]Breakdown, error) {
+	out := make([]Breakdown, 0, len(ps))
+	for _, p := range ps {
+		b, err := e.At(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Crossover returns the smallest P ≤ maxP at which compression wins
+// (TotalWith < TotalWithout), or 0 if it never does within maxP. The paper
+// finds the crosspoint "around 768 processes" for its measurements.
+func (e Estimator) Crossover(maxP int) (int, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	// TotalWith(P) = C + a·cr·P, TotalWithout(P) = a·P with
+	// a = perProcBytes/bandwidth: solve C < a·P·(1−cr) exactly rather than
+	// scanning.
+	if e.CompressionRate >= 1 {
+		return 0, nil
+	}
+	b, err := e.At(1)
+	if err != nil {
+		return 0, err
+	}
+	c := b.TotalWith - b.IO // constant compression cost
+	perProcIO := float64(e.PerProcessBytes) / e.FS.BandwidthBytesPerSec * float64(time.Second)
+	for p := 1; p <= maxP; p++ {
+		saving := perProcIO * float64(p) * (1 - e.CompressionRate)
+		if float64(c) < saving {
+			return p, nil
+		}
+	}
+	return 0, nil
+}
+
+// AsymptoticSavingPct returns the paper's limit saving as P → ∞:
+// (1 − cr) × 100 (the paper computes (1−0.19)×100 = 81%).
+func (e Estimator) AsymptoticSavingPct() float64 {
+	return (1 - e.CompressionRate) * 100
+}
+
+// SavingPctAt returns the modeled checkpoint-time reduction at P, in
+// percent (the paper reports 55% at 2048 processes).
+func (e Estimator) SavingPctAt(p int) (float64, error) {
+	b, err := e.At(p)
+	if err != nil {
+		return 0, err
+	}
+	if b.TotalWithout <= 0 {
+		return 0, fmt.Errorf("%w: degenerate baseline at P=%d", ErrModel, p)
+	}
+	return 100 * (1 - float64(b.TotalWith)/float64(b.TotalWithout)), nil
+}

@@ -1,0 +1,177 @@
+package iomodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lossyckpt/internal/core"
+)
+
+// paperEstimator mimics the paper's setup: 1.5 MB/process, 20 GB/s, cr 19%,
+// and a compression cost of a few ms/process.
+func paperEstimator() Estimator {
+	return Estimator{
+		PerProcessBytes: 1_500_000,
+		CompressionRate: 0.19,
+		FS:              PaperFS,
+		Compression: core.Timings{
+			Wavelet:   2 * time.Millisecond,
+			Quantize:  3 * time.Millisecond,
+			Encode:    1 * time.Millisecond,
+			Format:    500 * time.Microsecond,
+			TempWrite: 10 * time.Millisecond,
+			Gzip:      25 * time.Millisecond,
+			Total:     45 * time.Millisecond,
+		},
+	}
+}
+
+func TestFileSystemWriteTime(t *testing.T) {
+	fs := FileSystem{BandwidthBytesPerSec: 1e9}
+	if got := fs.WriteTime(1e9); got != time.Second {
+		t.Errorf("WriteTime(1GB @ 1GB/s) = %v, want 1s", got)
+	}
+	if got := fs.WriteTime(0); got != 0 {
+		t.Errorf("WriteTime(0) = %v", got)
+	}
+	if got := (FileSystem{}).WriteTime(100); got != 0 {
+		t.Errorf("zero-bandwidth WriteTime = %v", got)
+	}
+}
+
+func TestAtComponents(t *testing.T) {
+	e := paperEstimator()
+	b, err := e.At(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.P != 2048 {
+		t.Errorf("P = %d", b.P)
+	}
+	// IO must equal perProc × cr × P / BW.
+	wantIO := time.Duration(1_500_000 * 0.19 * 2048 / 20e9 * float64(time.Second))
+	if d := b.IO - wantIO; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("IO = %v, want ≈%v", b.IO, wantIO)
+	}
+	// TotalWithout is raw I/O only.
+	wantRaw := time.Duration(1_500_000 * 2048 / 20e9 * float64(time.Second))
+	if d := b.TotalWithout - wantRaw; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("TotalWithout = %v, want ≈%v", b.TotalWithout, wantRaw)
+	}
+	// Stacked components sum to TotalWith.
+	sum := b.Wavelet + b.Quantize + b.TempWrite + b.Gzip + b.Other + b.IO
+	if sum != b.TotalWith {
+		t.Errorf("components sum %v != TotalWith %v", sum, b.TotalWith)
+	}
+}
+
+func TestCompressionCostConstantInP(t *testing.T) {
+	e := paperEstimator()
+	b1, _ := e.At(256)
+	b2, _ := e.At(2048)
+	if b1.Wavelet != b2.Wavelet || b1.Gzip != b2.Gzip || b1.TempWrite != b2.TempWrite {
+		t.Error("compression phases varied with P; they must be constant (weak scaling)")
+	}
+	if b2.IO <= b1.IO {
+		t.Error("I/O time did not grow with P")
+	}
+}
+
+func TestCrossoverExistsAndConsistent(t *testing.T) {
+	e := paperEstimator()
+	p, err := e.Crossover(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("no crossover found")
+	}
+	// Verify by direct evaluation on both sides.
+	before, _ := e.At(p - 1)
+	after, _ := e.At(p)
+	if p > 1 && before.TotalWith < before.TotalWithout {
+		t.Errorf("P=%d already wins but crossover says %d", p-1, p)
+	}
+	if after.TotalWith >= after.TotalWithout {
+		t.Errorf("P=%d does not win but crossover says it does", p)
+	}
+}
+
+func TestCrossoverNeverWithinBound(t *testing.T) {
+	e := paperEstimator()
+	e.Compression.Gzip = time.Hour // absurd compression cost
+	p, err := e.Crossover(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("crossover = %d despite 1h compression cost", p)
+	}
+}
+
+func TestAsymptoticSaving(t *testing.T) {
+	e := paperEstimator()
+	// The paper: (1 − 0.19) × 100 = 81%.
+	if got := e.AsymptoticSavingPct(); math.Abs(got-81) > 1e-9 {
+		t.Errorf("asymptotic saving = %g%%, want 81%%", got)
+	}
+}
+
+func TestSavingGrowsTowardAsymptote(t *testing.T) {
+	e := paperEstimator()
+	s256, err := e.SavingPctAt(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2048, _ := e.SavingPctAt(2048)
+	sHuge, _ := e.SavingPctAt(1 << 26)
+	if !(s256 < s2048 && s2048 < sHuge) {
+		t.Errorf("savings not monotone: %g %g %g", s256, s2048, sHuge)
+	}
+	if math.Abs(sHuge-e.AsymptoticSavingPct()) > 1 {
+		t.Errorf("saving at huge P %g%% far from asymptote %g%%", sHuge, e.AsymptoticSavingPct())
+	}
+}
+
+func TestSweep(t *testing.T) {
+	e := paperEstimator()
+	ps := []int{256, 512, 768, 1024, 1280, 1536, 1792, 2048}
+	rows, err := e.Sweep(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ps) {
+		t.Fatalf("sweep returned %d rows", len(rows))
+	}
+	for i, b := range rows {
+		if b.P != ps[i] {
+			t.Errorf("row %d: P=%d", i, b.P)
+		}
+	}
+	// The with-compression slope must be flatter than without (the paper's
+	// central scaling observation).
+	dWith := rows[len(rows)-1].TotalWith - rows[0].TotalWith
+	dWithout := rows[len(rows)-1].TotalWithout - rows[0].TotalWithout
+	if dWith >= dWithout {
+		t.Errorf("with-compression slope %v not flatter than without %v", dWith, dWithout)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Estimator{
+		{PerProcessBytes: 0, CompressionRate: 0.2, FS: PaperFS},
+		{PerProcessBytes: 100, CompressionRate: 0, FS: PaperFS},
+		{PerProcessBytes: 100, CompressionRate: 1.5, FS: PaperFS},
+		{PerProcessBytes: 100, CompressionRate: 0.2, FS: FileSystem{}},
+	}
+	for i, e := range bad {
+		if _, err := e.At(10); err == nil {
+			t.Errorf("bad estimator %d accepted", i)
+		}
+	}
+	e := paperEstimator()
+	if _, err := e.At(0); err == nil {
+		t.Error("P=0 accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.N = 128
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{N: 1, Dt: 1e-3, Softening: 0.05, G: 1},
+		{N: 10, Dt: 0, Softening: 0.05, G: 1},
+		{N: 10, Dt: 1e-3, Softening: 0, G: 1},
+		{N: 10, Dt: 1e-3, Softening: 0.05, G: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	a.StepN(20)
+	b.StepN(20)
+	for i, fa := range a.Fields() {
+		if !fa.Field.Equal(b.Fields()[i].Field) {
+			t.Errorf("field %s diverged between identical runs", fa.Name)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s, _ := New(testConfig())
+	e0 := s.Energy()
+	s.StepN(500)
+	e1 := s.Energy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 0.02 {
+		t.Errorf("energy drifted %.3f%% over 500 steps", 100*drift)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	s, _ := New(testConfig())
+	mom := func() (float64, float64, float64) {
+		var mx, my, mz float64
+		m := s.Fields()[6].Field.Data()
+		vx := s.Fields()[3].Field.Data()
+		vy := s.Fields()[4].Field.Data()
+		vz := s.Fields()[5].Field.Data()
+		for i := range m {
+			mx += m[i] * vx[i]
+			my += m[i] * vy[i]
+			mz += m[i] * vz[i]
+		}
+		return mx, my, mz
+	}
+	x0, y0, z0 := mom()
+	s.StepN(200)
+	x1, y1, z1 := mom()
+	if math.Abs(x1-x0) > 1e-10 || math.Abs(y1-y0) > 1e-10 || math.Abs(z1-z0) > 1e-10 {
+		t.Errorf("momentum drifted: (%g,%g,%g) -> (%g,%g,%g)", x0, y0, z0, x1, y1, z1)
+	}
+}
+
+func TestFieldsAndCounters(t *testing.T) {
+	s, _ := New(testConfig())
+	if len(s.Fields()) != 7 {
+		t.Errorf("Fields() = %d arrays, want 7", len(s.Fields()))
+	}
+	s.StepN(5)
+	if s.StepCount() != 5 {
+		t.Errorf("StepCount = %d", s.StepCount())
+	}
+	s.SetStepCount(100)
+	if s.StepCount() != 100 {
+		t.Error("SetStepCount failed")
+	}
+}
+
+func TestCloneIndependentEvolution(t *testing.T) {
+	a, _ := New(testConfig())
+	a.StepN(10)
+	b := a.Clone()
+	a.StepN(10)
+	b.StepN(10)
+	for i, fa := range a.Fields() {
+		if !fa.Field.Equal(b.Fields()[i].Field) {
+			t.Errorf("field %s: clone evolution diverged", fa.Name)
+		}
+	}
+}
+
+func TestRestoreWithRefreshDerivedMatchesReference(t *testing.T) {
+	ref, _ := New(testConfig())
+	ref.StepN(50)
+	snap := ref.Clone()
+	ref.StepN(50)
+
+	re, _ := New(testConfig())
+	for i, nf := range re.Fields() {
+		copy(nf.Field.Data(), snap.Fields()[i].Field.Data())
+	}
+	re.SetStepCount(snap.StepCount())
+	re.RefreshDerived()
+	re.StepN(50)
+	for i, fr := range ref.Fields() {
+		if !fr.Field.Equal(re.Fields()[i].Field) {
+			t.Errorf("field %s: exact restart diverged", fr.Name)
+		}
+	}
+}
+
+func TestPositionsNotSmoothInParticleOrder(t *testing.T) {
+	// The premise of experiment X4: particle arrays lack spatial
+	// smoothness, i.e. neighbouring array entries are uncorrelated. Check
+	// that the mean |x[i+1]-x[i]| is comparable to the data's spread.
+	s, _ := New(testConfig())
+	x := s.Fields()[0].Field.Data()
+	var diff float64
+	for i := 1; i < len(x); i++ {
+		diff += math.Abs(x[i] - x[i-1])
+	}
+	diff /= float64(len(x) - 1)
+	min, max := s.Fields()[0].Field.MinMax()
+	if diff < (max-min)/20 {
+		t.Errorf("particle positions unexpectedly smooth: mean step %g vs range %g", diff, max-min)
+	}
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"testing"
+
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/iomodel"
+)
+
+// small returns a fast test configuration.
+func small(ranks int, codec ckpt.Codec) Config {
+	c := DefaultConfig(ranks, codec)
+	c.ElemsPerRank = 8192
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Ranks: 0, ElemsPerRank: 10, Codec: ckpt.None{}, FS: iomodel.PaperFS},
+		{Ranks: 2, ElemsPerRank: 1, Codec: ckpt.None{}, FS: iomodel.PaperFS},
+		{Ranks: 2, ElemsPerRank: 10, Codec: nil, FS: iomodel.PaperFS},
+		{Ranks: 2, ElemsPerRank: 10, Codec: ckpt.None{}},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunLossyCluster(t *testing.T) {
+	cfg := small(8, ckpt.NewLossy())
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerRank) != 8 {
+		t.Fatalf("per-rank results: %d", len(out.PerRank))
+	}
+	if out.CompressionRatePct() >= 100 {
+		t.Errorf("cluster cr %.1f%%", out.CompressionRatePct())
+	}
+	if out.CompressMakespan <= 0 {
+		t.Error("zero compression makespan")
+	}
+	if out.IOTime >= out.IOTimeRaw {
+		t.Error("compressed I/O not smaller than raw I/O")
+	}
+	for r, rr := range out.PerRank {
+		if rr.Rank != r || rr.CompressedBytes == 0 || rr.RawBytes != 8192*8 {
+			t.Errorf("rank %d result malformed: %+v", r, rr)
+		}
+	}
+	if out.TotalWith() != out.CompressMakespan+out.IOTime {
+		t.Error("TotalWith inconsistent")
+	}
+	if out.TotalWithout() != out.IOTimeRaw {
+		t.Error("TotalWithout inconsistent")
+	}
+}
+
+func TestRanksGetDistinctData(t *testing.T) {
+	cfg := small(4, ckpt.None{})
+	a, b := rankField(cfg, 0), rankField(cfg, 1)
+	if a.Equal(b) {
+		t.Error("ranks 0 and 1 share identical data")
+	}
+	// Deterministic per rank.
+	if !a.Equal(rankField(cfg, 0)) {
+		t.Error("rank data not deterministic")
+	}
+}
+
+func TestReplayRankLossless(t *testing.T) {
+	cfg := small(4, ckpt.None{})
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReplayRank(cfg, out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxPct != 0 {
+		t.Errorf("lossless replay has error %v", s)
+	}
+	if _, err := ReplayRank(cfg, out, 99); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestReplayRankLossySmallError(t *testing.T) {
+	cfg := small(4, ckpt.NewLossy())
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		s, err := ReplayRank(cfg, out, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.AvgPct > 1 {
+			t.Errorf("rank %d avg error %.4f%%", r, s.AvgPct)
+		}
+	}
+}
+
+func TestWorkerBoundRespectedAndResultsStable(t *testing.T) {
+	// The compressed payloads must not depend on worker count.
+	run := func(workers int) *Outcome {
+		cfg := small(6, ckpt.NewLossy())
+		cfg.Workers = workers
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(4)
+	for r := range a.PerRank {
+		if a.PerRank[r].CompressedBytes != b.PerRank[r].CompressedBytes {
+			t.Errorf("rank %d payload size depends on workers", r)
+		}
+	}
+}
+
+func TestWeakScalingIOGrowsCompressionBounded(t *testing.T) {
+	// Weak scaling: raw I/O grows linearly with ranks while the measured
+	// compression makespan stays bounded by the worker pool — the paper's
+	// central Fig. 9 argument, here executed rather than modeled.
+	out4, err := Run(small(4, ckpt.NewGzip()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out16, err := Run(small(16, ckpt.NewGzip()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out16.IOTimeRaw <= out4.IOTimeRaw {
+		t.Error("raw I/O did not grow with rank count")
+	}
+	ratio := float64(out16.IOTimeRaw) / float64(out4.IOTimeRaw)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("raw I/O scaling ratio %.2f, want ≈4", ratio)
+	}
+}

@@ -1,0 +1,462 @@
+// Package quant implements stage 2 of the lossy checkpoint compressor of
+// Sasaki et al. (IPDPS 2015): quantization of the wavelet high-frequency
+// coefficients.
+//
+// Two methods are provided, matching the paper's §III-B:
+//
+//   - Simple quantization: the value range [min, max] of the high-frequency
+//     coefficients is split into n equal-width partitions; every value is
+//     replaced by the mean of its partition, so at most n distinct values
+//     remain.
+//
+//   - Proposed quantization: the range is first split into d partitions
+//     (d=64 in the paper) and a histogram is taken. Partitions holding at
+//     least the average share of values, Ndiv[i] ≥ Ntotal/d, are "spiked"
+//     (high-frequency coefficients of smooth data pile up near zero).
+//     Simple quantization with n partitions is then applied only to the
+//     values inside spiked partitions; all other values pass through
+//     losslessly and a bitmap records which values were quantized.
+//
+// The paper's Fig. 4 shows the n sub-partitions spanning the spiked region;
+// we therefore pool the values of all selected partitions and quantize them
+// over that pool's own [min, max] range (documented design choice — with a
+// single spike, as in the paper's data, the two readings coincide).
+//
+// Non-finite values (NaN, ±Inf) are never quantized; they pass through via
+// the bitmap in both methods so decompression is exact for them.
+//
+// All passes are O(len(values)), preserving the paper's O(n) overall
+// complexity claim (§III).
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Method selects the quantization algorithm.
+type Method int
+
+const (
+	// Simple quantizes every finite high-frequency value (paper §III-B1).
+	Simple Method = iota
+	// Proposed quantizes only values inside spiked histogram partitions
+	// (paper §III-B2).
+	Proposed
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Simple:
+		return "simple"
+	case Proposed:
+		return "proposed"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a string produced by String back into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "simple":
+		return Simple, nil
+	case "proposed":
+		return Proposed, nil
+	default:
+		return 0, fmt.Errorf("quant: unknown method %q", s)
+	}
+}
+
+// MaxDivisions is the largest allowed division number n. Codes are stored
+// in one byte (paper §III-C), so n ≤ 255. The paper sweeps n from 1 to 128.
+const MaxDivisions = 255
+
+// DefaultSpikeDivisions is the paper's histogram resolution d for spike
+// detection (§IV-A: "The parameter d is set to be 64").
+const DefaultSpikeDivisions = 64
+
+// Errors returned by this package.
+var (
+	ErrConfig = errors.New("quant: invalid configuration")
+	ErrCodes  = errors.New("quant: corrupt code stream")
+)
+
+// Config parameterizes a quantization.
+type Config struct {
+	// Method selects Simple or Proposed.
+	Method Method
+	// Divisions is the paper's n: the number of equal-width partitions
+	// whose means become the representative values. 1 ≤ n ≤ 255.
+	Divisions int
+	// SpikeDivisions is the paper's d, used only by Proposed. Zero means
+	// DefaultSpikeDivisions.
+	SpikeDivisions int
+	// LogScale switches from the paper's equal-width partitions to
+	// partitions equal in symmetric-log space (extension): partition edges
+	// concentrate near zero, where wavelet high-band values pile up, so
+	// small coefficients get finer resolution at the same n. This is an
+	// encoder-side choice only — decoding reads the average table and is
+	// unchanged.
+	LogScale bool
+}
+
+func (c Config) validate() (Config, error) {
+	if c.Method != Simple && c.Method != Proposed {
+		return c, fmt.Errorf("%w: method %d", ErrConfig, int(c.Method))
+	}
+	if c.Divisions < 1 || c.Divisions > MaxDivisions {
+		return c, fmt.Errorf("%w: divisions %d (want 1..%d)", ErrConfig, c.Divisions, MaxDivisions)
+	}
+	if c.SpikeDivisions == 0 {
+		c.SpikeDivisions = DefaultSpikeDivisions
+	}
+	if c.SpikeDivisions < 1 {
+		return c, fmt.Errorf("%w: spike divisions %d", ErrConfig, c.SpikeDivisions)
+	}
+	return c, nil
+}
+
+// Quantization is the output of Quantize: everything needed to encode the
+// quantized stream and to reconstruct approximate values.
+type Quantization struct {
+	// Averages is the representative-value table; Codes index into it.
+	// Its length is the configured number of divisions; entries for empty
+	// partitions are zero and never referenced by Codes.
+	Averages []float64
+	// Codes holds one byte per quantized value, in input order (skipping
+	// passthrough values).
+	Codes []uint8
+	// Mask has one entry per input value: true when the value was replaced
+	// by a code, false when it passes through losslessly.
+	Mask []bool
+	// NumQuantized is the number of true entries in Mask (== len(Codes)).
+	NumQuantized int
+	// SpikePartitions is the number of histogram partitions selected as
+	// spiked (Proposed only; equals SpikeDivisions' selected count).
+	SpikePartitions int
+}
+
+// Passthrough appends the values that were not quantized (in input order)
+// to dst and returns it. These must be stored verbatim by the encoder.
+func (q *Quantization) Passthrough(values []float64, dst []float64) ([]float64, error) {
+	if len(values) != len(q.Mask) {
+		return nil, fmt.Errorf("quant: passthrough over %d values, mask has %d", len(values), len(q.Mask))
+	}
+	for i, v := range values {
+		if !q.Mask[i] {
+			dst = append(dst, v)
+		}
+	}
+	return dst, nil
+}
+
+// Quantize analyzes values (the pooled high-frequency coefficients of one
+// array) and returns the quantization mapping. The input slice is not
+// modified.
+func Quantize(values []float64, cfg Config) (*Quantization, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	q := &Quantization{
+		Averages: make([]float64, cfg.Divisions),
+		Mask:     make([]bool, len(values)),
+	}
+	if len(values) == 0 {
+		q.Codes = []uint8{}
+		return q, nil
+	}
+
+	// A selector decides which values are subject to quantization.
+	selector := func(float64) bool { return true }
+	if cfg.Method == Proposed {
+		sel, nSpiked, err := spikeSelector(values, cfg.SpikeDivisions)
+		if err != nil {
+			return nil, err
+		}
+		selector = sel
+		q.SpikePartitions = nSpiked
+	}
+
+	// Range of the to-be-quantized pool.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	nSel := 0
+	for _, v := range values {
+		if !isFinite(v) || !selector(v) {
+			continue
+		}
+		nSel++
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if nSel == 0 {
+		q.Codes = []uint8{}
+		return q, nil
+	}
+
+	part := makePartitioner(lo, hi, cfg.Divisions, cfg.LogScale)
+
+	// Pass 1 over the pool: per-partition sums and counts.
+	sums := make([]float64, cfg.Divisions)
+	counts := make([]int, cfg.Divisions)
+	for _, v := range values {
+		if !isFinite(v) || !selector(v) {
+			continue
+		}
+		i := part.index(v)
+		sums[i] += v
+		counts[i]++
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			q.Averages[i] = sums[i] / float64(counts[i])
+		}
+	}
+
+	// Pass 2: emit codes and mask.
+	q.Codes = make([]uint8, 0, nSel)
+	for i, v := range values {
+		if !isFinite(v) || !selector(v) {
+			continue
+		}
+		q.Mask[i] = true
+		q.Codes = append(q.Codes, uint8(part.index(v)))
+	}
+	q.NumQuantized = len(q.Codes)
+	return q, nil
+}
+
+// Dequantize reconstructs the value stream from a quantization: quantized
+// positions are filled from Averages[Codes], passthrough positions from the
+// passthrough slice, both consumed in order. The result has len(mask)
+// elements and is appended to dst.
+func Dequantize(mask []bool, codes []uint8, averages, passthrough []float64, dst []float64) ([]float64, error) {
+	nq := 0
+	for _, m := range mask {
+		if m {
+			nq++
+		}
+	}
+	if nq != len(codes) {
+		return nil, fmt.Errorf("%w: mask marks %d quantized values, have %d codes", ErrCodes, nq, len(codes))
+	}
+	if len(mask)-nq != len(passthrough) {
+		return nil, fmt.Errorf("%w: mask leaves %d passthrough values, have %d", ErrCodes, len(mask)-nq, len(passthrough))
+	}
+	ci, pi := 0, 0
+	for _, m := range mask {
+		if m {
+			c := codes[ci]
+			ci++
+			if int(c) >= len(averages) {
+				return nil, fmt.Errorf("%w: code %d out of range (%d averages)", ErrCodes, c, len(averages))
+			}
+			dst = append(dst, averages[c])
+		} else {
+			dst = append(dst, passthrough[pi])
+			pi++
+		}
+	}
+	return dst, nil
+}
+
+// Apply is a convenience that quantizes and immediately reconstructs,
+// returning the lossy version of values. It is what the compressor's error
+// analysis uses.
+func Apply(values []float64, cfg Config) ([]float64, *Quantization, error) {
+	q, err := Quantize(values, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pass, err := q.Passthrough(values, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Dequantize(q.Mask, q.Codes, q.Averages, pass, make([]float64, 0, len(values)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, q, nil
+}
+
+// partitioner maps a value in [lo,hi] to one of n partitions — equal-width
+// in linear space (the paper's scheme) or in symmetric-log (asinh) space.
+type partitioner struct {
+	lo, hi float64 // warped bounds
+	n      int
+	log    bool
+	scale  float64
+}
+
+func makePartitioner(lo, hi float64, n int, logScale bool) partitioner {
+	p := partitioner{n: n, log: logScale}
+	if logScale {
+		p.scale = math.Max(math.Abs(lo), math.Abs(hi)) / 1e4
+		if p.scale == 0 || math.IsNaN(p.scale) || math.IsInf(p.scale, 0) {
+			p.scale = 1
+		}
+	}
+	p.lo, p.hi = p.warp(lo), p.warp(hi)
+	return p
+}
+
+// warp maps a raw value into partitioning space.
+func (p partitioner) warp(v float64) float64 {
+	if !p.log {
+		return v
+	}
+	return math.Asinh(v / p.scale)
+}
+
+func (p partitioner) index(v float64) int {
+	if p.hi == p.lo {
+		return 0
+	}
+	i := int(float64(p.n) * (p.warp(v) - p.lo) / (p.hi - p.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.n {
+		i = p.n - 1 // v == hi lands here
+	}
+	return i
+}
+
+// spikeSelector histograms the finite values into d partitions and returns
+// a predicate selecting values that fall into spiked partitions
+// (Ndiv[i] ≥ Ntotal/d, paper Eq. 4), along with the spiked-partition count.
+func spikeSelector(values []float64, d int) (func(float64) bool, int, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, v := range values {
+		if !isFinite(v) {
+			continue
+		}
+		total++
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if total == 0 {
+		return func(float64) bool { return false }, 0, nil
+	}
+	// Spike detection stays linear, matching the paper's Fig. 4.
+	part := makePartitioner(lo, hi, d, false)
+	counts := make([]int, d)
+	for _, v := range values {
+		if isFinite(v) {
+			counts[part.index(v)]++
+		}
+	}
+	spiked := make([]bool, d)
+	nSpiked := 0
+	// Ndiv[i] ≥ Ntotal/d, computed without integer truncation:
+	// d*Ndiv[i] ≥ Ntotal.
+	for i, c := range counts {
+		if c > 0 && c*d >= total {
+			spiked[i] = true
+			nSpiked++
+		}
+	}
+	return func(v float64) bool { return spiked[part.index(v)] }, nSpiked, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// --- Error-bound extension (paper §IV-C future work) --------------------
+
+// MaxQuantizationError returns the largest absolute error the quantization
+// introduces over the given values: max |v − Averages[code(v)]| over
+// quantized values. Passthrough values contribute zero.
+func MaxQuantizationError(values []float64, q *Quantization) (float64, error) {
+	if len(values) != len(q.Mask) {
+		return 0, fmt.Errorf("quant: %d values, mask has %d", len(values), len(q.Mask))
+	}
+	maxErr := 0.0
+	ci := 0
+	for i, v := range values {
+		if !q.Mask[i] {
+			continue
+		}
+		e := math.Abs(v - q.Averages[q.Codes[ci]])
+		ci++
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}
+
+// ChooseDivisions implements the paper's proposed future capability of
+// "controlling the errors by specifying a value": it returns a small
+// (near-minimal) division number n in [1, MaxDivisions] whose quantization
+// keeps the maximum absolute error ≤ bound, along with the resulting
+// quantization. The error guarantee is strict; minimality is approximate
+// because the max error is not exactly monotone in n (partition means
+// shift as partitions split). If even n = MaxDivisions exceeds the bound,
+// it returns MaxDivisions and the corresponding quantization together with
+// ErrBoundUnreachable.
+func ChooseDivisions(values []float64, bound float64, method Method, spikeDivisions int) (int, *Quantization, error) {
+	if bound < 0 || math.IsNaN(bound) {
+		return 0, nil, fmt.Errorf("%w: error bound %g", ErrConfig, bound)
+	}
+	// Max error is monotonically non-increasing in n only approximately
+	// (partition means shift), so binary search could mis-step; n ≤ 255
+	// makes a linear-doubling scan affordable and exact.
+	try := func(n int) (*Quantization, float64, error) {
+		q, err := Quantize(values, Config{Method: method, Divisions: n, SpikeDivisions: spikeDivisions})
+		if err != nil {
+			return nil, 0, err
+		}
+		e, err := MaxQuantizationError(values, q)
+		return q, e, err
+	}
+	var best *Quantization
+	for n := 1; n <= MaxDivisions; n *= 2 {
+		q, e, err := try(n)
+		if err != nil {
+			return 0, nil, err
+		}
+		best = q
+		if e <= bound {
+			// Refine downward linearly between n/2 and n.
+			for m := n / 2; m > 0; m-- {
+				qm, em, err := try(m)
+				if err != nil {
+					return 0, nil, err
+				}
+				if em <= bound {
+					best = qm
+					continue
+				}
+				break
+			}
+			return len(best.Averages), best, nil
+		}
+		if n == 128 { // next doubling would overshoot 255; test the cap
+			q, e, err := try(MaxDivisions)
+			if err != nil {
+				return 0, nil, err
+			}
+			if e <= bound {
+				return MaxDivisions, q, nil
+			}
+			return MaxDivisions, q, ErrBoundUnreachable
+		}
+	}
+	return len(best.Averages), best, nil
+}
+
+// ErrBoundUnreachable reports that no division number within MaxDivisions
+// meets the requested error bound.
+var ErrBoundUnreachable = errors.New("quant: error bound unreachable within division limit")

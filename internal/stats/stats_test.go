@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressionRate(t *testing.T) {
+	if got := CompressionRate(19, 100); got != 19 {
+		t.Errorf("CompressionRate(19,100) = %g, want 19", got)
+	}
+	if got := CompressionRate(100, 100); got != 100 {
+		t.Errorf("identity rate = %g, want 100", got)
+	}
+	if !math.IsNaN(CompressionRate(5, 0)) {
+		t.Error("zero original size should yield NaN")
+	}
+}
+
+func TestRelativeErrorsEq6(t *testing.T) {
+	// Range is 10-0 = 10; per-element errors 1 and 2 normalize to 0.1, 0.2.
+	orig := []float64{0, 10, 5}
+	approx := []float64{1, 8, 5}
+	res, err := RelativeErrors(orig, approx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0}
+	for i := range want {
+		if math.Abs(res[i]-want[i]) > 1e-15 {
+			t.Errorf("re[%d] = %g, want %g", i, res[i], want[i])
+		}
+	}
+}
+
+func TestRelativeErrorsInputChecks(t *testing.T) {
+	if _, err := RelativeErrors([]float64{1}, []float64{1, 2}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RelativeErrors(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRelativeErrorsConstantArray(t *testing.T) {
+	res, err := RelativeErrors([]float64{5, 5}, []float64{5, 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate range falls back to absolute error.
+	if res[0] != 0 || res[1] != 1 {
+		t.Errorf("constant-array errors = %v, want [0 1]", res)
+	}
+}
+
+func TestRelativeErrorsNaN(t *testing.T) {
+	res, err := RelativeErrors([]float64{0, math.NaN(), 10}, []float64{0, math.NaN(), 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res {
+		if e != 0 {
+			t.Errorf("identical arrays with NaN: re[%d]=%g", i, e)
+		}
+	}
+}
+
+func TestCompareSummary(t *testing.T) {
+	orig := []float64{0, 10}
+	approx := []float64{1, 10}
+	s, err := Compare(orig, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.AvgPct-5) > 1e-12 { // (0.1+0)/2 = 0.05 -> 5%
+		t.Errorf("AvgPct = %g, want 5", s.AvgPct)
+	}
+	if math.Abs(s.MaxPct-10) > 1e-12 {
+		t.Errorf("MaxPct = %g, want 10", s.MaxPct)
+	}
+	if s.N != 2 {
+		t.Errorf("N = %d, want 2", s.N)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestIdenticalArraysZeroError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	s, err := Compare(vals, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgPct != 0 || s.MaxPct != 0 || s.RMSEPct != 0 {
+		t.Errorf("self-comparison nonzero: %v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float64{0, 0.1, 0.2, 5, 9.9, 10}
+	h, err := NewHistogram(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min != 0 || h.Max != 10 {
+		t.Errorf("range = [%g,%g], want [0,10]", h.Min, h.Max)
+	}
+	if h.Total != 6 {
+		t.Errorf("Total = %d, want 6", h.Total)
+	}
+	if h.Counts[0] != 3 { // 0, 0.1, 0.2
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[9] != 2 { // 9.9 and 10 (max clamps into last bin)
+		t.Errorf("bin 9 = %d, want 2", h.Counts[9])
+	}
+	if _, err := NewHistogram(vals, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+}
+
+func TestHistogramSpikeFraction(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := 0; i < 95; i++ {
+		vals[i] = 0.001 * float64(i%3)
+	}
+	for i := 95; i < 100; i++ {
+		vals[i] = 100
+	}
+	h, _ := NewHistogram(vals, 64)
+	if f := h.SpikeFraction(); f < 0.9 {
+		t.Errorf("SpikeFraction = %g, want ≥0.9 for spiky data", f)
+	}
+	empty, _ := NewHistogram(nil, 4)
+	if empty.SpikeFraction() != 0 {
+		t.Error("empty histogram SpikeFraction != 0")
+	}
+}
+
+func TestRandomWalkFitRecoversCoefficient(t *testing.T) {
+	// Perfect sqrt growth: err(t) = 0.3*sqrt(t).
+	errs := make([]float64, 500)
+	for i := range errs {
+		errs[i] = 0.3 * math.Sqrt(float64(i+1))
+	}
+	c, r2, err := RandomWalkFit(errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.3) > 1e-12 {
+		t.Errorf("c = %g, want 0.3", c)
+	}
+	if r2 < 0.999 {
+		t.Errorf("R² = %g, want ≈1", r2)
+	}
+}
+
+func TestRandomWalkFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	errs := make([]float64, 1000)
+	for i := range errs {
+		errs[i] = 0.5*math.Sqrt(float64(i+1)) + rng.NormFloat64()*0.5
+	}
+	c, r2, err := RandomWalkFit(errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.5) > 0.05 {
+		t.Errorf("noisy fit c = %g, want ≈0.5", c)
+	}
+	if r2 < 0.9 {
+		t.Errorf("noisy fit R² = %g, want >0.9", r2)
+	}
+}
+
+func TestRandomWalkFitErrors(t *testing.T) {
+	if _, _, err := RandomWalkFit([]float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+// Property: relative errors are always in [0, 1] when approx values stay
+// within the original range.
+func TestQuickRelativeErrorBounded(t *testing.T) {
+	fn := func(raw []float64, seed int64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, math.Mod(v, 1e9))
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		approx := make([]float64, len(vals))
+		for i := range approx {
+			approx[i] = vals[rng.Intn(len(vals))] // stays within range
+		}
+		res, err := RelativeErrors(vals, approx, nil)
+		if err != nil {
+			return false
+		}
+		for _, e := range res {
+			if e < 0 || e > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	v := []float64{1, 2, 3}
+	p, err := PSNR(v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("identical arrays PSNR = %g, want +Inf", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// Range 10, constant error 1 -> RMSE 1 -> PSNR = 20 dB.
+	orig := []float64{0, 10}
+	approx := []float64{1, 9}
+	p, err := PSNR(orig, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 1e-9 {
+		t.Errorf("PSNR = %g, want 20", p)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := make([]float64, 1000)
+	for i := range orig {
+		orig[i] = rng.NormFloat64() * 10
+	}
+	noisy := func(scale float64) []float64 {
+		out := make([]float64, len(orig))
+		r2 := rand.New(rand.NewSource(4))
+		for i := range out {
+			out[i] = orig[i] + scale*r2.NormFloat64()
+		}
+		return out
+	}
+	small, _ := PSNR(orig, noisy(0.001))
+	large, _ := PSNR(orig, noisy(1))
+	if small <= large {
+		t.Errorf("PSNR not monotone: small-noise %g ≤ large-noise %g", small, large)
+	}
+}
+
+func TestPSNRErrors(t *testing.T) {
+	if _, err := PSNR([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	// NaN only on one side => -Inf (worst possible).
+	p, err := PSNR([]float64{1, 2}, []float64{1, math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, -1) {
+		t.Errorf("one-sided NaN PSNR = %g, want -Inf", p)
+	}
+}

@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"lossyckpt/internal/stats"
+	"lossyckpt/internal/wavelet"
+)
+
+func TestGenerateAllKindsAllDims(t *testing.T) {
+	shapes := [][]int{{4096}, {128, 64}, {64, 32, 2}}
+	for _, kind := range Kinds {
+		for _, shape := range shapes {
+			f, err := Generate(kind, 1, shape...)
+			if err != nil {
+				t.Fatalf("%v %v: %v", kind, shape, err)
+			}
+			for i, v := range f.Data() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%v %v: non-finite value at %d", kind, shape, i)
+				}
+			}
+			min, max := f.MinMax()
+			if min == max {
+				t.Errorf("%v %v: constant output", kind, shape)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds {
+		a, _ := Generate(kind, 7, 64, 32)
+		b, _ := Generate(kind, 7, 64, 32)
+		if !a.Equal(b) {
+			t.Errorf("%v: same seed produced different data", kind)
+		}
+		c, _ := Generate(kind, 8, 64, 32)
+		if a.Equal(c) {
+			t.Errorf("%v: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Smooth, 1); err == nil {
+		t.Error("no shape accepted")
+	}
+	if _, err := Generate(Smooth, 1, 2, 2, 2, 2); err == nil {
+		t.Error("4D shape accepted")
+	}
+	if _, err := Generate(Kind(99), 1, 16); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Generate(Smooth, 1, 0); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+// spikeFraction measures how concentrated the wavelet high band is — the
+// property that orders the generators from compressible to incompressible.
+func spikeFraction(t *testing.T, kind Kind) float64 {
+	t.Helper()
+	f, err := Generate(kind, 3, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := wavelet.NewPlan(f.Shape(), 1, wavelet.Haar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	high, err := p.GatherHigh(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stats.NewHistogram(high, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.SpikeFraction()
+}
+
+func TestKindsSpanTheSmoothnessSpectrum(t *testing.T) {
+	smooth := spikeFraction(t, Smooth)
+	noise := spikeFraction(t, Noise)
+	// A uniform high-band distribution over 64 bins would put ~0.016 in
+	// the fullest bin; pure sinusoids give an arcsine-like (still strongly
+	// concentrated) distribution.
+	if smooth < 0.2 {
+		t.Errorf("smooth spike fraction %.2f; expected concentration ≫ uniform", smooth)
+	}
+	if noise > smooth {
+		t.Errorf("noise (%.2f) more concentrated than smooth (%.2f)", noise, smooth)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	want := map[Kind]string{Smooth: "smooth", Turbulent: "turbulent", Shock: "shock", Noise: "noise", Mixed: "mixed"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"lossyckpt/internal/grid"
+)
+
+// BandOf returns which sub-band the multi-index idx belongs to: the
+// 1-based level and the BandID within that level (0 only for the deepest
+// level's low band). The classification follows the Mallat layout used by
+// Transform: an index is at level k's band if it lies inside the active
+// box of level k−1 but outside the low box of level k along at least one
+// axis (the high bits), or inside every level's low box (the final low
+// band).
+func (p *Plan) BandOf(idx []int) (level int, id BandID) {
+	for k := 1; k <= p.levels; k++ {
+		cur := p.ext[k]
+		var bits BandID
+		for d, i := range idx {
+			if i >= cur[d] {
+				bits |= 1 << uint(d)
+			}
+		}
+		if bits != 0 {
+			return k, bits
+		}
+	}
+	return p.levels, 0
+}
+
+// GatherBands splits the transformed field's coefficients into per-band
+// slices, ordered exactly like Bands() (all high bands level by level,
+// then the final low band). Within each band, values appear in flat
+// row-major order — the same order GatherHigh uses overall.
+func (p *Plan) GatherBands(f *grid.Field) ([][]float64, error) {
+	if err := p.matches(f); err != nil {
+		return nil, err
+	}
+	bands := p.Bands()
+	index := make(map[bandKey]int, len(bands))
+	out := make([][]float64, len(bands))
+	for i, b := range bands {
+		index[bandKey{b.Level, b.ID}] = i
+		out[i] = make([]float64, 0, b.Count)
+	}
+	idx := make([]int, len(p.shape))
+	for off := 0; off < f.Len(); off++ {
+		lv, id := p.BandOf(idx)
+		i := index[bandKey{lv, id}]
+		out[i] = append(out[i], f.Data()[off])
+		advance(idx, p.shape)
+	}
+	return out, nil
+}
+
+// ScatterBands writes per-band slices (as returned by GatherBands) back
+// into the transformed field.
+func (p *Plan) ScatterBands(f *grid.Field, bands [][]float64) error {
+	if err := p.matches(f); err != nil {
+		return err
+	}
+	expect := p.Bands()
+	if len(bands) != len(expect) {
+		return fmt.Errorf("wavelet: ScatterBands got %d bands, want %d", len(bands), len(expect))
+	}
+	index := make(map[bandKey]int, len(expect))
+	pos := make([]int, len(expect))
+	for i, b := range expect {
+		index[bandKey{b.Level, b.ID}] = i
+		if len(bands[i]) != b.Count {
+			return fmt.Errorf("wavelet: band %s has %d values, want %d", b.Name, len(bands[i]), b.Count)
+		}
+	}
+	idx := make([]int, len(p.shape))
+	for off := 0; off < f.Len(); off++ {
+		lv, id := p.BandOf(idx)
+		i := index[bandKey{lv, id}]
+		f.Data()[off] = bands[i][pos[i]]
+		pos[i]++
+		advance(idx, p.shape)
+	}
+	return nil
+}
+
+type bandKey struct {
+	level int
+	id    BandID
+}
+
+// advance increments a row-major multi-index within shape.
+func advance(idx, shape []int) {
+	for d := len(shape) - 1; d >= 0; d-- {
+		idx[d]++
+		if idx[d] < shape[d] {
+			return
+		}
+		idx[d] = 0
+	}
+}
+
+// BandEnergies returns the sum of squared coefficients per band, ordered
+// like Bands() — the standard diagnostic for how well a transform
+// concentrates information (smooth inputs put almost all energy in the
+// low band).
+func (p *Plan) BandEnergies(f *grid.Field) ([]float64, error) {
+	bands, err := p.GatherBands(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(bands))
+	for i, b := range bands {
+		var e float64
+		for _, v := range b {
+			e += v * v
+		}
+		out[i] = e
+	}
+	return out, nil
+}

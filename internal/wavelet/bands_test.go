@@ -1,0 +1,161 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+
+	"lossyckpt/internal/grid"
+)
+
+func TestBandOfSingleLevel2D(t *testing.T) {
+	p, _ := NewPlan([]int{4, 4}, 1, Haar)
+	// Low box is [0:2, 0:2]. Axis 0 high => bit 0, axis 1 high => bit 1.
+	cases := []struct {
+		idx   []int
+		level int
+		id    BandID
+	}{
+		{[]int{0, 0}, 1, 0},      // LL
+		{[]int{1, 1}, 1, 0},      // LL
+		{[]int{0, 3}, 1, 1 << 1}, // high along axis 1
+		{[]int{3, 0}, 1, 1 << 0}, // high along axis 0
+		{[]int{2, 2}, 1, 0b11},   // HH
+	}
+	for _, c := range cases {
+		lv, id := p.BandOf(c.idx)
+		if lv != c.level || id != c.id {
+			t.Errorf("BandOf(%v) = (%d,%b), want (%d,%b)", c.idx, lv, id, c.level, c.id)
+		}
+	}
+}
+
+func TestBandOfTwoLevels1D(t *testing.T) {
+	p, _ := NewPlan([]int{8}, 2, Haar)
+	// Level 1 high: indexes 4..7; level 2 high: 2..3; low: 0..1.
+	for i := 0; i < 8; i++ {
+		lv, id := p.BandOf([]int{i})
+		switch {
+		case i >= 4:
+			if lv != 1 || id != 1 {
+				t.Errorf("idx %d: (%d,%d), want level 1 high", i, lv, id)
+			}
+		case i >= 2:
+			if lv != 2 || id != 1 {
+				t.Errorf("idx %d: (%d,%d), want level 2 high", i, lv, id)
+			}
+		default:
+			if lv != 2 || id != 0 {
+				t.Errorf("idx %d: (%d,%d), want final low", i, lv, id)
+			}
+		}
+	}
+}
+
+func TestGatherScatterBandsRoundTrip(t *testing.T) {
+	shapes := [][]int{{16}, {8, 6}, {7, 5, 3}, {10, 10}}
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range shapes {
+		for levels := 1; levels <= 2 && levels <= MaxLevels(shape); levels++ {
+			f := grid.MustNew(shape...)
+			for i := range f.Data() {
+				f.Data()[i] = rng.NormFloat64()
+			}
+			p, err := NewPlan(shape, levels, Haar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapshot := f.Clone()
+			bands, err := p.GatherBands(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Band sizes must match Bands() metadata and sum to the total.
+			total := 0
+			for i, b := range p.Bands() {
+				if len(bands[i]) != b.Count {
+					t.Fatalf("shape %v L%d: band %s has %d values, meta says %d",
+						shape, levels, b.Name, len(bands[i]), b.Count)
+				}
+				total += len(bands[i])
+			}
+			if total != f.Len() {
+				t.Fatalf("shape %v: bands cover %d of %d values", shape, total, f.Len())
+			}
+			if err := p.ScatterBands(f, bands); err != nil {
+				t.Fatal(err)
+			}
+			if !f.Equal(snapshot) {
+				t.Errorf("shape %v L%d: gather/scatter bands not identity", shape, levels)
+			}
+		}
+	}
+}
+
+func TestScatterBandsValidation(t *testing.T) {
+	p, _ := NewPlan([]int{8, 8}, 1, Haar)
+	f := grid.MustNew(8, 8)
+	if err := p.ScatterBands(f, make([][]float64, 2)); err == nil {
+		t.Error("wrong band count accepted")
+	}
+	bands, _ := p.GatherBands(f)
+	bands[0] = bands[0][:1]
+	if err := p.ScatterBands(f, bands); err == nil {
+		t.Error("wrong band size accepted")
+	}
+}
+
+func TestBandEnergiesConcentrateForSmoothData(t *testing.T) {
+	f := smoothField(t, 64, 64)
+	p, _ := NewPlan([]int{64, 64}, 1, Haar)
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	energies, err := p.BandEnergies(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := p.Bands()
+	var low, high float64
+	for i, b := range bands {
+		if b.ID == 0 {
+			low += energies[i]
+		} else {
+			high += energies[i]
+		}
+	}
+	if low < 100*high {
+		t.Errorf("smooth data: low-band energy %g not ≫ high %g", low, high)
+	}
+}
+
+func TestGatherBandsMatchesGatherHighUnion(t *testing.T) {
+	// The concatenation of all high bands must contain exactly the same
+	// multiset of values as GatherHigh.
+	f := randomField(t, 7, 12, 10)
+	p, _ := NewPlan([]int{12, 10}, 2, Haar)
+	_ = p.Transform(f)
+	high, _ := p.GatherHigh(f, nil)
+	bands, _ := p.GatherBands(f)
+	meta := p.Bands()
+	var fromBands []float64
+	for i, b := range meta {
+		if b.ID != 0 {
+			fromBands = append(fromBands, bands[i]...)
+		}
+	}
+	if len(fromBands) != len(high) {
+		t.Fatalf("band union has %d values, GatherHigh %d", len(fromBands), len(high))
+	}
+	count := map[float64]int{}
+	for _, v := range high {
+		count[v]++
+	}
+	for _, v := range fromBands {
+		count[v]--
+	}
+	for v, c := range count {
+		if c != 0 {
+			t.Fatalf("value %g multiset mismatch (%+d)", v, c)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lossyckpt/internal/grid"
+)
+
+func randomField(t *testing.T, seed int64, shape ...int) *grid.Field {
+	t.Helper()
+	f, err := grid.New(shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data() {
+		f.Data()[i] = rng.NormFloat64() * 100
+	}
+	return f
+}
+
+// smoothField mimics scientific mesh data: a sum of low-frequency sinusoids
+// plus small noise.
+func smoothField(t *testing.T, shape ...int) *grid.Field {
+	t.Helper()
+	f, err := grid.New(shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]int, len(shape))
+	for off := range f.Data() {
+		v := 0.0
+		for d, i := range idx {
+			v += math.Sin(2 * math.Pi * float64(i) / float64(shape[d]) * float64(d+1))
+		}
+		f.Data()[off] = 100*v + rng.NormFloat64()*0.01
+		for d := len(shape) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return f
+}
+
+func maxAbs(f *grid.Field) float64 {
+	m := 0.0
+	for _, v := range f.Data() {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func assertClose(t *testing.T, got, want *grid.Field, tol float64, msg string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape mismatch %v vs %v", msg, got.Shape(), want.Shape())
+	}
+	scale := maxAbs(want)
+	if scale == 0 {
+		scale = 1
+	}
+	for i := range got.Data() {
+		if d := math.Abs(got.Data()[i] - want.Data()[i]); d > tol*scale {
+			t.Fatalf("%s: element %d differs: got %g want %g (|Δ|=%g > %g)",
+				msg, i, got.Data()[i], want.Data()[i], d, tol*scale)
+		}
+	}
+}
+
+func TestHaar1DKnownValues(t *testing.T) {
+	// Paper Fig. 2: L[i]=(A[2i]+A[2i+1])/2, H[i]=(A[2i]-A[2i+1])/2.
+	f, _ := grid.FromSlice([]float64{9, 7, 3, 5}, 4)
+	p, err := NewPlan([]int{4}, 1, Haar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 4, 1, -1} // L=[8,4], H=[1,-1]
+	for i, w := range want {
+		if f.Data()[i] != w {
+			t.Errorf("coeff %d = %g, want %g", i, f.Data()[i], w)
+		}
+	}
+	if err := p.Inverse(f); err != nil {
+		t.Fatal(err)
+	}
+	orig := []float64{9, 7, 3, 5}
+	for i, w := range orig {
+		if f.Data()[i] != w {
+			t.Errorf("reconstructed %d = %g, want %g", i, f.Data()[i], w)
+		}
+	}
+}
+
+func TestHaar2DKnownLayout(t *testing.T) {
+	// 2x2 array: after x then y transforms the four corners are LL, LH
+	// (high along x), HL (high along y), HH.
+	f, _ := grid.FromSlice([]float64{
+		4, 2,
+		2, 0,
+	}, 2, 2)
+	p, _ := NewPlan([]int{2, 2}, 1, Haar)
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	// Along x: rows -> [3,1] and [1,1]. Along y: cols of that -> LL=(3+1)/2=2,
+	// HL=(3-1)/2=1 (y-high), LH col1: (1+1)/2=1, HH=(1-1)/2=0.
+	want := []float64{2, 1, 1, 0}
+	for i, w := range want {
+		if f.Data()[i] != w {
+			t.Errorf("coeff %d = %g, want %g (layout [LL LH; HL HH])", i, f.Data()[i], w)
+		}
+	}
+}
+
+func TestRoundTripShapesAndSchemes(t *testing.T) {
+	shapes := [][]int{
+		{2}, {8}, {9}, {1024},
+		{2, 2}, {6, 10}, {7, 5}, {33, 17},
+		{4, 6, 8}, {5, 7, 3}, {1156 / 4, 82, 2}, // scaled-down paper shape
+		{3, 3, 3, 3},
+	}
+	for _, scheme := range []Scheme{Haar, CDF53} {
+		for _, shape := range shapes {
+			for levels := 1; levels <= 3; levels++ {
+				if levels > MaxLevels(shape) {
+					continue
+				}
+				f := randomField(t, 99, shape...)
+				orig := f.Clone()
+				p, err := NewPlan(shape, levels, scheme)
+				if err != nil {
+					t.Fatalf("NewPlan(%v,%d,%v): %v", shape, levels, scheme, err)
+				}
+				if err := p.Transform(f); err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Inverse(f); err != nil {
+					t.Fatal(err)
+				}
+				assertClose(t, f, orig, 1e-12, // a few ulps per level
+					scheme.String()+" round trip")
+			}
+		}
+	}
+}
+
+func TestHighBandSmallOnSmoothData(t *testing.T) {
+	f := smoothField(t, 64, 32)
+	p, _ := NewPlan([]int{64, 32}, 1, Haar)
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	high, err := p.GatherHigh(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := p.GatherLow(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxHigh, maxLow float64
+	for _, v := range high {
+		if a := math.Abs(v); a > maxHigh {
+			maxHigh = a
+		}
+	}
+	for _, v := range low {
+		if a := math.Abs(v); a > maxLow {
+			maxLow = a
+		}
+	}
+	// The core premise of the paper (§III-A): high-frequency values of
+	// smooth data concentrate near zero.
+	if maxHigh > maxLow/10 {
+		t.Errorf("high band not concentrated: max|H|=%g vs max|L|=%g", maxHigh, maxLow)
+	}
+}
+
+func TestGatherScatterHighRoundTrip(t *testing.T) {
+	f := randomField(t, 3, 10, 6)
+	p, _ := NewPlan([]int{10, 6}, 2, Haar)
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := f.Clone()
+	high, err := p.GatherHigh(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) != p.HighCount() {
+		t.Fatalf("GatherHigh len = %d, want %d", len(high), p.HighCount())
+	}
+	// Perturb then restore.
+	for i := range high {
+		high[i] += 1
+	}
+	if err := p.ScatterHigh(f, high); err != nil {
+		t.Fatal(err)
+	}
+	if f.Equal(snapshot) {
+		t.Fatal("ScatterHigh had no effect")
+	}
+	for i := range high {
+		high[i] -= 1
+	}
+	if err := p.ScatterHigh(f, high); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(snapshot) {
+		t.Error("gather/scatter high round trip not identity")
+	}
+}
+
+func TestGatherScatterLowRoundTrip(t *testing.T) {
+	f := randomField(t, 4, 8, 8)
+	p, _ := NewPlan([]int{8, 8}, 1, Haar)
+	_ = p.Transform(f)
+	snapshot := f.Clone()
+	low, err := p.GatherLow(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(low) != p.LowCount() {
+		t.Fatalf("GatherLow len = %d, want %d", len(low), p.LowCount())
+	}
+	if err := p.ScatterLow(f, low); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(snapshot) {
+		t.Error("gather/scatter low round trip not identity")
+	}
+}
+
+func TestLowHighPartition(t *testing.T) {
+	// Low + high counts must equal the total, for a variety of shapes and
+	// levels, including odd extents.
+	for _, shape := range [][]int{{9}, {7, 3}, {5, 4, 3}, {1156, 82, 2}} {
+		total := 1
+		for _, e := range shape {
+			total *= e
+		}
+		for levels := 1; levels <= MaxLevels(shape) && levels <= 4; levels++ {
+			p, err := NewPlan(shape, levels, Haar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.LowCount()+p.HighCount() != total {
+				t.Errorf("shape %v levels %d: low %d + high %d != %d",
+					shape, levels, p.LowCount(), p.HighCount(), total)
+			}
+		}
+	}
+}
+
+func TestBandsSumToTotal(t *testing.T) {
+	for _, shape := range [][]int{{16}, {8, 8}, {1156, 82, 2}, {9, 7}} {
+		total := 1
+		for _, e := range shape {
+			total *= e
+		}
+		for levels := 1; levels <= 3 && levels <= MaxLevels(shape); levels++ {
+			p, _ := NewPlan(shape, levels, Haar)
+			sum := 0
+			for _, b := range p.Bands() {
+				if b.Count < 0 {
+					t.Fatalf("negative band count: %+v", b)
+				}
+				sum += b.Count
+			}
+			if sum != total {
+				t.Errorf("shape %v levels %d: band counts sum %d, want %d", shape, levels, sum, total)
+			}
+		}
+	}
+}
+
+func TestBandNames(t *testing.T) {
+	p, _ := NewPlan([]int{8, 8}, 1, Haar)
+	names := map[string]bool{}
+	for _, b := range p.Bands() {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"HL@1", "LH@1", "HH@1", "LL@1"} {
+		if !names[want] {
+			t.Errorf("missing band %s in %v", want, names)
+		}
+	}
+}
+
+func TestPaperShapeSingleLevel(t *testing.T) {
+	// The paper's arrays are 1156x82x2 doubles (~1.5 MB). One level in 3D
+	// yields one low band and seven high bands.
+	shape := []int{1156, 82, 2}
+	p, err := NewPlan(shape, 1, Haar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LowCount(); got != 578*41*1 {
+		t.Errorf("LowCount = %d, want %d", got, 578*41)
+	}
+	bands := p.Bands()
+	if len(bands) != 8 { // 7 high + 1 low
+		t.Errorf("bands = %d, want 8", len(bands))
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	cases := []struct {
+		shape []int
+		want  int
+	}{
+		{[]int{1}, 0},
+		{[]int{2}, 1},
+		{[]int{4}, 2},
+		{[]int{1024}, 10},
+		{[]int{2, 2}, 1},
+		{[]int{1156, 82, 2}, 11}, // until 1156 collapses to 1
+	}
+	for _, c := range cases {
+		if got := MaxLevels(c.shape); got != c.want {
+			t.Errorf("MaxLevels(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan([]int{4}, 0, Haar); err == nil {
+		t.Error("levels=0: expected error")
+	}
+	if _, err := NewPlan([]int{4}, 3, Haar); err == nil {
+		t.Error("too many levels: expected error")
+	}
+	if _, err := NewPlan([]int{0}, 1, Haar); err == nil {
+		t.Error("bad shape: expected error")
+	}
+	if _, err := NewPlan([]int{4}, 1, Scheme(99)); err == nil {
+		t.Error("bad scheme: expected error")
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	p, _ := NewPlan([]int{4, 4}, 1, Haar)
+	f := grid.MustNew(4, 5)
+	if err := p.Transform(f); err == nil {
+		t.Error("Transform with mismatched shape: expected error")
+	}
+	if err := p.Inverse(f); err == nil {
+		t.Error("Inverse with mismatched shape: expected error")
+	}
+	if _, err := p.GatherHigh(f, nil); err == nil {
+		t.Error("GatherHigh with mismatched shape: expected error")
+	}
+	g := grid.MustNew(4, 4)
+	if err := p.ScatterHigh(g, make([]float64, 3)); err == nil {
+		t.Error("ScatterHigh with wrong length: expected error")
+	}
+}
+
+func TestEnergyPreservation(t *testing.T) {
+	// The orthonormal Haar preserves energy up to the scaling convention.
+	// With the paper's L=(a+b)/2, H=(a-b)/2 convention, a single 1D level
+	// satisfies sum(a^2) = 2*sum(L^2+H^2) for even lengths.
+	f := randomField(t, 11, 256)
+	var e0 float64
+	for _, v := range f.Data() {
+		e0 += v * v
+	}
+	p, _ := NewPlan([]int{256}, 1, Haar)
+	_ = p.Transform(f)
+	var e1 float64
+	for _, v := range f.Data() {
+		e1 += v * v
+	}
+	if math.Abs(2*e1-e0) > 1e-9*e0 {
+		t.Errorf("energy relation violated: orig %g, 2*transformed %g", e0, 2*e1)
+	}
+}
+
+func TestSchemeStringParse(t *testing.T) {
+	for _, s := range []Scheme{Haar, CDF53} {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("dct"); err == nil {
+		t.Error("ParseScheme(dct): expected error")
+	}
+}
+
+// Property: round trip is near-identity for arbitrary 1D data and levels.
+func TestQuickRoundTrip1D(t *testing.T) {
+	fn := func(raw []float64, lv uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		// Clamp inputs to a sane range; quick generates extreme values whose
+		// sums overflow, which is out of scope for checkpoint data.
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			data[i] = math.Mod(v, 1e6)
+		}
+		shape := []int{len(data)}
+		levels := int(lv)%MaxLevels(shape) + 1
+		f, _ := grid.FromSlice(append([]float64(nil), data...), len(data))
+		p, err := NewPlan(shape, levels, Haar)
+		if err != nil {
+			return false
+		}
+		if p.Transform(f) != nil || p.Inverse(f) != nil {
+			return false
+		}
+		scale := 0.0
+		for _, v := range data {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range data {
+			if math.Abs(f.Data()[i]-data[i]) > 1e-10*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GatherHigh ∘ ScatterHigh is the identity on the high slice.
+func TestQuickGatherScatterIdentity(t *testing.T) {
+	fn := func(a, b uint8, seed int64) bool {
+		h, w := int(a%20)+2, int(b%20)+2
+		f := grid.MustNew(h, w)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range f.Data() {
+			f.Data()[i] = rng.Float64()
+		}
+		p, err := NewPlan([]int{h, w}, 1, Haar)
+		if err != nil {
+			return false
+		}
+		high, err := p.GatherHigh(f, nil)
+		if err != nil {
+			return false
+		}
+		in := append([]float64(nil), high...)
+		if p.ScatterHigh(f, high) != nil {
+			return false
+		}
+		out, err := p.GatherHigh(f, nil)
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF53AnnihilatesLinearSignals(t *testing.T) {
+	// The (5,3) predict step subtracts the average of the two even
+	// neighbours from each odd sample, so a linear ramp produces exactly
+	// zero detail coefficients (the kernel's defining vanishing moment) —
+	// while Haar's differences stay nonzero.
+	n := 64
+	f := grid.MustNew(n)
+	for i := range f.Data() {
+		f.Data()[i] = 3 + 0.5*float64(i)
+	}
+	p, _ := NewPlan([]int{n}, 1, CDF53)
+	if err := p.Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	high, _ := p.GatherHigh(f, nil)
+	for i, h := range high[:len(high)-1] { // boundary detail uses extension
+		if math.Abs(h) > 1e-12 {
+			t.Errorf("CDF53 detail %d = %g on linear data, want 0", i, h)
+		}
+	}
+
+	g := grid.MustNew(n)
+	copy(g.Data(), make([]float64, n))
+	for i := range g.Data() {
+		g.Data()[i] = 3 + 0.5*float64(i)
+	}
+	ph, _ := NewPlan([]int{n}, 1, Haar)
+	if err := ph.Transform(g); err != nil {
+		t.Fatal(err)
+	}
+	haarHigh, _ := ph.GatherHigh(g, nil)
+	nonzero := 0
+	for _, h := range haarHigh {
+		if math.Abs(h) > 1e-12 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("Haar details all zero on a ramp; expected -slope/2 everywhere")
+	}
+}

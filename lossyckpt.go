@@ -1,0 +1,176 @@
+// Package lossyckpt is the public API of this repository: a lossy
+// compressor for floating-point checkpoint data implementing Sasaki, Sato,
+// Endo and Matsuoka, "Exploration of Lossy Compression for
+// Application-Level Checkpoint/Restart" (IPDPS 2015), together with an
+// application-level checkpoint/restart manager built around it.
+//
+// The pipeline compresses N-dimensional float64 mesh arrays in four
+// stages: a Haar wavelet transform concentrates the information of smooth
+// data into a small low-frequency band; the high-frequency coefficients
+// are quantized (either every value, or — the paper's proposed method —
+// only the values inside spiked histogram partitions, letting outliers
+// pass through losslessly); quantized values are replaced by 1-byte codes
+// into a table of partition means; and the formatted output is
+// DEFLATE-compressed.
+//
+// # Compressing a single array
+//
+//	field, _ := lossyckpt.NewField(1156, 82, 2)
+//	// ... fill field.Data() ...
+//	res, _ := lossyckpt.Compress(field, lossyckpt.DefaultOptions())
+//	restored, _ := lossyckpt.Decompress(res.Data)
+//
+// # Checkpointing an application
+//
+//	mgr := lossyckpt.NewManager(lossyckpt.NewLossyCodec(), 0)
+//	mgr.Register("temperature", tempField)
+//	mgr.Checkpoint(w, stepCount)
+//	// after a failure:
+//	rep, _ := mgr.Restore(r)
+//
+// The subpackages under internal/ hold the individual pipeline stages, the
+// application substrates used by the paper-reproduction experiments, and
+// the experiment harness; this package re-exports the surface a downstream
+// user needs.
+package lossyckpt
+
+import (
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/stats"
+	"lossyckpt/internal/wavelet"
+)
+
+// Field is a dense N-dimensional float64 array in row-major order — the
+// unit of checkpoint data the compressor operates on.
+type Field = grid.Field
+
+// NewField allocates a zero-filled field with the given shape.
+func NewField(shape ...int) (*Field, error) { return grid.New(shape...) }
+
+// FieldFromSlice wraps an existing backing slice without copying; the
+// slice length must equal the product of the shape extents.
+func FieldFromSlice(data []float64, shape ...int) (*Field, error) {
+	return grid.FromSlice(data, shape...)
+}
+
+// Options parameterizes the compressor; start from DefaultOptions.
+type Options = core.Options
+
+// Result carries the compressed stream plus size and per-phase timing
+// accounting.
+type Result = core.Result
+
+// Timings is the per-phase compression cost breakdown.
+type Timings = core.Timings
+
+// DefaultOptions returns the paper's headline configuration: single-level
+// Haar transform, proposed quantization with n=128 divisions and d=64
+// spike-detection partitions, in-memory gzip.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Compress runs the full lossy pipeline over a field. The input is not
+// modified.
+func Compress(f *Field, opts Options) (*Result, error) { return core.Compress(f, opts) }
+
+// Decompress reconstructs the (lossy) field from a stream produced by
+// Compress; all pipeline parameters travel inside the stream.
+func Decompress(data []byte) (*Field, error) { return core.Decompress(data) }
+
+// RoundTrip compresses and immediately decompresses, returning the lossy
+// reconstruction alongside the compression result — the building block of
+// error studies.
+func RoundTrip(f *Field, opts Options) (*Field, *Result, error) { return core.RoundTrip(f, opts) }
+
+// Quantization method selectors (the paper's §III-B).
+const (
+	// SimpleQuantization quantizes every high-frequency value.
+	SimpleQuantization = quant.Simple
+	// ProposedQuantization quantizes only values inside spiked histogram
+	// partitions; outliers pass through losslessly.
+	ProposedQuantization = quant.Proposed
+)
+
+// Wavelet kernel selectors.
+const (
+	// HaarWavelet is the paper's kernel.
+	HaarWavelet = wavelet.Haar
+	// CDF53Wavelet is the smoother (5,3) lifting kernel extension.
+	CDF53Wavelet = wavelet.CDF53
+)
+
+// ErrorSummary aggregates relative errors the way the paper reports them
+// (average / maximum / RMS, in percent).
+type ErrorSummary = stats.Summary
+
+// CompareFields returns the relative-error summary (paper Eq. 6) between
+// an original and a reconstructed field of the same shape.
+func CompareFields(orig, approx *Field) (ErrorSummary, error) {
+	return stats.Compare(orig.Data(), approx.Data())
+}
+
+// CompressionRatePct returns the paper's cr (Eq. 5): compressed size as a
+// percentage of the original. Lower is better.
+func CompressionRatePct(compressedBytes, originalBytes int) float64 {
+	return stats.CompressionRate(compressedBytes, originalBytes)
+}
+
+// --- Checkpoint/restart manager -------------------------------------------
+
+// Manager registers an application's named state arrays and writes/reads
+// framed checkpoint streams with a pluggable codec.
+type Manager = ckpt.Manager
+
+// Codec turns fields into bytes and back; implementations must be safe for
+// concurrent use.
+type Codec = ckpt.Codec
+
+// Report aggregates one Checkpoint or Restore operation.
+type Report = ckpt.Report
+
+// NewManager returns a manager using the given codec; workers bounds the
+// parallel per-array compression (0 = GOMAXPROCS).
+func NewManager(codec Codec, workers int) *Manager { return ckpt.NewManager(codec, workers) }
+
+// NewLossyCodec returns the paper's wavelet-based lossy codec with default
+// options.
+func NewLossyCodec() Codec { return ckpt.NewLossy() }
+
+// NewGzipCodec returns the lossless DEFLATE baseline codec.
+func NewGzipCodec() Codec { return ckpt.NewGzip() }
+
+// NewFPCCodec returns the predictive lossless floating-point baseline
+// codec (FCM/DFCM, after Burtscher & Ratanaworabhan).
+func NewFPCCodec() Codec { return &ckpt.FPC{} }
+
+// NewRawCodec returns the no-compression codec (arrays stored verbatim).
+func NewRawCodec() Codec { return ckpt.None{} }
+
+// CodecByName constructs a default-configured codec from its name:
+// "none", "gzip", "fpc" or "lossy".
+func CodecByName(name string) (Codec, error) { return ckpt.CodecByName(name) }
+
+// --- Large-array and error-bound variants ---------------------------------
+
+// ChunkedResult aggregates a chunked (slab-by-slab) compression.
+type ChunkedResult = core.ChunkedResult
+
+// CompressChunked compresses the field in slabs of chunkExtent planes
+// along axis 0, bounding peak memory for very large arrays; each slab is
+// an independent stream inside one framed output.
+func CompressChunked(f *Field, opts Options, chunkExtent int) (*ChunkedResult, error) {
+	return core.CompressChunked(f, opts, chunkExtent)
+}
+
+// DecompressAny decodes either a Compress stream or a CompressChunked
+// stream, sniffing the framing.
+func DecompressAny(data []byte) (*Field, error) { return core.DecompressAny(data) }
+
+// PSNR returns the peak signal-to-noise ratio in decibels between an
+// original and a reconstructed field — the metric the later SZ/ZFP
+// literature standardizes on.
+func PSNR(orig, approx *Field) (float64, error) {
+	return stats.PSNR(orig.Data(), approx.Data())
+}
