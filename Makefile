@@ -1,0 +1,32 @@
+# Development targets for the lossyckpt repo. `make check` is the
+# pre-commit gate: formatting, vet, build, and the full test suite under
+# the race detector.
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test race bench-parallel
+
+check: fmt-check vet build race
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-parallel runs the parallel-engine benchmarks that feed
+# BENCH_parallel.json (workers sweep + allocation counts).
+bench-parallel:
+	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc' -benchtime 3x .

@@ -9,8 +9,8 @@
 // Usage:
 //
 //	lossyckpt gen -out temp.grd [-shape 1156x82x2] [-steps 720] [-var temperature]
-//	lossyckpt compress -in temp.grd -out temp.lkc [-method proposed] [-n 128] [-d 64] [-levels 1] [-scheme haar]
-//	lossyckpt decompress -in temp.lkc -out restored.grd
+//	lossyckpt compress -in temp.grd -out temp.lkc [-method proposed] [-n 128] [-d 64] [-levels 1] [-scheme haar] [-chunk 0] [-workers 0]
+//	lossyckpt decompress -in temp.lkc -out restored.grd [-workers 0]
 //	lossyckpt inspect -in temp.lkc
 //	lossyckpt diff -a temp.grd -b restored.grd
 package main
@@ -142,6 +142,8 @@ func cmdCompress(args []string) error {
 	levels := fs.Int("levels", 1, "wavelet decomposition levels")
 	schemeStr := fs.String("scheme", "haar", "wavelet scheme: haar or cdf53")
 	tempFile := fs.Bool("tempfile", false, "emulate the paper prototype's temp-file gzip path")
+	chunk := fs.Int("chunk", 0, "compress in slabs of this many leading-axis planes (0 = whole array)")
+	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,8 +168,24 @@ func cmdCompress(args []string) error {
 	opts.SpikeDivisions = *d
 	opts.Levels = *levels
 	opts.Scheme = scheme
+	opts.Workers = *workers
 	if *tempFile {
 		opts.GzipMode = gzipio.TempFile
+	}
+	if *chunk > 0 {
+		res, err := core.CompressChunkedParallel(fld, opts, *chunk)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s -> %s: %d -> %d bytes (cr %.2f%%), %d chunks on %d workers\n",
+			*in, *out, res.RawBytes, len(res.Data), res.CompressionRatePct(), res.Chunks, res.Workers)
+		fmt.Printf("wall %v, cpu %v (speedup %.2fx)\n",
+			res.Timings.Total, res.Timings.CPUTotal,
+			float64(res.Timings.CPUTotal)/float64(res.Timings.Total))
+		return nil
 	}
 	res, err := core.Compress(fld, opts)
 	if err != nil {
@@ -188,6 +206,7 @@ func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ContinueOnError)
 	in := fs.String("in", "", "input .lkc file (required)")
 	out := fs.String("out", "", "output .grd file (required)")
+	workers := fs.Int("workers", 0, "parallel decompression workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,7 +217,7 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	fld, err := core.Decompress(data)
+	fld, err := core.DecompressAnyParallel(data, *workers)
 	if err != nil {
 		return err
 	}

@@ -161,10 +161,15 @@ func (c *FPC) Decode(payload []byte, shape []int) (*grid.Field, error) {
 // Lossy is the paper's wavelet-based lossy compressor (package core).
 type Lossy struct {
 	// Options configures the pipeline; use core.DefaultOptions as a start.
+	// Options.Workers bounds the intra-array parallelism: chunked arrays
+	// compress their slabs on a worker pool of that size and whole arrays
+	// shard large wavelet passes (0 = GOMAXPROCS, 1 = serial). When the
+	// manager already runs many arrays concurrently, set Workers to 1 to
+	// keep the total goroutine count at one per array.
 	Options core.Options
 	// ChunkExtent, when positive, compresses each array in slabs of that
-	// many leading-axis planes (core.CompressChunked), bounding peak
-	// memory for very large arrays. Zero compresses whole arrays.
+	// many leading-axis planes (core.CompressChunkedParallel), bounding
+	// peak memory for very large arrays. Zero compresses whole arrays.
 	ChunkExtent int
 }
 
@@ -180,7 +185,7 @@ func (*Lossy) Lossless() bool { return false }
 // Encode implements Codec.
 func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
 	if c.ChunkExtent > 0 {
-		res, err := core.CompressChunked(f, c.Options, c.ChunkExtent)
+		res, err := core.CompressChunkedParallel(f, c.Options, c.ChunkExtent)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +202,7 @@ func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
 // shape embedded in the lossy stream; both whole-array and chunked
 // payloads are accepted.
 func (c *Lossy) Decode(payload []byte, shape []int) (*grid.Field, error) {
-	f, err := core.DecompressAny(payload)
+	f, err := core.DecompressAnyParallel(payload, c.Options.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -81,18 +81,29 @@ func (a *Archive) Band() *encode.EncodedBand {
 // WriteTo serializes the archive, implementing io.WriterTo. The stream ends
 // with a CRC-32 of all preceding bytes.
 func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	buf, err := a.encode()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// encode builds the serialized stream in a buffer sized exactly once.
+func (a *Archive) encode() (*bytes.Buffer, error) {
 	if len(a.Bands) == 0 {
-		return 0, fmt.Errorf("%w: no band sections", ErrFormat)
+		return nil, fmt.Errorf("%w: no band sections", ErrFormat)
 	}
 	for _, b := range a.Bands {
 		if b == nil {
-			return 0, fmt.Errorf("%w: nil band section", ErrFormat)
+			return nil, fmt.Errorf("%w: nil band section", ErrFormat)
 		}
 		if err := b.Validate(); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 	var buf bytes.Buffer
+	buf.Grow(a.SerializedSize())
 
 	// Header.
 	writeU32(&buf, magic)
@@ -120,7 +131,7 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 		writeBytes(&buf, b.Codes)
 		writeU64(&buf, uint64(b.N))
 		if _, err := b.Bitmap.WriteTo(&buf); err != nil {
-			return 0, err
+			return nil, err
 		}
 		writeFloats(&buf, b.Passthrough)
 	}
@@ -128,15 +139,13 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	// Trailer.
 	crc := crc32.ChecksumIEEE(buf.Bytes())
 	writeU32(&buf, crc)
-
-	n, err := w.Write(buf.Bytes())
-	return int64(n), err
+	return &buf, nil
 }
 
 // Bytes serializes the archive to a fresh byte slice.
 func (a *Archive) Bytes() ([]byte, error) {
-	var buf bytes.Buffer
-	if _, err := a.WriteTo(&buf); err != nil {
+	buf, err := a.encode()
+	if err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

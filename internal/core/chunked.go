@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"lossyckpt/internal/grid"
 )
@@ -44,8 +45,16 @@ type ChunkedResult struct {
 	// excludes the small framing overhead; len(Data) includes it).
 	RawBytes        int
 	CompressedBytes int
-	// Timings sums the per-chunk phase breakdowns.
+	// Timings aggregates the per-chunk phase breakdowns. The named phases
+	// and CPUTotal sum over chunks; Total is the wall-clock duration of
+	// the whole chunked compression. Under CompressChunkedParallel the
+	// summed CPUTotal exceeds the wall-clock Total — their ratio is the
+	// achieved parallel speedup. (Before the parallel engine existed,
+	// Total was the per-chunk sum; that quantity is now CPUTotal.)
 	Timings Timings
+	// Workers is the worker-pool size the compression actually used
+	// (1 for the serial CompressChunked path).
+	Workers int
 }
 
 // CompressionRatePct returns cr (Eq. 5) in percent, framing included.
@@ -53,22 +62,9 @@ func (r *ChunkedResult) CompressionRatePct() float64 {
 	return 100 * float64(len(r.Data)) / float64(r.RawBytes)
 }
 
-// CompressChunked splits the field into slabs of chunkExtent planes along
-// axis 0 and compresses each independently with the same options. The
-// trailing slab may be smaller; every slab must satisfy the wavelet level
-// constraint, so chunkExtent must be ≥ 2^levels.
-func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResult, error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if chunkExtent < 1 {
-		return nil, fmt.Errorf("%w: chunk extent %d", ErrOptions, chunkExtent)
-	}
-	shape := f.Shape()
-	planeElems := f.Len() / shape[0]
-
-	res := &ChunkedResult{RawBytes: f.Bytes()}
-	var out []byte
+// chunkedHeader frames the stream prefix shared by the serial and parallel
+// compressors.
+func chunkedHeader(shape []int, nChunks int) []byte {
 	hdr := make([]byte, 0, 64)
 	hdr = append32(hdr, chunkedMagic)
 	hdr = append16(hdr, chunkedVersion)
@@ -76,17 +72,58 @@ func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResu
 	for _, e := range shape {
 		hdr = append64(hdr, uint64(e))
 	}
-	nChunks := (shape[0] + chunkExtent - 1) / chunkExtent
 	hdr = append32(hdr, uint32(nChunks))
-	out = append(out, hdr...)
+	return hdr
+}
+
+// slabAt wraps (without copying) the chunkExtent-bounded slab starting at
+// the given leading-axis plane.
+func slabAt(f *grid.Field, shape []int, planeElems, start, ext int) (*grid.Field, error) {
+	slabShape := append([]int{ext}, shape[1:]...)
+	return grid.FromSlice(f.Data()[start*planeElems:(start+ext)*planeElems], slabShape...)
+}
+
+// addChunk folds one chunk's accounting into the aggregate: phases and
+// CPUTotal sum; the caller sets the wall-clock Total at the end.
+func (r *ChunkedResult) addChunk(cres *Result) {
+	r.Chunks++
+	r.CompressedBytes += cres.CompressedBytes
+	r.Timings.Wavelet += cres.Timings.Wavelet
+	r.Timings.Quantize += cres.Timings.Quantize
+	r.Timings.Encode += cres.Timings.Encode
+	r.Timings.Format += cres.Timings.Format
+	r.Timings.TempWrite += cres.Timings.TempWrite
+	r.Timings.Gzip += cres.Timings.Gzip
+	r.Timings.CPUTotal += cres.Timings.Total
+}
+
+// CompressChunked splits the field into slabs of chunkExtent planes along
+// axis 0 and compresses each independently with the same options. The
+// trailing slab may be smaller; every slab must satisfy the wavelet level
+// constraint, so chunkExtent must be ≥ 2^levels. Chunks are processed one
+// at a time on the calling goroutine; CompressChunkedParallel produces a
+// byte-identical stream using all cores.
+func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if chunkExtent < 1 {
+		return nil, fmt.Errorf("%w: chunk extent %d", ErrOptions, chunkExtent)
+	}
+	wall := time.Now()
+	shape := f.Shape()
+	planeElems := f.Len() / shape[0]
+
+	res := &ChunkedResult{RawBytes: f.Bytes(), Workers: 1}
+	nChunks := (shape[0] + chunkExtent - 1) / chunkExtent
+	out := append([]byte(nil), chunkedHeader(shape, nChunks)...)
 
 	for start := 0; start < shape[0]; start += chunkExtent {
 		ext := chunkExtent
 		if rem := shape[0] - start; rem < ext {
 			ext = rem
 		}
-		slabShape := append([]int{ext}, shape[1:]...)
-		slab, err := grid.FromSlice(f.Data()[start*planeElems:(start+ext)*planeElems], slabShape...)
+		slab, err := slabAt(f, shape, planeElems, start, ext)
 		if err != nil {
 			return nil, err
 		}
@@ -99,23 +136,27 @@ func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResu
 		binary.LittleEndian.PutUint64(frame[4:], uint64(len(cres.Data)))
 		out = append(out, frame[:]...)
 		out = append(out, cres.Data...)
-
-		res.Chunks++
-		res.CompressedBytes += cres.CompressedBytes
-		res.Timings.Wavelet += cres.Timings.Wavelet
-		res.Timings.Quantize += cres.Timings.Quantize
-		res.Timings.Encode += cres.Timings.Encode
-		res.Timings.Format += cres.Timings.Format
-		res.Timings.TempWrite += cres.Timings.TempWrite
-		res.Timings.Gzip += cres.Timings.Gzip
-		res.Timings.Total += cres.Timings.Total
+		res.addChunk(cres)
 	}
 	res.Data = out
+	res.Timings.Total = time.Since(wall)
 	return res, nil
 }
 
-// DecompressChunked reconstructs the field from a CompressChunked stream.
-func DecompressChunked(data []byte) (*grid.Field, error) {
+// chunkFrame is one parsed chunk of a chunked stream: its leading-axis
+// extent, starting plane, and compressed payload (aliasing the input).
+type chunkFrame struct {
+	ext     int
+	plane   int
+	payload []byte
+}
+
+// parseChunked validates the framing of a CompressChunked stream and
+// returns the array shape plus every chunk's frame. Payload slices alias
+// data. Parsing is cheap (header and length fields only) — payload
+// decompression is left to the caller so it can run serially or on a
+// worker pool.
+func parseChunked(data []byte) (shape []int, frames []chunkFrame, err error) {
 	pos := 0
 	need := func(n int) ([]byte, error) {
 		if pos+n > len(data) {
@@ -127,85 +168,111 @@ func DecompressChunked(data []byte) (*grid.Field, error) {
 	}
 	b, err := need(4)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if binary.LittleEndian.Uint32(b) != chunkedMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrChunked)
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrChunked)
 	}
 	if b, err = need(2); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if v := binary.LittleEndian.Uint16(b); v != chunkedVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrChunked, v)
+		return nil, nil, fmt.Errorf("%w: version %d", ErrChunked, v)
 	}
 	if b, err = need(2); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nd := int(binary.LittleEndian.Uint16(b))
 	if nd == 0 || nd > grid.MaxDims {
-		return nil, fmt.Errorf("%w: ndims %d", ErrChunked, nd)
+		return nil, nil, fmt.Errorf("%w: ndims %d", ErrChunked, nd)
 	}
-	shape := make([]int, nd)
+	shape = make([]int, nd)
 	for d := range shape {
 		if b, err = need(8); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e := binary.LittleEndian.Uint64(b)
 		if e == 0 || e > 1<<31 {
-			return nil, fmt.Errorf("%w: extent %d", ErrChunked, e)
+			return nil, nil, fmt.Errorf("%w: extent %d", ErrChunked, e)
 		}
 		shape[d] = int(e)
 	}
 	if b, err = need(4); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nChunks := int(binary.LittleEndian.Uint32(b))
 	if nChunks < 1 || nChunks > shape[0] {
-		return nil, fmt.Errorf("%w: chunk count %d for extent %d", ErrChunked, nChunks, shape[0])
+		return nil, nil, fmt.Errorf("%w: chunk count %d for extent %d", ErrChunked, nChunks, shape[0])
 	}
 
+	frames = make([]chunkFrame, 0, nChunks)
+	plane := 0
+	for c := 0; c < nChunks; c++ {
+		if b, err = need(4); err != nil {
+			return nil, nil, err
+		}
+		ext := int(binary.LittleEndian.Uint32(b))
+		if b, err = need(8); err != nil {
+			return nil, nil, err
+		}
+		plen := binary.LittleEndian.Uint64(b)
+		if plen > uint64(len(data)-pos) {
+			return nil, nil, fmt.Errorf("%w: chunk %d payload %d bytes", ErrChunked, c, plen)
+		}
+		payload, err := need(int(plen))
+		if err != nil {
+			return nil, nil, err
+		}
+		if ext < 1 || plane+ext > shape[0] {
+			return nil, nil, fmt.Errorf("%w: chunk %d extent %d at plane %d", ErrChunked, c, ext, plane)
+		}
+		frames = append(frames, chunkFrame{ext: ext, plane: plane, payload: payload})
+		plane += ext
+	}
+	if plane != shape[0] {
+		return nil, nil, fmt.Errorf("%w: chunks cover %d of %d planes", ErrChunked, plane, shape[0])
+	}
+	if pos != len(data) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrChunked, len(data)-pos)
+	}
+	return shape, frames, nil
+}
+
+// decodeChunkInto decompresses one chunk payload, validates its shape and
+// copies it into the chunk's (disjoint) plane range of f.
+func decodeChunkInto(f *grid.Field, shape []int, planeElems, c int, fr chunkFrame, workers int) error {
+	slab, err := decompressWorkers(fr.payload, workers)
+	if err != nil {
+		return fmt.Errorf("core: chunk %d: %w", c, err)
+	}
+	if slab.Dims() != len(shape) || slab.Extent(0) != fr.ext {
+		return fmt.Errorf("%w: chunk %d shape %v at plane %d", ErrChunked, c, slab.Shape(), fr.plane)
+	}
+	for d := 1; d < len(shape); d++ {
+		if slab.Extent(d) != shape[d] {
+			return fmt.Errorf("%w: chunk %d shape %v", ErrChunked, c, slab.Shape())
+		}
+	}
+	copy(f.Data()[fr.plane*planeElems:], slab.Data())
+	return nil
+}
+
+// DecompressChunked reconstructs the field from a CompressChunked stream,
+// decoding chunks one at a time on the calling goroutine.
+func DecompressChunked(data []byte) (*grid.Field, error) {
+	shape, frames, err := parseChunked(data)
+	if err != nil {
+		return nil, err
+	}
 	f, err := grid.New(shape...)
 	if err != nil {
 		return nil, err
 	}
 	planeElems := f.Len() / shape[0]
-	plane := 0
-	for c := 0; c < nChunks; c++ {
-		if b, err = need(4); err != nil {
+	for c, fr := range frames {
+		if err := decodeChunkInto(f, shape, planeElems, c, fr, 0); err != nil {
 			return nil, err
 		}
-		ext := int(binary.LittleEndian.Uint32(b))
-		if b, err = need(8); err != nil {
-			return nil, err
-		}
-		plen := binary.LittleEndian.Uint64(b)
-		if plen > uint64(len(data)-pos) {
-			return nil, fmt.Errorf("%w: chunk %d payload %d bytes", ErrChunked, c, plen)
-		}
-		payload, err := need(int(plen))
-		if err != nil {
-			return nil, err
-		}
-		slab, err := Decompress(payload)
-		if err != nil {
-			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
-		}
-		if slab.Dims() != nd || slab.Extent(0) != ext || plane+ext > shape[0] {
-			return nil, fmt.Errorf("%w: chunk %d shape %v at plane %d", ErrChunked, c, slab.Shape(), plane)
-		}
-		for d := 1; d < nd; d++ {
-			if slab.Extent(d) != shape[d] {
-				return nil, fmt.Errorf("%w: chunk %d shape %v", ErrChunked, c, slab.Shape())
-			}
-		}
-		copy(f.Data()[plane*planeElems:], slab.Data())
-		plane += ext
-	}
-	if plane != shape[0] {
-		return nil, fmt.Errorf("%w: chunks cover %d of %d planes", ErrChunked, plane, shape[0])
-	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrChunked, len(data)-pos)
 	}
 	return f, nil
 }

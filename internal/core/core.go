@@ -80,6 +80,12 @@ type Options struct {
 	// (extension; see quant.Config.LogScale): finer partitions near zero,
 	// where the high-band values concentrate.
 	LogQuant bool
+	// Workers bounds the intra-array parallelism of the pipeline: the
+	// wavelet transform shards large axis passes over this many goroutines,
+	// and CompressChunkedParallel / DecompressChunkedParallel use it as the
+	// chunk worker-pool size. 0 means GOMAXPROCS; 1 forces the serial path.
+	// The compressed output is byte-identical for every worker count.
+	Workers int
 	// ErrorBound, when positive, overrides Divisions: the pipeline picks
 	// the smallest division number whose maximum quantization error stays
 	// ≤ ErrorBound (absolute, in coefficient units). This is the paper's
@@ -113,11 +119,22 @@ type Timings struct {
 	Format    time.Duration // stage 4a: container serialization
 	TempWrite time.Duration // stage 4b: temporary-file write (TempFile mode)
 	Gzip      time.Duration // stage 4c: DEFLATE
-	Total     time.Duration // wall clock of Compress
+	// Total is the wall-clock duration of the operation. For a chunked
+	// compression this is the time from the first chunk starting to the
+	// framed stream being complete — with concurrent chunks it can be far
+	// below the summed per-chunk work.
+	Total time.Duration
+	// CPUTotal is the summed compute time: equal to Total for a
+	// single-array Compress, and the sum of the per-chunk Totals for
+	// chunked compression. CPUTotal/Total is the effective parallel
+	// speedup of a chunked run.
+	CPUTotal time.Duration
 }
 
 // Other returns the unattributed remainder (Total minus the named phases),
-// the paper's "other overheads" component.
+// the paper's "other overheads" component. For a chunked-parallel run the
+// named phases sum per-chunk CPU time and can exceed the wall-clock Total;
+// Other clamps to zero in that case.
 func (t Timings) Other() time.Duration {
 	o := t.Total - t.Wavelet - t.Quantize - t.Encode - t.Format - t.TempWrite - t.Gzip
 	if o < 0 {
@@ -176,6 +193,9 @@ func (o Options) validate() error {
 	if o.ErrorBound < 0 || o.ErrorBound != o.ErrorBound {
 		return fmt.Errorf("%w: error bound %g", ErrOptions, o.ErrorBound)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: workers %d", ErrOptions, o.Workers)
+	}
 	return nil
 }
 
@@ -198,8 +218,16 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	work := f.Clone()
-	if err := plan.Transform(work); err != nil {
+	// The working copy, the gathered high pool and the low band are scratch
+	// that dies with this call; all three come from the shared pool.
+	workBuf := getFloats(f.Len())
+	defer workBuf.put()
+	copy(workBuf.s, f.Data())
+	work, err := grid.FromSlice(workBuf.s, f.Shape()...)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.TransformWorkers(work, opts.Workers); err != nil {
 		return nil, err
 	}
 	res.Timings.Wavelet = time.Since(t0)
@@ -222,7 +250,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		// Bands() lists high bands first, the low band last; drop the low.
 		highGroups = all[:len(all)-1]
 	} else {
-		high, err := plan.GatherHigh(work, nil)
+		highBuf := getFloats(plan.HighCount())
+		defer highBuf.put()
+		high, err := plan.GatherHigh(work, highBuf.s)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +310,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 
 	// Stage 4a: format.
 	t0 = time.Now()
-	low, err := plan.GatherLow(work, nil)
+	lowBuf := getFloats(plan.LowCount())
+	defer lowBuf.put()
+	low, err := plan.GatherLow(work, lowBuf.s)
 	if err != nil {
 		return nil, err
 	}
@@ -314,12 +346,22 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	res.Data = gz.Compressed
 	res.CompressedBytes = len(gz.Compressed)
 	res.Timings.Total = time.Since(start)
+	res.Timings.CPUTotal = res.Timings.Total
 	return res, nil
 }
 
 // Decompress inverts the pipeline, reconstructing the (lossy) field from a
-// stream produced by Compress.
+// stream produced by Compress. Large wavelet inverse passes run on
+// GOMAXPROCS goroutines; use decompressWorkers via DecompressAnyParallel
+// to bound that.
 func Decompress(data []byte) (*grid.Field, error) {
+	return decompressWorkers(data, 0)
+}
+
+// decompressWorkers is Decompress with an explicit wavelet parallelism
+// bound (0 = GOMAXPROCS, 1 = serial). The reconstruction is identical for
+// every worker count.
+func decompressWorkers(data []byte, workers int) (*grid.Field, error) {
 	formatted, err := gzipio.DecompressAuto(data)
 	if err != nil {
 		return nil, err
@@ -369,7 +411,11 @@ func Decompress(data []byte) (*grid.Field, error) {
 		if band.N != plan.HighCount() {
 			return nil, fmt.Errorf("%w: high band has %d values, plan needs %d", container.ErrFormat, band.N, plan.HighCount())
 		}
-		high, err := band.Decode(nil)
+		// The decoded high pool is scratch: it is scattered into f and
+		// dropped, so it comes from the shared buffer pool.
+		highBuf := getFloats(band.N)
+		defer highBuf.put()
+		high, err := band.Decode(highBuf.s[:0])
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +426,7 @@ func Decompress(data []byte) (*grid.Field, error) {
 			return nil, err
 		}
 	}
-	if err := plan.Inverse(f); err != nil {
+	if err := plan.InverseWorkers(f, workers); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -410,9 +456,7 @@ func CompressGzipOnly(f *grid.Field, level int, mode gzipio.Mode, tmpDir string)
 	res := &Result{RawBytes: f.Bytes()}
 
 	t0 := time.Now()
-	raw := make([]byte, 0, f.Bytes())
-	buf := floatBytes(f.Data())
-	raw = append(raw, buf...)
+	raw := floatBytes(f.Data())
 	res.FormattedBytes = len(raw)
 	res.Timings.Format = time.Since(t0)
 
@@ -425,6 +469,7 @@ func CompressGzipOnly(f *grid.Field, level int, mode gzipio.Mode, tmpDir string)
 	res.Data = gz.Compressed
 	res.CompressedBytes = len(gz.Compressed)
 	res.Timings.Total = time.Since(start)
+	res.Timings.CPUTotal = res.Timings.Total
 	return res, nil
 }
 

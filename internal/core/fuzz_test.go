@@ -43,3 +43,28 @@ func FuzzDecompressChunked(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecompressChunkedParallel differentially checks the parallel decoder
+// against the serial one: for arbitrary input both must agree on whether
+// the stream is valid, and on the reconstructed field when it is.
+func FuzzDecompressChunkedParallel(f *testing.F) {
+	f.Add([]byte{})
+	fld := smooth3D(24, 8, 2, 97)
+	if res, err := CompressChunked(fld, DefaultOptions(), 8); err == nil {
+		f.Add(res.Data)
+		f.Add(res.Data[:len(res.Data)-3])
+		mut := append([]byte(nil), res.Data...)
+		mut[len(mut)/2] ^= 0x55
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serial, serialErr := DecompressChunked(data)
+		par, parErr := DecompressChunkedParallel(data, 3)
+		if (serialErr == nil) != (parErr == nil) {
+			t.Fatalf("error disagreement: serial %v, parallel %v", serialErr, parErr)
+		}
+		if serialErr == nil && !serial.Equal(par) {
+			t.Fatal("parallel reconstruction differs from serial")
+		}
+	})
+}

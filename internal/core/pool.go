@@ -1,0 +1,27 @@
+package core
+
+import "sync"
+
+// floatPool recycles the large scratch slices of the compression hot path:
+// the working copy of the input array, the gathered high-band pool and the
+// low band. All of them are dead once the formatted stream exists, so
+// pooling them makes steady-state Compress allocation-free in its largest
+// buffers (checkpointing calls Compress once per array per interval — the
+// reuse rate is high and the slices are uniformly checkpoint-sized).
+var floatPool = sync.Pool{New: func() any { return new(floatBuf) }}
+
+// floatBuf is the pooled holder; keeping the slice behind a pointer avoids
+// an allocation on every Put.
+type floatBuf struct{ s []float64 }
+
+// getFloats returns a pooled length-n slice (contents unspecified).
+func getFloats(n int) *floatBuf {
+	b := floatPool.Get().(*floatBuf)
+	if cap(b.s) < n {
+		b.s = make([]float64, n)
+	}
+	b.s = b.s[:n]
+	return b
+}
+
+func (b *floatBuf) put() { floatPool.Put(b) }

@@ -44,7 +44,9 @@ func Encode(values []float64, q *quant.Quantization) (*EncodedBand, error) {
 	if len(values) != len(q.Mask) {
 		return nil, fmt.Errorf("encode: %d values but mask of %d", len(values), len(q.Mask))
 	}
-	pass, err := q.Passthrough(values, nil)
+	// The mask bookkeeping tells us the passthrough count up front; size
+	// the slice once instead of letting append grow it repeatedly.
+	pass, err := q.Passthrough(values, make([]float64, 0, len(values)-q.NumQuantized))
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -151,14 +152,7 @@ func compress(data []byte, level int, mode Mode, tmpDir string, format Format) (
 
 	start := time.Now()
 	var buf bytes.Buffer
-	var zw io.WriteCloser
-	var err error
-	switch format {
-	case FormatZlib:
-		zw, err = zlib.NewWriterLevel(&buf, level)
-	default:
-		zw, err = gzip.NewWriterLevel(&buf, level)
-	}
+	zw, pool, err := getDeflateWriter(format, level, &buf)
 	if err != nil {
 		return res, fmt.Errorf("gzipio: %w", err)
 	}
@@ -168,9 +162,51 @@ func compress(data []byte, level int, mode Mode, tmpDir string, format Format) (
 	if err := zw.Close(); err != nil {
 		return res, fmt.Errorf("gzipio: close: %w", err)
 	}
+	pool.Put(zw)
 	res.Gzip = time.Since(start)
 	res.Compressed = buf.Bytes()
 	return res, nil
+}
+
+// resetWriter is the common surface of gzip.Writer and zlib.Writer that
+// pooling needs: both carry large DEFLATE state (hundreds of KB) that Reset
+// makes reusable across compressions.
+type resetWriter interface {
+	io.WriteCloser
+	Reset(io.Writer)
+}
+
+// deflatePools caches per-(format, level) sync.Pools of DEFLATE writers so
+// the hot compression path stops allocating a fresh ~800 KB flate state on
+// every call. A writer Put back after Close is reusable after Reset.
+var deflatePools sync.Map // struct{format Format; level int} -> *sync.Pool
+
+func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sync.Pool, error) {
+	key := struct {
+		format Format
+		level  int
+	}{format, level}
+	p, ok := deflatePools.Load(key)
+	if !ok {
+		p, _ = deflatePools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := p.(*sync.Pool)
+	if w, ok := pool.Get().(resetWriter); ok {
+		w.Reset(dst)
+		return w, pool, nil
+	}
+	var w resetWriter
+	var err error
+	switch format {
+	case FormatZlib:
+		w, err = zlib.NewWriterLevel(dst, level)
+	default:
+		w, err = gzip.NewWriterLevel(dst, level)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, pool, nil
 }
 
 // Default is the gzip level used throughout this repository, matching the

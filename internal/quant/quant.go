@@ -170,25 +170,68 @@ func Quantize(values []float64, cfg Config) (*Quantization, error) {
 		return q, nil
 	}
 
-	// A selector decides which values are subject to quantization.
-	selector := func(float64) bool { return true }
+	// A selection decides which values are subject to quantization and
+	// carries the pool's range, computed as a side effect of the selection
+	// passes so the quantizer itself never re-scans for min/max.
+	var sel selection
 	if cfg.Method == Proposed {
-		sel, nSpiked, err := spikeSelector(values, cfg.SpikeDivisions)
-		if err != nil {
-			return nil, err
-		}
-		selector = sel
-		q.SpikePartitions = nSpiked
+		sel = spikeSelect(values, cfg.SpikeDivisions)
+		q.SpikePartitions = sel.nSpiked
+	} else {
+		sel = selectAll(values)
+	}
+	if sel.nSel == 0 {
+		q.Codes = []uint8{}
+		return q, nil
 	}
 
-	// Range of the to-be-quantized pool.
-	lo, hi := math.Inf(1), math.Inf(-1)
-	nSel := 0
-	for _, v := range values {
-		if !isFinite(v) || !selector(v) {
+	part := makePartitioner(sel.lo, sel.hi, cfg.Divisions, cfg.LogScale)
+
+	// Single fused pass over the pool: per-partition sums and counts, the
+	// mask and the code stream together. The partition index of a value is
+	// computed once; the averages only depend on the sums, so the codes can
+	// be emitted before the table exists.
+	sums := make([]float64, cfg.Divisions)
+	counts := make([]int, cfg.Divisions)
+	q.Codes = make([]uint8, 0, sel.nSel)
+	for i, v := range values {
+		if !isFinite(v) || !sel.selector(v) {
 			continue
 		}
-		nSel++
+		pi := part.index(v)
+		sums[pi] += v
+		counts[pi]++
+		q.Mask[i] = true
+		q.Codes = append(q.Codes, uint8(pi))
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			q.Averages[i] = sums[i] / float64(counts[i])
+		}
+	}
+	q.NumQuantized = len(q.Codes)
+	return q, nil
+}
+
+// selection is the outcome of the pool-selection stage: which values are
+// quantized, how many there are, and their exact [lo, hi] range.
+type selection struct {
+	selector func(float64) bool
+	lo, hi   float64
+	nSel     int
+	nSpiked  int
+}
+
+// selectAll selects every finite value (the Simple method), computing the
+// range in the same pass.
+func selectAll(values []float64) selection {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, v := range values {
+		if !isFinite(v) {
+			continue
+		}
+		n++
 		if v < lo {
 			lo = v
 		}
@@ -196,41 +239,7 @@ func Quantize(values []float64, cfg Config) (*Quantization, error) {
 			hi = v
 		}
 	}
-	if nSel == 0 {
-		q.Codes = []uint8{}
-		return q, nil
-	}
-
-	part := makePartitioner(lo, hi, cfg.Divisions, cfg.LogScale)
-
-	// Pass 1 over the pool: per-partition sums and counts.
-	sums := make([]float64, cfg.Divisions)
-	counts := make([]int, cfg.Divisions)
-	for _, v := range values {
-		if !isFinite(v) || !selector(v) {
-			continue
-		}
-		i := part.index(v)
-		sums[i] += v
-		counts[i]++
-	}
-	for i := range sums {
-		if counts[i] > 0 {
-			q.Averages[i] = sums[i] / float64(counts[i])
-		}
-	}
-
-	// Pass 2: emit codes and mask.
-	q.Codes = make([]uint8, 0, nSel)
-	for i, v := range values {
-		if !isFinite(v) || !selector(v) {
-			continue
-		}
-		q.Mask[i] = true
-		q.Codes = append(q.Codes, uint8(part.index(v)))
-	}
-	q.NumQuantized = len(q.Codes)
-	return q, nil
+	return selection{selector: func(float64) bool { return true }, lo: lo, hi: hi, nSel: n}
 }
 
 // Dequantize reconstructs the value stream from a quantization: quantized
@@ -329,10 +338,12 @@ func (p partitioner) index(v float64) int {
 	return i
 }
 
-// spikeSelector histograms the finite values into d partitions and returns
-// a predicate selecting values that fall into spiked partitions
-// (Ndiv[i] ≥ Ntotal/d, paper Eq. 4), along with the spiked-partition count.
-func spikeSelector(values []float64, d int) (func(float64) bool, int, error) {
+// spikeSelect histograms the finite values into d partitions and selects
+// the values that fall into spiked partitions (Ndiv[i] ≥ Ntotal/d, paper
+// Eq. 4). The histogram pass also tracks each partition's min/max, so the
+// selected pool's range comes out of the same scan instead of a third pass
+// over the data.
+func spikeSelect(values []float64, d int) selection {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	total := 0
 	for _, v := range values {
@@ -348,27 +359,50 @@ func spikeSelector(values []float64, d int) (func(float64) bool, int, error) {
 		}
 	}
 	if total == 0 {
-		return func(float64) bool { return false }, 0, nil
+		return selection{selector: func(float64) bool { return false }}
 	}
-	// Spike detection stays linear, matching the paper's Fig. 4.
+	// Spike detection stays linear, matching the paper's Fig. 4. The
+	// per-partition extrema ride along in the same pass.
 	part := makePartitioner(lo, hi, d, false)
 	counts := make([]int, d)
+	pmin := make([]float64, d)
+	pmax := make([]float64, d)
+	for i := range pmin {
+		pmin[i] = math.Inf(1)
+		pmax[i] = math.Inf(-1)
+	}
 	for _, v := range values {
-		if isFinite(v) {
-			counts[part.index(v)]++
+		if !isFinite(v) {
+			continue
+		}
+		i := part.index(v)
+		counts[i]++
+		if v < pmin[i] {
+			pmin[i] = v
+		}
+		if v > pmax[i] {
+			pmax[i] = v
 		}
 	}
 	spiked := make([]bool, d)
-	nSpiked := 0
+	sel := selection{lo: math.Inf(1), hi: math.Inf(-1)}
 	// Ndiv[i] ≥ Ntotal/d, computed without integer truncation:
 	// d*Ndiv[i] ≥ Ntotal.
 	for i, c := range counts {
 		if c > 0 && c*d >= total {
 			spiked[i] = true
-			nSpiked++
+			sel.nSpiked++
+			sel.nSel += c
+			if pmin[i] < sel.lo {
+				sel.lo = pmin[i]
+			}
+			if pmax[i] > sel.hi {
+				sel.hi = pmax[i]
+			}
 		}
 	}
-	return func(v float64) bool { return spiked[part.index(v)] }, nSpiked, nil
+	sel.selector = func(v float64) bool { return spiked[part.index(v)] }
+	return sel
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

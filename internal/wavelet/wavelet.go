@@ -29,6 +29,8 @@ package wavelet
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"lossyckpt/internal/grid"
 )
@@ -196,79 +198,154 @@ func (p *Plan) matches(f *grid.Field) error {
 	return nil
 }
 
-// Transform applies the planned forward transform to f in place.
+// parallelCutoff is the number of elements an axis pass must touch before
+// it is sharded across goroutines; below it the goroutine fan-out costs
+// more than the arithmetic it saves.
+const parallelCutoff = 1 << 15
+
+// laneScratch pools the per-goroutine gather/scatter buffers of the axis
+// passes so repeated transforms allocate nothing on the hot path.
+var laneScratch = sync.Pool{New: func() any { return new(scratch) }}
+
+type scratch struct{ src, dst []float64 }
+
+func getScratch(n int) *scratch {
+	s := laneScratch.Get().(*scratch)
+	if cap(s.src) < n {
+		s.src = make([]float64, n)
+		s.dst = make([]float64, n)
+	}
+	s.src = s.src[:n]
+	s.dst = s.dst[:n]
+	return s
+}
+
+// Transform applies the planned forward transform to f in place. Large
+// axis passes are sharded across GOMAXPROCS goroutines (lanes along one
+// axis are independent); use TransformWorkers to bound or disable that.
 func (p *Plan) Transform(f *grid.Field) error {
+	return p.TransformWorkers(f, 0)
+}
+
+// TransformWorkers is Transform with an explicit parallelism bound:
+// workers 0 means GOMAXPROCS, 1 forces the serial path. The result is
+// bit-identical for every worker count — lanes are disjoint and each lane
+// is computed exactly as in the serial path.
+func (p *Plan) TransformWorkers(f *grid.Field, workers int) error {
 	if err := p.matches(f); err != nil {
 		return err
 	}
-	maxExt := 0
-	for _, e := range p.shape {
-		if e > maxExt {
-			maxExt = e
-		}
-	}
-	src := make([]float64, maxExt)
-	dst := make([]float64, maxExt)
 	for k := 0; k < p.levels; k++ {
 		act := p.ext[k]
 		for axis := range p.shape {
 			if act[axis] < 2 {
 				continue // nothing to pair along this axis at this depth
 			}
-			forEachLane(f, act, axis, func(l grid.Lane) {
-				l.Gather(f.Data(), src[:l.Len])
-				forwardLane(p.scheme, src[:l.Len], dst[:l.Len])
-				l.Scatter(f.Data(), dst[:l.Len])
-			})
+			p.axisPass(f, act, axis, workers, true)
 		}
 	}
 	return nil
 }
 
 // Inverse applies the planned inverse transform to f in place, undoing
-// Transform (up to floating-point rounding; see the package comment).
+// Transform (up to floating-point rounding; see the package comment). Like
+// Transform it parallelizes large axis passes; see InverseWorkers.
 func (p *Plan) Inverse(f *grid.Field) error {
+	return p.InverseWorkers(f, 0)
+}
+
+// InverseWorkers is Inverse with an explicit parallelism bound (0 =
+// GOMAXPROCS, 1 = serial). Bit-identical for every worker count.
+func (p *Plan) InverseWorkers(f *grid.Field, workers int) error {
 	if err := p.matches(f); err != nil {
 		return err
 	}
-	maxExt := 0
-	for _, e := range p.shape {
-		if e > maxExt {
-			maxExt = e
-		}
-	}
-	src := make([]float64, maxExt)
-	dst := make([]float64, maxExt)
 	for k := p.levels - 1; k >= 0; k-- {
 		act := p.ext[k]
 		for axis := len(p.shape) - 1; axis >= 0; axis-- {
 			if act[axis] < 2 {
 				continue
 			}
-			forEachLane(f, act, axis, func(l grid.Lane) {
-				l.Gather(f.Data(), src[:l.Len])
-				inverseLane(p.scheme, src[:l.Len], dst[:l.Len])
-				l.Scatter(f.Data(), dst[:l.Len])
-			})
+			p.axisPass(f, act, axis, workers, false)
 		}
 	}
 	return nil
 }
 
-// forEachLane visits every 1-D lane along axis within the active sub-box
-// act (a prefix box anchored at the origin of f).
-func forEachLane(f *grid.Field, act []int, axis int, fn func(grid.Lane)) {
-	idx := make([]int, f.Dims())
-	for {
+// axisPass runs one forward or inverse wavelet pass along axis over the
+// active box act, sharding the independent lanes across workers when the
+// pass is large enough to amortize the fan-out.
+func (p *Plan) axisPass(f *grid.Field, act []int, axis, workers int, forward bool) {
+	lanes := 1
+	for d, e := range act {
+		if d != axis {
+			lanes *= e
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > lanes {
+		workers = lanes
+	}
+	if workers < 2 || lanes*act[axis] < parallelCutoff {
+		p.axisPassRange(f, act, axis, 0, lanes, forward)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (lanes + workers - 1) / workers
+	for lo := 0; lo < lanes; lo += per {
+		hi := lo + per
+		if hi > lanes {
+			hi = lanes
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.axisPassRange(f, act, axis, lo, hi, forward)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// axisPassRange processes the lanes with ordinals [lo, hi) of one axis
+// pass. Lane ordinals enumerate the index tuples over act with the pass
+// axis fixed at 0, last dimension fastest — the same order the old serial
+// walk used. Distinct ordinals touch disjoint elements, so concurrent
+// ranges never race.
+func (p *Plan) axisPassRange(f *grid.Field, act []int, axis, lo, hi int, forward bool) {
+	n := act[axis]
+	sc := getScratch(n)
+	defer laneScratch.Put(sc)
+	data := f.Data()
+	stride := f.Stride(axis)
+
+	// Decode the starting ordinal into a multi-index once, then advance it
+	// incrementally like the serial walk did.
+	idx := make([]int, len(act))
+	ord := lo
+	for d := len(act) - 1; d >= 0; d-- {
+		if d == axis {
+			continue
+		}
+		idx[d] = ord % act[d]
+		ord /= act[d]
+	}
+	for o := lo; o < hi; o++ {
 		off := 0
 		for d, i := range idx {
 			off += i * f.Stride(d)
 		}
-		fn(grid.Lane{Start: off, Stride: f.Stride(axis), Len: act[axis]})
-		d := f.Dims() - 1
-		for d >= 0 {
+		l := grid.Lane{Start: off, Stride: stride, Len: n}
+		l.Gather(data, sc.src)
+		if forward {
+			forwardLane(p.scheme, sc.src, sc.dst)
+		} else {
+			inverseLane(p.scheme, sc.src, sc.dst)
+		}
+		l.Scatter(data, sc.dst)
+		for d := len(act) - 1; d >= 0; d-- {
 			if d == axis {
-				d--
 				continue
 			}
 			idx[d]++
@@ -276,10 +353,6 @@ func forEachLane(f *grid.Field, act []int, axis int, fn func(grid.Lane)) {
 				break
 			}
 			idx[d] = 0
-			d--
-		}
-		if d < 0 {
-			return
 		}
 	}
 }

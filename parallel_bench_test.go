@@ -1,0 +1,161 @@
+// Benchmarks for the intra-array parallel compression engine (ISSUE PR 1):
+// a workers sweep over the chunked pipeline on the paper's NICAM array and
+// a 16×-larger variant, plus allocation counts on the pooled hot paths.
+// `make bench-parallel` distills these into BENCH_parallel.json.
+package lossyckpt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+)
+
+// parallelChunkExtent slices the leading axis into ~128-plane slabs — large
+// enough that per-chunk overhead is negligible, small enough that even the
+// paper-sized array yields 10 chunks to spread over workers.
+const parallelChunkExtent = 128
+
+// syntheticClimate builds a smooth climate-like array of the given shape
+// without the climate model's warm-up cost (the 16× array would take
+// minutes to spin up).
+func syntheticClimate(b *testing.B, shape ...int) *grid.Field {
+	b.Helper()
+	f, err := grid.New(shape...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2015))
+	idx := make([]int, len(shape))
+	for off := range f.Data() {
+		v := 250.0
+		for d, i := range idx {
+			v += 20 * math.Sin(2*math.Pi*float64(i)/float64(shape[d])*float64(d+1))
+		}
+		f.Data()[off] = v + 0.05*rng.NormFloat64()
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return f
+}
+
+// workerSweep is the pool-size matrix the chunked benchmarks run: serial,
+// two, four, and everything the machine has (deduplicated).
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		sweep = append(sweep, p)
+	}
+	return sweep
+}
+
+func benchmarkChunkedParallel(b *testing.B, f *grid.Field) {
+	b.Helper()
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			b.SetBytes(int64(f.Bytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunkedParallel(f, opts, parallelChunkExtent); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChunkedParallel/nicam compresses the paper's NICAM-shaped
+// (1156×82×2) temperature array; /nicam16x is the same workload on a
+// 16×-larger array (18496×82×2, ~24 MB), the scale where the worker pool
+// must show ≥2× wall-clock speedup on a multicore machine.
+func BenchmarkChunkedParallel(b *testing.B) {
+	b.Run("nicam", func(b *testing.B) {
+		benchmarkChunkedParallel(b, syntheticClimate(b, 1156, 82, 2))
+	})
+	b.Run("nicam16x", func(b *testing.B) {
+		benchmarkChunkedParallel(b, syntheticClimate(b, 16*1156, 82, 2))
+	})
+}
+
+// BenchmarkChunkedParallelDecompress sweeps the decode-side pool.
+func BenchmarkChunkedParallelDecompress(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	res, err := core.CompressChunked(f, core.DefaultOptions(), parallelChunkExtent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(f.Bytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DecompressChunkedParallel(res.Data, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Allocation benchmarks for the pooled hot paths ----------------------
+
+// BenchmarkAllocCompress tracks allocations of the single-array pipeline;
+// the sync.Pool work in core/wavelet/quant/gzipio shows up here as a low,
+// steady allocs/op count.
+func BenchmarkAllocCompress(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	opts := core.DefaultOptions()
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocDecompress is the decode-side counterpart.
+func BenchmarkAllocDecompress(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	res, err := core.Compress(f, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompress(res.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocGzipOnly measures the gzip baseline after the redundant
+// input copy was removed and DEFLATE writers became pooled.
+func BenchmarkAllocGzipOnly(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	b.SetBytes(int64(f.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompressGzipOnly(f, gzipio.Default, gzipio.InMemory, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
