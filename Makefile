@@ -1,12 +1,13 @@
 # Development targets for the lossyckpt repo. `make check` is the
-# pre-commit gate: formatting, vet, build, and the full test suite under
-# the race detector.
+# pre-commit gate: formatting, vet, build, the full test suite under
+# the race detector, and a short fuzz pass over every decoder.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race bench-parallel
+.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel
 
-check: fmt-check vet build race
+check: fmt-check vet build race fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -25,6 +26,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke runs every fuzz target for FUZZTIME each — a cheap guard
+# that the decoders stay panic-free on adversarial input. Go allows one
+# -fuzz pattern per invocation, so targets run one by one.
+fuzz-smoke:
+	$(GO) test ./internal/ckpt -run='^Fuzz' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzDecodeManifest$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzOpenDir$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/container -run='^Fuzz' -fuzz='^FuzzFromBytes$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunked$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunkedParallel$$' -fuzztime=$(FUZZTIME)
 
 # bench-parallel runs the parallel-engine benchmarks that feed
 # BENCH_parallel.json (workers sweep + allocation counts).

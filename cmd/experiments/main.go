@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/harness"
+	"lossyckpt/internal/store"
 )
 
 func main() {
@@ -96,15 +98,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, id+".csv")
-			f, err := os.Create(path)
-			if err != nil {
+			var buf bytes.Buffer
+			if err := tab.CSV(&buf); err != nil {
 				return err
 			}
-			if err := tab.CSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			// Atomic write: a crash mid-run never leaves a torn CSV.
+			if err := store.WriteFileAtomicOS(path, buf.Bytes()); err != nil {
 				return err
 			}
 		}

@@ -139,6 +139,102 @@ func TestDiffShapeMismatch(t *testing.T) {
 	}
 }
 
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "temperature.grd")
+	b := filepath.Join(dir, "pressure.grd")
+	if err := run([]string{"gen", "-out", a, "-shape", "64x16x2", "-steps", "3", "-var", "temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gen", "-out", b, "-shape", "64x16x2", "-steps", "3", "-var", "pressure"}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+	outDir := filepath.Join(dir, "restored")
+
+	// Two generations with a lossless codec, -keep 2.
+	if err := run([]string{"save", "-dir", ckptDir, "-in", a + "," + b, "-keep", "2", "-codec", "none", "-step", "3"}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := run([]string{"save", "-dir", ckptDir, "-in", a + "," + b, "-keep", "2", "-codec", "none", "-step", "4"}); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	if err := run([]string{"restore", "-dir", ckptDir, "-out", outDir}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// A lossless round trip through the store must be bit-exact.
+	for _, name := range []string{"temperature", "pressure"} {
+		orig, err := os.ReadFile(filepath.Join(dir, name+".grd"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(outDir, name+".grd"))
+		if err != nil {
+			t.Fatalf("restored %s missing: %v", name, err)
+		}
+		if string(orig) != string(got) {
+			t.Errorf("%s: restored bytes differ from original", name)
+		}
+	}
+}
+
+func TestRestoreFallsBackWhenLatestCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "wind_u.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "48x12x2", "-steps", "2", "-var", "wind_u"}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+	if err := run([]string{"save", "-dir", ckptDir, "-in", grd, "-codec", "none", "-step", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"save", "-dir", ckptDir, "-in", grd, "-codec", "none", "-step", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the newest generation file on disk.
+	raw, err := os.ReadFile(filepath.Join(ckptDir, "gen-00000002.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(filepath.Join(ckptDir, "gen-00000002.ckpt"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "restored")
+	if err := run([]string{"restore", "-dir", ckptDir, "-out", outDir}); err != nil {
+		t.Fatalf("restore with corrupt newest generation: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(outDir, "wind_u.grd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(grd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(got) {
+		t.Error("fallback restore differs from original field")
+	}
+}
+
+func TestSaveRestoreFlagsValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"save"},              // missing -dir and -in
+		{"save", "-dir", dir}, // missing -in
+		{"save", "-dir", dir, "-in", filepath.Join(dir, "nope.grd")}, // missing input
+		{"save", "-dir", dir, "-in", "x.grd", "-codec", "zfp"},       // unknown codec
+		{"restore"},              // missing -dir and -out
+		{"restore", "-dir", dir}, // missing -out
+		{"restore", "-dir", filepath.Join(dir, "empty"), "-out", dir}, // no generations
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestCompressTempFileMode(t *testing.T) {
 	dir := t.TempDir()
 	grd := filepath.Join(dir, "f.grd")

@@ -31,6 +31,12 @@ const (
 	fileMagic   = 0x54504B43 // "CKPT"
 	fileVersion = 1
 	maxNameLen  = 4096
+	// maxVars bounds the header-declared variable count so a corrupt
+	// header cannot drive an unbounded parse loop.
+	maxVars = 1 << 20
+	// maxPayloadLen bounds any single entry payload (1 TiB) — a second
+	// line of defense behind the remaining-input checks.
+	maxPayloadLen = 1 << 40
 )
 
 // Manager registers an application's state arrays and writes/reads framed
@@ -211,13 +217,17 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (*Report, error) {
 	return rep, nil
 }
 
-// Restore reads a checkpoint stream and copies the decoded arrays into the
-// registered fields in place. The stream's codec name must match the
-// manager's codec, and every registered variable must be present with a
-// matching shape. It returns the report and the stored step counter.
-func (m *Manager) Restore(r io.Reader) (*Report, error) {
-	start := time.Now()
-	br := newByteReader(r)
+// streamHeader is the parsed fixed prefix of a checkpoint stream.
+type streamHeader struct {
+	Codec string
+	Step  int
+	Count int
+}
+
+// readStreamHeader parses and validates the stream header. Every
+// header-declared size is bounded before it can drive an allocation or
+// a parse loop.
+func readStreamHeader(br *byteReader) (*streamHeader, error) {
 	if br.u32() != fileMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
@@ -230,87 +240,212 @@ func (m *Manager) Restore(r io.Reader) (*Report, error) {
 	if br.err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrFormat, br.err)
 	}
-	if codecName != m.codec.Name() {
-		return nil, fmt.Errorf("%w: stream codec %q, manager codec %q", ErrMismatch, codecName, m.codec.Name())
+	if len(codecName) > maxNameLen {
+		return nil, fmt.Errorf("%w: codec name %d bytes exceeds cap", ErrFormat, len(codecName))
 	}
-	if int(count) != len(m.names) {
-		return nil, fmt.Errorf("%w: stream has %d variables, %d registered", ErrMismatch, count, len(m.names))
+	if step > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: step %d out of range", ErrFormat, step)
+	}
+	if count > maxVars {
+		return nil, fmt.Errorf("%w: %d variables exceeds cap", ErrFormat, count)
+	}
+	return &streamHeader{Codec: codecName, Step: int(step), Count: int(count)}, nil
+}
+
+// rawEntry is one parsed checkpoint frame before decoding.
+type rawEntry struct {
+	Name    string
+	Shape   []int
+	Payload []byte
+}
+
+// readEntryFrame reads entry i's outer frame (CRC, length, body) and
+// reports whether the CRC verifies. Framing damage — truncation or an
+// implausible length — returns ErrFormat; a CRC mismatch on a intact
+// frame comes back as crcOK=false with a nil error so partial recovery
+// can skip the frame and keep resynchronizing on the outer framing.
+func readEntryFrame(br *byteReader, i int) (body []byte, crcOK bool, err error) {
+	wantCRC := br.u32()
+	entryLen := br.u64()
+	if br.err != nil {
+		return nil, false, fmt.Errorf("%w: entry %d header: %v", ErrFormat, i, br.err)
+	}
+	if entryLen > maxPayloadLen {
+		return nil, false, fmt.Errorf("%w: entry %d implausibly large (%d bytes)", ErrFormat, i, entryLen)
+	}
+	body, rerr := readExactly(br, entryLen)
+	if rerr != nil {
+		return nil, false, fmt.Errorf("%w: entry %d body: %v", ErrFormat, i, rerr)
+	}
+	return body, crc32.ChecksumIEEE(body) == wantCRC, nil
+}
+
+// parseEntryBody decodes one frame body into name, shape and payload.
+// The declared name length, dimensionality, extents and payload length
+// are all validated against their caps and against the bytes actually
+// remaining, so corrupt metadata returns ErrFormat instead of
+// attempting a huge allocation.
+func parseEntryBody(body []byte, i int) (*rawEntry, error) {
+	rd := bytes.NewReader(body)
+	er := newByteReader(rd)
+	name := er.str()
+	if er.err == nil && len(name) > maxNameLen {
+		return nil, fmt.Errorf("%w: entry %d name %d bytes exceeds cap", ErrFormat, i, len(name))
+	}
+	nd := int(er.u16())
+	if er.err != nil || nd == 0 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: entry %d metadata", ErrFormat, i)
+	}
+	shape := make([]int, nd)
+	for d := range shape {
+		e := er.u64()
+		if e == 0 || e > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: entry %d extent %d", ErrFormat, i, e)
+		}
+		shape[d] = int(e)
+	}
+	payloadLen := er.u64()
+	if er.err != nil {
+		return nil, fmt.Errorf("%w: entry %d payload length", ErrFormat, i)
+	}
+	if payloadLen > uint64(rd.Len()) {
+		return nil, fmt.Errorf("%w: entry %d declares %d payload bytes, %d remain", ErrFormat, i, payloadLen, rd.Len())
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(er, payload); err != nil {
+		return nil, fmt.Errorf("%w: entry %d payload: %v", ErrFormat, i, err)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("%w: entry %d has %d trailing bytes", ErrFormat, i, rd.Len())
+	}
+	return &rawEntry{Name: name, Shape: shape, Payload: payload}, nil
+}
+
+// applyEntry validates one parsed entry against the registration,
+// decodes it, and copies the result into the registered field.
+func (m *Manager) applyEntry(ent *rawEntry, seen map[string]bool, rep *Report) error {
+	target, ok := m.fields[ent.Name]
+	if !ok {
+		return fmt.Errorf("%w: stream variable %q not registered", ErrMismatch, ent.Name)
+	}
+	if seen[ent.Name] {
+		return fmt.Errorf("%w: duplicate variable %q", ErrFormat, ent.Name)
+	}
+	if target.Dims() != len(ent.Shape) {
+		return fmt.Errorf("%w: %q is %d-D in stream, %d-D registered", ErrMismatch, ent.Name, len(ent.Shape), target.Dims())
+	}
+	for d, e := range ent.Shape {
+		if target.Extent(d) != e {
+			return fmt.Errorf("%w: %q shape %v in stream, %v registered", ErrMismatch, ent.Name, ent.Shape, target.Shape())
+		}
+	}
+	decoded, err := m.codec.Decode(ent.Payload, ent.Shape)
+	if err != nil {
+		return fmt.Errorf("ckpt: decoding %q: %w", ent.Name, err)
+	}
+	seen[ent.Name] = true
+	copy(target.Data(), decoded.Data())
+
+	rep.Entries = append(rep.Entries, EntryReport{
+		Name:            ent.Name,
+		RawBytes:        target.Bytes(),
+		CompressedBytes: len(ent.Payload),
+	})
+	rep.RawBytes += target.Bytes()
+	rep.CompressedBytes += len(ent.Payload)
+	return nil
+}
+
+// Restore reads a checkpoint stream and copies the decoded arrays into the
+// registered fields in place. The stream's codec name must match the
+// manager's codec, and every registered variable must be present with a
+// matching shape. It returns the report and the stored step counter.
+func (m *Manager) Restore(r io.Reader) (*Report, error) {
+	start := time.Now()
+	br := newByteReader(r)
+	hdr, err := readStreamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Codec != m.codec.Name() {
+		return nil, fmt.Errorf("%w: stream codec %q, manager codec %q", ErrMismatch, hdr.Codec, m.codec.Name())
+	}
+	if hdr.Count != len(m.names) {
+		return nil, fmt.Errorf("%w: stream has %d variables, %d registered", ErrMismatch, hdr.Count, len(m.names))
 	}
 
-	rep := &Report{Codec: codecName, Step: int(step)}
-	seen := make(map[string]bool, count)
-	for i := 0; i < int(count); i++ {
-		wantCRC := br.u32()
-		entryLen := br.u64()
-		if br.err != nil {
-			return nil, fmt.Errorf("%w: entry %d header: %v", ErrFormat, i, br.err)
-		}
-		if entryLen > 1<<40 {
-			return nil, fmt.Errorf("%w: entry %d implausibly large (%d bytes)", ErrFormat, i, entryLen)
-		}
-		entry, err := readExactly(br, entryLen)
+	rep := &Report{Codec: hdr.Codec, Step: hdr.Step}
+	seen := make(map[string]bool, hdr.Count)
+	for i := 0; i < hdr.Count; i++ {
+		body, crcOK, err := readEntryFrame(br, i)
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d body: %v", ErrFormat, i, err)
+			return nil, err
 		}
-		if crc32.ChecksumIEEE(entry) != wantCRC {
+		if !crcOK {
 			return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
 		}
-		er := newByteReader(bytes.NewReader(entry))
-		name := er.str()
-		nd := int(er.u16())
-		if er.err != nil || nd == 0 || nd > grid.MaxDims {
-			return nil, fmt.Errorf("%w: entry %d metadata", ErrFormat, i)
-		}
-		shape := make([]int, nd)
-		for d := range shape {
-			e := er.u64()
-			if e == 0 || e > math.MaxInt32 {
-				return nil, fmt.Errorf("%w: entry %d extent %d", ErrFormat, i, e)
-			}
-			shape[d] = int(e)
-		}
-		payloadLen := er.u64()
-		if er.err != nil {
-			return nil, fmt.Errorf("%w: entry %d payload length", ErrFormat, i)
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(er, payload); err != nil {
-			return nil, fmt.Errorf("%w: entry %d payload: %v", ErrFormat, i, err)
-		}
-
-		target, ok := m.fields[name]
-		if !ok {
-			return nil, fmt.Errorf("%w: stream variable %q not registered", ErrMismatch, name)
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("%w: duplicate variable %q", ErrFormat, name)
-		}
-		seen[name] = true
-		if target.Dims() != nd {
-			return nil, fmt.Errorf("%w: %q is %d-D in stream, %d-D registered", ErrMismatch, name, nd, target.Dims())
-		}
-		for d, e := range shape {
-			if target.Extent(d) != e {
-				return nil, fmt.Errorf("%w: %q shape %v in stream, %v registered", ErrMismatch, name, shape, target.Shape())
-			}
-		}
-
-		decoded, err := m.codec.Decode(payload, shape)
+		ent, err := parseEntryBody(body, i)
 		if err != nil {
-			return nil, fmt.Errorf("ckpt: decoding %q: %w", name, err)
+			return nil, err
 		}
-		copy(target.Data(), decoded.Data())
-
-		rep.Entries = append(rep.Entries, EntryReport{
-			Name:            name,
-			RawBytes:        target.Bytes(),
-			CompressedBytes: len(payload),
-		})
-		rep.RawBytes += target.Bytes()
-		rep.CompressedBytes += len(payload)
+		if err := m.applyEntry(ent, seen, rep); err != nil {
+			return nil, err
+		}
 	}
 	rep.Wall = time.Since(start)
 	return rep, nil
+}
+
+// RestorePartial reads a possibly torn or corrupted checkpoint stream
+// and restores every registered array whose frame verifies: frames with
+// failing CRCs or unparseable bodies are skipped (the outer framing
+// keeps the parse resynchronized), and a torn tail ends the scan. It
+// returns the report of what was restored plus the names of registered
+// variables that were not. The header itself must be intact; with it
+// gone there is nothing to verify against. Arrays restore in stream
+// order, so on error the registered state may hold a mix of restored
+// and untouched arrays — callers decide whether a partial state is
+// usable.
+func (m *Manager) RestorePartial(r io.Reader) (*Report, []string, error) {
+	start := time.Now()
+	br := newByteReader(r)
+	hdr, err := readStreamHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr.Codec != m.codec.Name() {
+		return nil, nil, fmt.Errorf("%w: stream codec %q, manager codec %q", ErrMismatch, hdr.Codec, m.codec.Name())
+	}
+
+	rep := &Report{Codec: hdr.Codec, Step: hdr.Step}
+	seen := make(map[string]bool, hdr.Count)
+	for i := 0; i < hdr.Count; i++ {
+		body, crcOK, err := readEntryFrame(br, i)
+		if err != nil {
+			break // torn tail: nothing beyond this point is framed
+		}
+		if !crcOK {
+			continue // damaged frame: skip, keep scanning
+		}
+		ent, err := parseEntryBody(body, i)
+		if err != nil {
+			continue
+		}
+		// Mismatched or duplicate entries are skipped rather than fatal:
+		// partial recovery salvages what it can.
+		_ = m.applyEntry(ent, seen, rep)
+	}
+	var skipped []string
+	for _, name := range m.names {
+		if !seen[name] {
+			skipped = append(skipped, name)
+		}
+	}
+	if len(rep.Entries) == 0 {
+		return nil, skipped, fmt.Errorf("%w: no frame verified", ErrFormat)
+	}
+	rep.Wall = time.Since(start)
+	return rep, skipped, nil
 }
 
 // --- binary helpers ---------------------------------------------------------

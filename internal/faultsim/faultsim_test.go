@@ -1,11 +1,15 @@
 package faultsim
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/climate"
+	"lossyckpt/internal/store"
 )
 
 func climateApp(t *testing.T) (App, App) {
@@ -168,5 +172,120 @@ func TestPathologicalMTBFAborts(t *testing.T) {
 	cfg.MaxFailures = 50
 	if _, err := Run(app, ref, cfg); err == nil {
 		t.Error("pathological MTBF did not abort")
+	}
+}
+
+// TestRealIOStoreMatchesInMemory: routing rollbacks through the on-disk
+// store must produce the same simulation outcome as the in-memory
+// buffer — same failure process, same rework, bit-identical final state
+// for a lossless codec.
+func TestRealIOStoreMatchesInMemory(t *testing.T) {
+	appMem, refMem := climateApp(t)
+	resMem, err := Run(appMem, refMem, baseConfig(ckpt.None{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	appIO, refIO := climateApp(t)
+	st, err := store.Open(t.TempDir(), store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(ckpt.None{})
+	cfg.Store = st
+	resIO, err := Run(appIO, refIO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resIO.Failures != resMem.Failures || resIO.ReworkSteps != resMem.ReworkSteps ||
+		resIO.Checkpoints != resMem.Checkpoints {
+		t.Fatalf("real-I/O run diverged: mem %+v vs io %+v", resMem, resIO)
+	}
+	if resIO.FinalError.MaxPct != 0 {
+		t.Errorf("lossless real-I/O rollbacks changed the result: %v", resIO.FinalError)
+	}
+	if resIO.StoreFallbacks != 0 || resIO.PartialRestores != 0 {
+		t.Errorf("clean store should need no fallbacks: %+v", resIO)
+	}
+	// The store retains at most Keep generations.
+	if n := len(st.Generations()); n == 0 || n > 3 {
+		t.Errorf("store retains %d generations, want 1..3", n)
+	}
+}
+
+// TestRealIOTransientFaultsRideThrough injects transient errors into
+// the store's filesystem during the simulation: the retry layer must
+// absorb them with no effect on the run.
+func TestRealIOTransientFaultsRideThrough(t *testing.T) {
+	app, ref := climateApp(t)
+	ffs := store.NewFaultFS(store.OsFS{})
+	st, err := store.Open(t.TempDir(), store.Options{
+		Keep: 2, FS: ffs, Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sprinkle transient failures over the first few hundred ops.
+	for op := 5; op < 400; op += 13 {
+		ffs.FailAt(op, store.Fault{Kind: store.ErrorOnce})
+	}
+	cfg := baseConfig(ckpt.None{})
+	cfg.Store = st
+	res, err := Run(app, ref, cfg)
+	if err != nil {
+		t.Fatalf("run with transient store faults: %v", err)
+	}
+	if res.FinalError.MaxPct != 0 {
+		t.Errorf("transient faults corrupted the run: %v", res.FinalError)
+	}
+}
+
+// TestRealIOFallbackOnCorruptLatest damages the newest generation on
+// disk mid-run and lets the next rollback exercise the store's
+// generation fallback inside the simulation.
+func TestRealIOFallbackOnCorruptLatest(t *testing.T) {
+	app, _ := climateApp(t)
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := ckpt.NewManager(ckpt.None{}, 0)
+	for _, nf := range app.Fields() {
+		if err := mgr.Register(nf.Name, nf.Field); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two generations; corrupt the newest on disk.
+	if _, _, err := mgr.CheckpointTo(st, 0); err != nil {
+		t.Fatal(err)
+	}
+	app.Step()
+	if _, _, err := mgr.CheckpointTo(st, app.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := st.Latest()
+	path := filepath.Join(dir, fmt.Sprintf("gen-%08d.ckpt", latest.Seq))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen so no cached state hides the damage, and restore.
+	st2, err := store.Open(dir, store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := mgr.RestoreLatest(st2)
+	if err != nil {
+		t.Fatalf("RestoreLatest with corrupt newest: %v", err)
+	}
+	if sr.Generation != latest.Seq-1 || sr.Step != 0 {
+		t.Fatalf("restored %+v, want full fallback to generation %d", sr, latest.Seq-1)
 	}
 }

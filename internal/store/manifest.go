@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrManifest indicates a structurally invalid or checksum-failing
+// manifest. Open treats it as a lost manifest and rebuilds from a
+// directory scan; the error surfaces only from DecodeManifest itself.
+var ErrManifest = errors.New("store: malformed manifest")
+
+const (
+	manifestMagic   = 0x4D534B4C // "LKSM"
+	manifestVersion = 1
+	// maxManifestGens bounds the generation count a manifest header may
+	// declare, so a corrupt count cannot force a huge allocation.
+	maxManifestGens = 1 << 16
+	manifestHeader  = 4 + 2 + 8 + 4 // magic, version, nextSeq, count
+	manifestEntry   = 8 + 8 + 8 + 4 // seq, step, size, crc
+)
+
+// Generation is one retained checkpoint: its monotonically increasing
+// sequence number, the application step stored in it, and the size and
+// CRC-32 (IEEE) of its payload file.
+type Generation struct {
+	Seq  uint64
+	Step uint64
+	Size uint64
+	CRC  uint32
+}
+
+// manifest is the store's CRC-protected index: the next sequence number
+// to allocate and the retained generations, oldest first.
+type manifest struct {
+	NextSeq uint64
+	Gens    []Generation
+}
+
+// latest returns the newest generation, if any.
+func (m *manifest) latest() (Generation, bool) {
+	if len(m.Gens) == 0 {
+		return Generation{}, false
+	}
+	return m.Gens[len(m.Gens)-1], true
+}
+
+// encode serializes the manifest with a trailing CRC-32 of everything
+// before it.
+func (m *manifest) encode() []byte {
+	out := make([]byte, 0, manifestHeader+manifestEntry*len(m.Gens)+4)
+	var b8 [8]byte
+	var b4 [4]byte
+	var b2 [2]byte
+
+	binary.LittleEndian.PutUint32(b4[:], manifestMagic)
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint16(b2[:], manifestVersion)
+	out = append(out, b2[:]...)
+	binary.LittleEndian.PutUint64(b8[:], m.NextSeq)
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(m.Gens)))
+	out = append(out, b4[:]...)
+	for _, g := range m.Gens {
+		binary.LittleEndian.PutUint64(b8[:], g.Seq)
+		out = append(out, b8[:]...)
+		binary.LittleEndian.PutUint64(b8[:], g.Step)
+		out = append(out, b8[:]...)
+		binary.LittleEndian.PutUint64(b8[:], g.Size)
+		out = append(out, b8[:]...)
+		binary.LittleEndian.PutUint32(b4[:], g.CRC)
+		out = append(out, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(out))
+	return append(out, b4[:]...)
+}
+
+// DecodeManifest parses and verifies a manifest image. Every
+// header-declared size is validated against the remaining input before
+// any allocation, and generations must be strictly increasing and below
+// NextSeq — corrupt input returns ErrManifest, never panics.
+func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
+	if len(raw) < manifestHeader+4 {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrManifest, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrManifest)
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != manifestMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrManifest)
+	}
+	if v := binary.LittleEndian.Uint16(body[4:6]); v != manifestVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrManifest, v)
+	}
+	nextSeq := binary.LittleEndian.Uint64(body[6:14])
+	count := binary.LittleEndian.Uint32(body[14:18])
+	if count > maxManifestGens {
+		return nil, 0, fmt.Errorf("%w: generation count %d exceeds cap", ErrManifest, count)
+	}
+	if len(body) != manifestHeader+manifestEntry*int(count) {
+		return nil, 0, fmt.Errorf("%w: %d bytes for %d generations", ErrManifest, len(raw), count)
+	}
+	gens := make([]Generation, count)
+	off := manifestHeader
+	for i := range gens {
+		gens[i] = Generation{
+			Seq:  binary.LittleEndian.Uint64(body[off:]),
+			Step: binary.LittleEndian.Uint64(body[off+8:]),
+			Size: binary.LittleEndian.Uint64(body[off+16:]),
+			CRC:  binary.LittleEndian.Uint32(body[off+24:]),
+		}
+		if gens[i].Seq >= nextSeq {
+			return nil, 0, fmt.Errorf("%w: generation %d not below next sequence %d", ErrManifest, gens[i].Seq, nextSeq)
+		}
+		if i > 0 && gens[i].Seq <= gens[i-1].Seq {
+			return nil, 0, fmt.Errorf("%w: generations not strictly increasing", ErrManifest)
+		}
+		off += manifestEntry
+	}
+	return gens, nextSeq, nil
+}

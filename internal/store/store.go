@@ -1,0 +1,399 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Errors returned by the store.
+var (
+	// ErrCorrupt indicates a generation file whose size or CRC does not
+	// match the manifest record.
+	ErrCorrupt = errors.New("store: generation corrupt")
+	// ErrNoGeneration indicates the store holds no (matching) generation.
+	ErrNoGeneration = errors.New("store: no generation available")
+)
+
+const (
+	manifestName = "MANIFEST"
+	genPrefix    = "gen-"
+	genSuffix    = ".ckpt"
+	tmpSuffix    = ".tmp"
+	// commitChunk is the write granularity of payload files: bounded
+	// buffers, and real torn-write boundaries for the crash harness.
+	commitChunk = 256 << 10
+)
+
+// Options configures a Store.
+type Options struct {
+	// Keep is the retention ring size: the last Keep generations survive,
+	// older ones are pruned after each commit. 0 means 3; negative keeps
+	// everything.
+	Keep int
+	// FS is the filesystem implementation; nil means OsFS.
+	FS FS
+	// Retries bounds transient-error retries per operation (0 means 4).
+	Retries int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between retries (0 means 1ms / 100ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Sleep is the backoff clock, injectable for tests; nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Keep == 0 {
+		o.Keep = 3
+	}
+	if o.FS == nil {
+		o.FS = OsFS{}
+	}
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffCap == 0 {
+		o.BackoffCap = 100 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Store is a crash-safe multi-generation checkpoint store rooted at one
+// directory. It is not safe for concurrent use by multiple goroutines
+// (or processes); the durability guarantees are about crashes, not
+// concurrent writers.
+type Store struct {
+	dir  string
+	fs   FS
+	opts Options
+	man  manifest
+	// rebuilt records that Open found no valid manifest and recovered
+	// the generation index by scanning the directory.
+	rebuilt bool
+}
+
+// Open opens (creating if needed) the store rooted at dir. A missing or
+// corrupt manifest is rebuilt by scanning the generation files, and
+// leftover temp files from interrupted commits are swept.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{dir: dir, fs: opts.FS, opts: opts}
+	if err := s.retry("mkdir", func() error { return s.fs.MkdirAll(dir) }); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+
+	raw, err := s.readFile(filepath.Join(dir, manifestName))
+	if err == nil {
+		if gens, next, derr := DecodeManifest(raw); derr == nil {
+			s.man = manifest{NextSeq: next, Gens: gens}
+		} else {
+			err = derr
+		}
+	}
+	if err != nil {
+		// Manifest missing, unreadable or corrupt: recover the index
+		// from the generation files themselves.
+		if rerr := s.rescan(); rerr != nil {
+			return nil, fmt.Errorf("store: open %s: rescan: %w", dir, rerr)
+		}
+		s.rebuilt = true
+	}
+	s.sweepTemp()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Rebuilt reports whether Open had to reconstruct the manifest from a
+// directory scan (i.e. the manifest was missing or corrupt).
+func (s *Store) Rebuilt() bool { return s.rebuilt }
+
+// Generations returns the retained generations, oldest first.
+func (s *Store) Generations() []Generation {
+	return append([]Generation(nil), s.man.Gens...)
+}
+
+// Latest returns the newest generation, if any.
+func (s *Store) Latest() (Generation, bool) { return s.man.latest() }
+
+// genName returns the file name of a generation.
+func genName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", genPrefix, seq, genSuffix)
+}
+
+// parseGenName inverts genName.
+func parseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+		return 0, false
+	}
+	mid := name[len(genPrefix) : len(name)-len(genSuffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || mid == "" {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Commit atomically adds payload as the next generation: temp file →
+// fsync → rename into the generation slot → directory fsync → manifest
+// update (same protocol) → retention pruning. On any error the store's
+// previous latest generation is still intact and indexed.
+func (s *Store) Commit(step int, payload []byte) (Generation, error) {
+	if step < 0 {
+		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	seq := s.man.NextSeq
+	if seq == 0 {
+		seq = 1 // sequence numbers are 1-based so "no generation" is unambiguous
+	}
+	final := filepath.Join(s.dir, genName(seq))
+	tmp := final + tmpSuffix
+
+	if err := s.writePayload(tmp, payload); err != nil {
+		return Generation{}, err
+	}
+	if err := s.retry("rename", func() error { return s.fs.Rename(tmp, final) }); err != nil {
+		s.fs.Remove(tmp)
+		return Generation{}, fmt.Errorf("store: commit gen %d: rename: %w", seq, err)
+	}
+	if err := s.retry("syncdir", func() error { return s.fs.SyncDir(s.dir) }); err != nil {
+		return Generation{}, fmt.Errorf("store: commit gen %d: sync dir: %w", seq, err)
+	}
+
+	gen := Generation{
+		Seq:  seq,
+		Step: uint64(step),
+		Size: uint64(len(payload)),
+		CRC:  crc32.ChecksumIEEE(payload),
+	}
+	// The manifest rename is the commit point: before it, the store
+	// still indexes the previous latest; after it, the new generation is
+	// the latest-good.
+	next := manifest{NextSeq: seq + 1, Gens: append(s.Generations(), gen)}
+	var dropped []Generation
+	if s.opts.Keep > 0 && len(next.Gens) > s.opts.Keep {
+		cut := len(next.Gens) - s.opts.Keep
+		dropped = append(dropped, next.Gens[:cut]...)
+		next.Gens = append([]Generation(nil), next.Gens[cut:]...)
+	}
+	if err := s.writeManifest(next); err != nil {
+		return Generation{}, fmt.Errorf("store: commit gen %d: manifest: %w", seq, err)
+	}
+	s.man = next
+
+	// Prune outside the ring, best effort: a leftover file is garbage,
+	// not corruption, and the next Open sweeps unindexed generations too.
+	for _, g := range dropped {
+		s.fs.Remove(filepath.Join(s.dir, genName(g.Seq)))
+	}
+	return gen, nil
+}
+
+// CommitFunc buffers write's output and commits it as one generation —
+// the bridge for writers like ckpt.Manager.Checkpoint.
+func (s *Store) CommitFunc(step int, write func(io.Writer) error) (Generation, error) {
+	var buf payloadBuffer
+	if err := write(&buf); err != nil {
+		return Generation{}, err
+	}
+	return s.Commit(step, buf.b)
+}
+
+type payloadBuffer struct{ b []byte }
+
+func (p *payloadBuffer) Write(q []byte) (int, error) {
+	p.b = append(p.b, q...)
+	return len(q), nil
+}
+
+// ReadGeneration returns the payload of generation seq after verifying
+// its size and CRC against the manifest; a mismatch returns ErrCorrupt.
+func (s *Store) ReadGeneration(seq uint64) ([]byte, error) {
+	data, ok, err := s.ReadGenerationRaw(seq)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: generation %d fails size/CRC verification", ErrCorrupt, seq)
+	}
+	return data, nil
+}
+
+// ReadGenerationRaw returns generation seq's bytes plus whether they
+// verify against the manifest record. Torn tails come back with
+// verified=false so frame-level partial recovery can still mine them.
+func (s *Store) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err error) {
+	var gen *Generation
+	for i := range s.man.Gens {
+		if s.man.Gens[i].Seq == seq {
+			gen = &s.man.Gens[i]
+			break
+		}
+	}
+	if gen == nil {
+		return nil, false, fmt.Errorf("%w: generation %d", ErrNoGeneration, seq)
+	}
+	data, err = s.readFile(filepath.Join(s.dir, genName(seq)))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read gen %d: %w", seq, err)
+	}
+	verified = uint64(len(data)) == gen.Size && crc32.ChecksumIEEE(data) == gen.CRC
+	return data, verified, nil
+}
+
+// writePayload writes data to path in bounded chunks with fsync before
+// close, retrying transient failures per operation.
+func (s *Store) writePayload(path string, data []byte) error {
+	var f File
+	if err := s.retry("create", func() (err error) {
+		f, err = s.fs.Create(path)
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	cleanup := func() {
+		f.Close()
+		s.fs.Remove(path)
+	}
+	for off := 0; off < len(data); off += commitChunk {
+		end := off + commitChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		if err := s.retry("write", func() error {
+			_, werr := f.Write(chunk)
+			return werr
+		}); err != nil {
+			cleanup()
+			return fmt.Errorf("store: write %s: %w", path, err)
+		}
+	}
+	if err := s.retry("sync", func() error { return f.Sync() }); err != nil {
+		cleanup()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := s.retry("close", func() error { return f.Close() }); err != nil {
+		s.fs.Remove(path)
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeManifest persists m via temp+fsync+rename+dirsync.
+func (s *Store) writeManifest(m manifest) error {
+	path := filepath.Join(s.dir, manifestName)
+	if err := s.writePayload(path+tmpSuffix, m.encode()); err != nil {
+		return err
+	}
+	if err := s.retry("rename", func() error { return s.fs.Rename(path+tmpSuffix, path) }); err != nil {
+		s.fs.Remove(path + tmpSuffix)
+		return err
+	}
+	return s.retry("syncdir", func() error { return s.fs.SyncDir(s.dir) })
+}
+
+// readFile slurps one file through the FS.
+func (s *Store) readFile(path string) ([]byte, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// rescan rebuilds the manifest by scanning generation files: the
+// recovery path for a lost or corrupt manifest. Sizes and CRCs are
+// recomputed from the files, so a torn generation tail records as-is
+// and later fails ReadGeneration verification only if it was also
+// indexed before — after a rescan the files are the source of truth.
+func (s *Store) rescan() error {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var gens []Generation
+	var maxSeq uint64
+	for _, name := range names {
+		seq, ok := parseGenName(name)
+		if !ok {
+			continue
+		}
+		data, err := s.readFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue // unreadable generation: skip, don't fail recovery
+		}
+		gens = append(gens, Generation{
+			Seq:  seq,
+			Size: uint64(len(data)),
+			CRC:  crc32.ChecksumIEEE(data),
+		})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Seq < gens[j].Seq })
+	s.man = manifest{NextSeq: maxSeq + 1, Gens: gens}
+	// Persist the recovered index; failure is non-fatal (the next Open
+	// just rescans again).
+	_ = s.writeManifest(s.man)
+	return nil
+}
+
+// sweepTemp removes leftover temp files from interrupted commits and
+// generation files no longer in the manifest (pruned but not removed,
+// or renamed but never indexed because the crash hit before the
+// manifest update).
+func (s *Store) sweepTemp() {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	indexed := make(map[uint64]bool, len(s.man.Gens))
+	for _, g := range s.man.Gens {
+		indexed[g.Seq] = true
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			s.fs.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if seq, ok := parseGenName(name); ok && !indexed[seq] {
+			s.fs.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// retry runs fn, retrying transient errors with capped exponential
+// backoff; permanent errors and exhausted budgets return immediately.
+func (s *Store) retry(op string, fn func() error) error {
+	backoff := s.opts.BackoffBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !IsTransient(err) || attempt >= s.opts.Retries {
+			return err
+		}
+		s.opts.Sleep(backoff)
+		backoff *= 2
+		if backoff > s.opts.BackoffCap {
+			backoff = s.opts.BackoffCap
+		}
+	}
+}
