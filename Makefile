@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel
+.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-compare bench-compare-smoke
 
-check: fmt-check vet build race fuzz-smoke
+check: fmt-check vet build race fuzz-smoke bench-compare-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -45,3 +45,21 @@ fuzz-smoke:
 # BENCH_parallel.json (workers sweep + allocation counts).
 bench-parallel:
 	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc' -benchtime 3x .
+
+# bench-obs measures the observability tax (no-op vs live registry) that
+# feeds BENCH_obs.json.
+bench-obs:
+	$(GO) test -run xxx -bench 'ChunkedParallelObs' -benchtime 5x -count 3 .
+
+# bench-compare diffs two BENCH_*.json snapshots and fails on >15%
+# ns_per_op regressions:  make bench-compare OLD=old.json NEW=new.json
+OLD ?= BENCH_parallel.json
+NEW ?= $(OLD)
+bench-compare:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# bench-compare-smoke self-diffs the checked-in snapshots — a cheap guard
+# that the tool keeps parsing them and a zero delta keeps exiting 0.
+bench-compare-smoke:
+	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_parallel.json
+	$(GO) run ./cmd/benchdiff BENCH_obs.json BENCH_obs.json

@@ -1,0 +1,147 @@
+// Command benchdiff compares two BENCH_*.json files and fails on
+// wall-clock regressions. It walks both documents recursively, collects
+// every numeric "ns_per_op" leaf under its slash-joined path (so the
+// nested benchmarks{name:{variant:{ns_per_op}}} shape of this repo's
+// BENCH files needs no schema), and reports the percentage change of
+// each series present in both files.
+//
+// Usage:
+//
+//	benchdiff old.json new.json              # fail on >15% slowdown
+//	benchdiff -threshold 10 old.json new.json
+//
+// The exit status is non-zero when any common series slowed down by more
+// than the threshold, making the tool usable as a CI gate; series present
+// in only one file are listed but never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the comparison and returns the process exit code: 0 when
+// no common series regressed past the threshold, 1 otherwise. Errors are
+// reserved for unusable input (bad flags, unreadable or invalid JSON).
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	threshold := fs.Float64("threshold", 15, "fail when ns_per_op grows by more than this percentage")
+	metric := fs.String("metric", "ns_per_op", "leaf key holding the compared value")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("want exactly two files, got %d (usage: benchdiff old.json new.json)", fs.NArg())
+	}
+	old, err := loadMetrics(fs.Arg(0), *metric)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := loadMetrics(fs.Arg(1), *metric)
+	if err != nil {
+		return 0, err
+	}
+
+	var paths []string
+	for p := range old {
+		if _, ok := cur[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	failed := 0
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told %s\tnew %s\tdelta\t\n", *metric, *metric)
+	for _, p := range paths {
+		o, n := old[p], cur[p]
+		var pct float64
+		if o != 0 {
+			pct = (n - o) / o * 100
+		}
+		mark := ""
+		if pct > *threshold {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", p, o, n, pct, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	reportOrphans(out, old, cur, fs.Arg(0))
+	reportOrphans(out, cur, old, fs.Arg(1))
+	if failed > 0 {
+		fmt.Fprintf(out, "FAIL: %d series regressed by more than %.1f%%\n", failed, *threshold)
+		return 1, nil
+	}
+	fmt.Fprintf(out, "ok: %d series compared, none regressed by more than %.1f%%\n", len(paths), *threshold)
+	return 0, nil
+}
+
+// loadMetrics parses one BENCH file into path → value for every numeric
+// leaf named metric.
+func loadMetrics(path, metric string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[string]float64{}
+	collect(doc, "", metric, m)
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no %q values found", path, metric)
+	}
+	return m, nil
+}
+
+// collect walks the decoded JSON tree accumulating metric leaves.
+func collect(node any, prefix, metric string, out map[string]float64) {
+	obj, ok := node.(map[string]any)
+	if !ok {
+		return
+	}
+	for k, v := range obj {
+		p := k
+		if prefix != "" {
+			p = prefix + "/" + k
+		}
+		if num, ok := v.(float64); ok && k == metric {
+			out[prefix] = num
+			continue
+		}
+		collect(v, p, metric, out)
+	}
+}
+
+// reportOrphans lists series present in a but missing from b.
+func reportOrphans(out io.Writer, a, b map[string]float64, name string) {
+	var only []string
+	for p := range a {
+		if _, ok := b[p]; !ok {
+			only = append(only, p)
+		}
+	}
+	sort.Strings(only)
+	for _, p := range only {
+		fmt.Fprintf(out, "note: %s only in %s\n", p, name)
+	}
+}

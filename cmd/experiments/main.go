@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/harness"
+	"lossyckpt/internal/obs"
 	"lossyckpt/internal/store"
 )
 
@@ -39,6 +40,9 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	warmup := fs.Int("warmup", 0, "override warm-up steps (0 = config default)")
 	restartSteps := fs.Int("restart-steps", 0, "override fig10 restart steps (0 = config default)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /metrics.json, /summary and /debug/pprof on this address while experiments run")
+	obsOut := fs.String("obs-out", "", "write the final metrics snapshot (JSON) to this file")
+	obsSummary := fs.Bool("obs-summary", false, "print the end-of-run metric summary table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +88,41 @@ func run(args []string, out io.Writer) error {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
 		}
+	}
+
+	// Observability scope: install a default registry so the harness's
+	// internal compression/store/checkpoint calls record into it, serve
+	// it if asked, and persist/print at the end.
+	if *metricsAddr != "" || *obsOut != "" || *obsSummary {
+		reg := obs.NewRegistry()
+		prev := obs.SetDefault(reg)
+		defer obs.SetDefault(prev)
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, reg)
+			if err != nil {
+				return fmt.Errorf("metrics listener: %w", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", srv.Addr())
+		}
+		defer func() {
+			if *obsSummary {
+				fmt.Fprintln(out, "-- metrics summary --")
+				if err := reg.WriteSummary(out); err != nil {
+					fmt.Fprintln(os.Stderr, "metrics summary:", err)
+				}
+			}
+			if *obsOut != "" {
+				var buf bytes.Buffer
+				err := reg.WriteJSON(&buf)
+				if err == nil {
+					err = store.WriteFileAtomicOS(*obsOut, buf.Bytes())
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+				}
+			}
+		}()
 	}
 
 	for _, id := range ids {

@@ -23,6 +23,15 @@
 // generation-by-generation — and to frame-level partial recovery — on
 // corruption. All file outputs of every subcommand are written
 // atomically, so an interrupted run never leaves truncated files.
+//
+// The compress, decompress, save and restore subcommands additionally
+// accept observability flags: -metrics addr serves /metrics (Prometheus
+// text format), /metrics.json, /summary and /debug/pprof for the
+// duration of the run; -obs-out file persists the final metrics
+// snapshot as JSON; -obs-summary prints an end-of-run metric table;
+// -metrics-hold keeps the listener up after the work finishes so short
+// runs can be scraped. save -quality adds per-variable reconstruction
+// quality gauges (PSNR, max relative/absolute error) for lossy codecs.
 package main
 
 import (
@@ -160,12 +169,18 @@ func cmdCompress(args []string) error {
 	tempFile := fs.Bool("tempfile", false, "emulate the paper prototype's temp-file gzip path")
 	chunk := fs.Int("chunk", 0, "compress in slabs of this many leading-axis planes (0 = whole array)")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -in and -out are required")
 	}
+	sess, err := startObs(of)
+	if err != nil {
+		return err
+	}
+	defer sess.finish()
 	method, err := quant.ParseMethod(*methodStr)
 	if err != nil {
 		return err
@@ -223,12 +238,18 @@ func cmdDecompress(args []string) error {
 	in := fs.String("in", "", "input .lkc file (required)")
 	out := fs.String("out", "", "output .grd file (required)")
 	workers := fs.Int("workers", 0, "parallel decompression workers (0 = GOMAXPROCS, 1 = serial)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out are required")
 	}
+	sess, err := startObs(of)
+	if err != nil {
+		return err
+	}
+	defer sess.finish()
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
@@ -312,7 +333,18 @@ func cmdDiff(args []string) error {
 	if err != nil {
 		return err
 	}
+	maxAbs, err := stats.MaxAbsError(fa.Data(), fb.Data())
+	if err != nil {
+		return err
+	}
+	psnr, err := stats.PSNR(fa.Data(), fb.Data())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("relative error (Eq. 6 of the paper): %s\n", s)
+	fmt.Printf("max relative error: %.6g%%\n", s.MaxPct)
+	fmt.Printf("max absolute error: %.6g\n", maxAbs)
+	fmt.Printf("psnr: %.2f dB\n", psnr)
 	return nil
 }
 
@@ -331,17 +363,25 @@ func cmdSave(args []string) error {
 	codecName := fs.String("codec", "lossy", "checkpoint codec: none, gzip, fpc or lossy")
 	step := fs.Int("step", 0, "application step recorded in the checkpoint")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
+	quality := fs.Bool("quality", false, "record per-variable reconstruction-quality gauges (lossy codecs; costs a decode per array)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" || *in == "" {
 		return fmt.Errorf("save: -dir and -in are required")
 	}
+	sess, err := startObs(of)
+	if err != nil {
+		return err
+	}
+	defer sess.finish()
 	codec, err := ckpt.CodecByName(*codecName)
 	if err != nil {
 		return err
 	}
 	mgr := ckpt.NewManager(codec, *workers)
+	mgr.EnableQualityTelemetry(*quality)
 	for _, path := range strings.Split(*in, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -375,12 +415,18 @@ func cmdRestore(args []string) error {
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	out := fs.String("out", "", "output directory for restored .grd files (required)")
 	workers := fs.Int("workers", 0, "parallel decompression workers (0 = GOMAXPROCS, 1 = serial)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("restore: -dir and -out are required")
 	}
+	sess, err := startObs(of)
+	if err != nil {
+		return err
+	}
+	defer sess.finish()
 	st, err := store.Open(*dir, store.Options{})
 	if err != nil {
 		return err

@@ -1,0 +1,111 @@
+// obs.go wires the observability layer into the CLI: every data-path
+// subcommand accepts -metrics (serve /metrics, /metrics.json, /summary
+// and /debug/pprof on an HTTP listener for the duration of the run),
+// -obs-out (persist the final JSON snapshot atomically) and -obs-summary
+// (print the end-of-run metric table). The flags install a process-wide
+// default registry, so every layer below — core pipeline, store, ckpt
+// manager — records without explicit plumbing.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lossyckpt/internal/obs"
+	"lossyckpt/internal/store"
+)
+
+// obsFlags carries the shared observability flag values of one subcommand.
+type obsFlags struct {
+	metricsAddr *string
+	obsOut      *string
+	summary     *bool
+	hold        *time.Duration
+}
+
+// addObsFlags registers the shared observability flags on fs.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		metricsAddr: fs.String("metrics", "", "serve /metrics, /metrics.json, /summary and /debug/pprof on this address (e.g. :9090) for the duration of the run"),
+		obsOut:      fs.String("obs-out", "", "write the final metrics snapshot (JSON) to this file"),
+		summary:     fs.Bool("obs-summary", false, "print the end-of-run metric summary table"),
+		hold:        fs.Duration("metrics-hold", 0, "keep the -metrics listener up this long after the command finishes (for scraping short runs)"),
+	}
+}
+
+// metricsAddrHook, when non-nil, receives the bound address of the
+// -metrics listener. Tests use it to find an ephemeral ":0" port.
+var metricsAddrHook func(addr string)
+
+// obsSession is one subcommand's observability scope.
+type obsSession struct {
+	reg  *obs.Registry
+	prev *obs.Registry
+	srv  *obs.Server
+	of   *obsFlags
+	done bool
+}
+
+// startObs begins an observability session. With none of the flags set
+// it returns an inert session (no registry, no overhead beyond the nil
+// checks already on the hot paths).
+func startObs(of *obsFlags) (*obsSession, error) {
+	s := &obsSession{of: of}
+	if *of.metricsAddr == "" && *of.obsOut == "" && !*of.summary {
+		return s, nil
+	}
+	s.reg = obs.NewRegistry()
+	s.prev = obs.SetDefault(s.reg)
+	if *of.metricsAddr != "" {
+		srv, err := obs.Serve(*of.metricsAddr, s.reg)
+		if err != nil {
+			obs.SetDefault(s.prev)
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		s.srv = srv
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", srv.Addr())
+		if metricsAddrHook != nil {
+			metricsAddrHook(srv.Addr())
+		}
+	}
+	return s, nil
+}
+
+// finish ends the session: optionally holds the listener open, prints
+// the summary table, persists the JSON snapshot, and restores the
+// previous default registry. Safe to call more than once; designed to be
+// deferred so metrics also surface when the command fails.
+func (s *obsSession) finish() {
+	if s == nil || s.reg == nil || s.done {
+		return
+	}
+	s.done = true
+	if s.srv != nil && *s.of.hold > 0 {
+		time.Sleep(*s.of.hold)
+	}
+	if *s.of.summary {
+		fmt.Println("-- metrics summary --")
+		if err := s.reg.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics summary:", err)
+		}
+	}
+	if *s.of.obsOut != "" {
+		var buf bytes.Buffer
+		err := s.reg.WriteJSON(&buf)
+		if err == nil {
+			err = store.WriteFileAtomicOS(*s.of.obsOut, buf.Bytes())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics snapshot:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics: snapshot written to %s\n", *s.of.obsOut)
+		}
+	}
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	obs.SetDefault(s.prev)
+}

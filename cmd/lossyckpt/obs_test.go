@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample matches one Prometheus text-format sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+]?[0-9.eE+-]+)$`)
+
+// TestSaveServesMetrics is the ISSUE's acceptance check: a save run with
+// -metrics :0 must serve a Prometheus-parseable /metrics containing
+// stage-timing, store-commit and quality series, persist a JSON snapshot,
+// and keep pprof reachable.
+func TestSaveServesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "temperature.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "64x16x2", "-steps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "obs.json")
+
+	addrCh := make(chan string, 1)
+	metricsAddrHook = func(a string) { addrCh <- a }
+	defer func() { metricsAddrHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"save", "-dir", filepath.Join(dir, "ckpts"), "-in", grd,
+			"-codec", "lossy", "-quality",
+			"-metrics", "127.0.0.1:0", "-metrics-hold", "3s",
+			"-obs-out", snap, "-obs-summary"})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics listener never came up")
+	}
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	// The save runs concurrently with our scrape; poll until the series
+	// recorded at commit time are all visible (the -metrics-hold window
+	// keeps the listener up after the work completes).
+	want := []string{
+		"lossyckpt_compress_stage_seconds_total", // pipeline stage timings
+		"lossyckpt_store_commit_seconds",         // store commit span
+		"lossyckpt_store_commit_bytes_total",
+		"lossyckpt_ckpt_checkpoint_seconds",
+		"lossyckpt_quality_psnr_db", // quality telemetry
+		"lossyckpt_quality_compression_rate_pct",
+	}
+	var out string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		out, err = get("/metrics")
+		if err == nil {
+			missing := false
+			for _, w := range want {
+				if !strings.Contains(out, w) {
+					missing = true
+					break
+				}
+			}
+			if !missing {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics incomplete after deadline (err=%v):\n%s", err, out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+	}
+
+	if body, err := get("/debug/pprof/cmdline"); err != nil || len(body) == 0 {
+		t.Errorf("pprof endpoint unavailable: err=%v", err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not persisted: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if _, ok := parsed["metrics"].([]any); !ok {
+		t.Error("snapshot has no metrics array")
+	}
+}
+
+// TestObsFlagsOffByDefault ensures a plain run installs no default
+// registry and records nothing (the no-op path).
+func TestObsFlagsOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "f.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "32x8x2", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compress", "-in", grd, "-out", filepath.Join(dir, "f.lkc")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressObsSummary exercises the -obs-summary and -obs-out paths on
+// the compress subcommand.
+func TestCompressObsSummary(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "f.grd")
+	snap := filepath.Join(dir, "obs.json")
+	if err := run([]string{"gen", "-out", grd, "-shape", "64x16x2", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compress", "-in", grd, "-out", filepath.Join(dir, "f.lkc"),
+		"-chunk", "16", "-workers", "2", "-obs-summary", "-obs-out", snap}); err != nil {
+		t.Fatalf("compress with obs flags: %v", err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"lossyckpt_compress_stage_seconds_total",
+		"lossyckpt_compress_chunks_total",
+		`"kind": "chunked"`,
+	} {
+		if !strings.Contains(string(raw), w) {
+			t.Errorf("snapshot missing %q", w)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 )
 
 // Errors returned by the manager.
@@ -47,6 +48,12 @@ type Manager struct {
 	workers int
 	names   []string
 	fields  map[string]*grid.Field
+	// obsr receives checkpoint/restore telemetry (see observe.go); nil
+	// falls back to the process default registry at record time.
+	obsr *obs.Registry
+	// quality enables per-variable reconstruction-quality gauges for
+	// lossy codecs (opt-in: it costs a decode round-trip per entry).
+	quality bool
 }
 
 // NewManager returns a manager using the given codec. workers bounds the
@@ -147,7 +154,7 @@ func (r *Report) AggregateTimings() core.Timings {
 // application-defined counter stored in the header (the paper restarts
 // NICAM at step 720; the counter lets restore resume time-dependent
 // forcing).
-func (m *Manager) Checkpoint(w io.Writer, step int) (*Report, error) {
+func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 	start := time.Now()
 	if len(m.names) == 0 {
 		return nil, fmt.Errorf("%w: no fields registered", ErrRegistered)
@@ -158,6 +165,15 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (*Report, error) {
 
 	// Parallel encode, order-preserving.
 	encoded := make([]*Encoded, len(m.names))
+	if o := m.observer(); o != nil {
+		sp := o.StartSpan(MetricCheckpointSpan, "codec", m.codec.Name(), "step", fmt.Sprint(step))
+		defer func() {
+			sp.EndErr(err)
+			if err == nil {
+				m.recordCheckpoint(o, rep, encoded)
+			}
+		}()
+	}
 	errs := make([]error, len(m.names))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, m.workers)
@@ -185,7 +201,7 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (*Report, error) {
 	writeU64(&buf, uint64(step))
 	writeU32(&buf, uint32(len(m.names)))
 
-	rep := &Report{Codec: m.codec.Name(), Step: step}
+	rep = &Report{Codec: m.codec.Name(), Step: step}
 	for i, name := range m.names {
 		f := m.fields[name]
 		var entry bytes.Buffer
@@ -360,8 +376,12 @@ func (m *Manager) applyEntry(ent *rawEntry, seen map[string]bool, rep *Report) e
 // registered fields in place. The stream's codec name must match the
 // manager's codec, and every registered variable must be present with a
 // matching shape. It returns the report and the stored step counter.
-func (m *Manager) Restore(r io.Reader) (*Report, error) {
+func (m *Manager) Restore(r io.Reader) (rep *Report, err error) {
 	start := time.Now()
+	if o := m.observer(); o != nil {
+		sp := o.StartSpan(MetricRestoreSpan, "codec", m.codec.Name(), "mode", "full")
+		defer func() { sp.EndErr(err) }()
+	}
 	br := newByteReader(r)
 	hdr, err := readStreamHeader(br)
 	if err != nil {
@@ -374,7 +394,7 @@ func (m *Manager) Restore(r io.Reader) (*Report, error) {
 		return nil, fmt.Errorf("%w: stream has %d variables, %d registered", ErrMismatch, hdr.Count, len(m.names))
 	}
 
-	rep := &Report{Codec: hdr.Codec, Step: hdr.Step}
+	rep = &Report{Codec: hdr.Codec, Step: hdr.Step}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
 		body, crcOK, err := readEntryFrame(br, i)
@@ -406,8 +426,17 @@ func (m *Manager) Restore(r io.Reader) (*Report, error) {
 // order, so on error the registered state may hold a mix of restored
 // and untouched arrays — callers decide whether a partial state is
 // usable.
-func (m *Manager) RestorePartial(r io.Reader) (*Report, []string, error) {
+func (m *Manager) RestorePartial(r io.Reader) (rep *Report, skipped []string, err error) {
 	start := time.Now()
+	if o := m.observer(); o != nil {
+		sp := o.StartSpan(MetricRestoreSpan, "codec", m.codec.Name(), "mode", "partial")
+		defer func() {
+			sp.EndErr(err)
+			if err == nil {
+				m.recordRestore(o, rep, skipped, true)
+			}
+		}()
+	}
 	br := newByteReader(r)
 	hdr, err := readStreamHeader(br)
 	if err != nil {
@@ -417,7 +446,7 @@ func (m *Manager) RestorePartial(r io.Reader) (*Report, []string, error) {
 		return nil, nil, fmt.Errorf("%w: stream codec %q, manager codec %q", ErrMismatch, hdr.Codec, m.codec.Name())
 	}
 
-	rep := &Report{Codec: hdr.Codec, Step: hdr.Step}
+	rep = &Report{Codec: hdr.Codec, Step: hdr.Step}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
 		body, crcOK, err := readEntryFrame(br, i)
@@ -435,7 +464,6 @@ func (m *Manager) RestorePartial(r io.Reader) (*Report, []string, error) {
 		// partial recovery salvages what it can.
 		_ = m.applyEntry(ent, seen, rep)
 	}
-	var skipped []string
 	for _, name := range m.names {
 		if !seen[name] {
 			skipped = append(skipped, name)

@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 	"lossyckpt/internal/store"
 )
 
@@ -66,21 +67,26 @@ func (m *Manager) RestoreLatest(st *store.Store) (*StoreRestore, error) {
 	gens := st.Generations()
 	var failures []error
 
+	o := m.observer()
+
 	// Pass 1: full restore, newest generation first.
 	for i := len(gens) - 1; i >= 0; i-- {
 		g := gens[i]
 		data, verified, err := st.ReadGenerationRaw(g.Seq)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
+			recordFallback(o, g.Seq, "read_error")
 			continue
 		}
 		if !verified {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, store.ErrCorrupt))
+			recordFallback(o, g.Seq, "unverified")
 			continue
 		}
 		rep, err := m.Restore(bytes.NewReader(data))
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
+			recordFallback(o, g.Seq, "restore_error")
 			continue
 		}
 		return &StoreRestore{
@@ -113,6 +119,16 @@ func (m *Manager) RestoreLatest(st *store.Store) (*StoreRestore, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("%w: %d generations tried: %v", ErrStoreEmpty, len(gens), errors.Join(failures...))
+}
+
+// recordFallback counts one generation the restore walk had to skip,
+// labeled with why, and leaves a trace event naming the generation.
+func recordFallback(o *obs.Registry, seq uint64, reason string) {
+	if o == nil {
+		return
+	}
+	o.Counter(MetricStoreFallbacks, "reason", reason).Inc()
+	o.Event("ckpt.store_fallback", "gen", seq, "reason", reason)
 }
 
 func namesOf(rep *Report) []string {

@@ -7,7 +7,20 @@ import (
 	"time"
 
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 )
+
+// recordChunkedCompress records the operation-level series for one
+// completed chunked compression (serial or parallel). The per-chunk stage
+// seconds were already folded in by the chunk-internal Compress calls.
+func recordChunkedCompress(opts Options, res *ChunkedResult) {
+	o := opts.observer()
+	if o == nil {
+		return
+	}
+	recordCompressOp(o, "chunked", res.RawBytes, len(res.Data), res.Timings)
+	o.Counter(MetricCompressChunks).Add(float64(res.Chunks))
+}
 
 // The paper stresses that compression must be "not only fast but also
 // scalable to checkpoint size" (§II-A) and that its O(n) pipeline keeps
@@ -118,6 +131,11 @@ func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResu
 	nChunks := (shape[0] + chunkExtent - 1) / chunkExtent
 	out := append([]byte(nil), chunkedHeader(shape, nChunks)...)
 
+	// Per-chunk Compress calls keep recording stage seconds (that is how
+	// the per-stage CPU counters aggregate), but the operation-level
+	// series are recorded once below for the whole chunked compression.
+	opts.chunkInternal = true
+
 	for start := 0; start < shape[0]; start += chunkExtent {
 		ext := chunkExtent
 		if rem := shape[0] - start; rem < ext {
@@ -140,6 +158,7 @@ func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResu
 	}
 	res.Data = out
 	res.Timings.Total = time.Since(wall)
+	recordChunkedCompress(opts, res)
 	return res, nil
 }
 
@@ -270,6 +289,7 @@ func decodeChunkInto(f *grid.Field, shape []int, planeElems, c int, fr chunkFram
 // DecompressChunked reconstructs the field from a CompressChunked stream,
 // decoding chunks one at a time on the calling goroutine.
 func DecompressChunked(data []byte) (*grid.Field, error) {
+	start := time.Now()
 	shape, frames, err := parseChunked(data)
 	if err != nil {
 		return nil, err
@@ -284,6 +304,7 @@ func DecompressChunked(data []byte) (*grid.Field, error) {
 			return nil, err
 		}
 	}
+	recordDecompressOp(obs.Default(), "chunked", f.Bytes(), time.Since(start))
 	return f, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 )
 
 // This file is the intra-checkpoint parallel engine. The paper observes
@@ -52,8 +53,12 @@ func CompressChunkedParallel(f *grid.Field, opts Options, chunkExtent int) (*Chu
 
 	// Chunk-level parallelism already saturates the pool; per-chunk
 	// pipelines run serially so the cores aren't oversubscribed.
+	// chunkInternal keeps the workers' Compress calls from recording
+	// operation-level metrics — their atomic stage-seconds adds are the
+	// per-worker CPU aggregation; the whole compression records once below.
 	chunkOpts := opts
 	chunkOpts.Workers = 1
+	chunkOpts.chunkInternal = true
 
 	results := make([]*Result, nChunks)
 	errs := make([]error, nChunks)
@@ -118,6 +123,7 @@ func CompressChunkedParallel(f *grid.Field, opts Options, chunkExtent int) (*Chu
 	}
 	res.Data = out
 	res.Timings.Total = time.Since(wall)
+	recordChunkedCompress(opts, res)
 	return res, nil
 }
 
@@ -127,6 +133,7 @@ func CompressChunkedParallel(f *grid.Field, opts Options, chunkExtent int) (*Chu
 // the output field, so the reconstruction is identical to
 // DecompressChunked for every worker count.
 func DecompressChunkedParallel(data []byte, workers int) (*grid.Field, error) {
+	start := time.Now()
 	shape, frames, err := parseChunked(data)
 	if err != nil {
 		return nil, err
@@ -169,6 +176,7 @@ func DecompressChunkedParallel(data []byte, workers int) (*grid.Field, error) {
 			return nil, err
 		}
 	}
+	recordDecompressOp(obs.Default(), "chunked", f.Bytes(), time.Since(start))
 	return f, nil
 }
 
@@ -179,5 +187,10 @@ func DecompressAnyParallel(data []byte, workers int) (*grid.Field, error) {
 	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == chunkedMagic {
 		return DecompressChunkedParallel(data, workers)
 	}
-	return decompressWorkers(data, workers)
+	start := time.Now()
+	f, err := decompressWorkers(data, workers)
+	if err == nil {
+		recordDecompressOp(obs.Default(), "single", f.Bytes(), time.Since(start))
+	}
+	return f, err
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"lossyckpt/internal/grid"
 )
@@ -169,6 +170,42 @@ func TestChunkedParallelTimings(t *testing.T) {
 	}
 	if sres.Timings.Total < sres.Timings.CPUTotal {
 		t.Errorf("serial wall Total %v below CPUTotal %v", sres.Timings.Total, sres.Timings.CPUTotal)
+	}
+}
+
+// TestTimingsOtherClampedUnderParallel pins down the Other() contract for
+// chunked-parallel runs: the named phases aggregate per-worker CPU time and
+// can exceed the wall-clock Total, in which case the unattributed remainder
+// clamps to zero instead of going negative.
+func TestTimingsOtherClampedUnderParallel(t *testing.T) {
+	// Deterministic clamp check: phase CPU sum far above wall Total.
+	over := Timings{
+		Total:   10 * time.Millisecond,
+		Wavelet: 30 * time.Millisecond,
+		Gzip:    15 * time.Millisecond,
+	}
+	if got := over.Other(); got != 0 {
+		t.Errorf("CPU-heavy Timings.Other() = %v, want clamp to 0", got)
+	}
+	// And the normal case still attributes the remainder.
+	under := Timings{Total: 10 * time.Millisecond, Wavelet: 4 * time.Millisecond}
+	if got := under.Other(); got != 6*time.Millisecond {
+		t.Errorf("Timings.Other() = %v, want 6ms", got)
+	}
+
+	// Live chunked-parallel runs must never surface a negative remainder,
+	// whatever the scheduler does.
+	f := smooth3D(128, 20, 2, 51)
+	for _, workers := range parallelWorkerSweep() {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		res, err := CompressChunkedParallel(f, opts, 16)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := res.Timings.Other(); got < 0 {
+			t.Errorf("workers=%d: Other() = %v, want >= 0", workers, got)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"lossyckpt/internal/encode"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/obs"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/wavelet"
 )
@@ -94,6 +95,18 @@ type Options struct {
 	// the bound, compression proceeds at the cap and the Result reports
 	// BoundUnreachable.
 	ErrorBound float64
+	// Observer receives pipeline metrics: per-stage CPU seconds, bytes
+	// in/out, operation counts and wall-clock histograms (see observe.go
+	// for the metric names). nil falls back to the process default
+	// registry (obs.Default()), which itself defaults to a no-op — the
+	// disabled path costs one branch per compression.
+	Observer *obs.Registry
+
+	// chunkInternal marks a per-chunk Compress issued by a chunked
+	// compression: stage seconds still record (that is how per-worker CPU
+	// aggregates), but operation-level series are left to the top-level
+	// chunked call so one user-visible compression counts once.
+	chunkInternal bool
 }
 
 // DefaultOptions returns the paper's headline configuration: single-level
@@ -347,6 +360,12 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	res.CompressedBytes = len(gz.Compressed)
 	res.Timings.Total = time.Since(start)
 	res.Timings.CPUTotal = res.Timings.Total
+	if o := opts.observer(); o != nil {
+		recordStageSeconds(o, res.Timings)
+		if !opts.chunkInternal {
+			recordCompressOp(o, "single", res.RawBytes, res.CompressedBytes, res.Timings)
+		}
+	}
 	return res, nil
 }
 
@@ -355,7 +374,12 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 // GOMAXPROCS goroutines; use decompressWorkers via DecompressAnyParallel
 // to bound that.
 func Decompress(data []byte) (*grid.Field, error) {
-	return decompressWorkers(data, 0)
+	start := time.Now()
+	f, err := decompressWorkers(data, 0)
+	if err == nil {
+		recordDecompressOp(obs.Default(), "single", f.Bytes(), time.Since(start))
+	}
+	return f, err
 }
 
 // decompressWorkers is Decompress with an explicit wavelet parallelism
@@ -470,6 +494,10 @@ func CompressGzipOnly(f *grid.Field, level int, mode gzipio.Mode, tmpDir string)
 	res.CompressedBytes = len(gz.Compressed)
 	res.Timings.Total = time.Since(start)
 	res.Timings.CPUTotal = res.Timings.Total
+	if o := obs.Default(); o != nil {
+		recordStageSeconds(o, res.Timings)
+		recordCompressOp(o, "gzip_only", res.RawBytes, res.CompressedBytes, res.Timings)
+	}
 	return res, nil
 }
 

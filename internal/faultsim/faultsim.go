@@ -28,8 +28,19 @@ import (
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/store"
+)
+
+// Metric names recorded by a simulation run. Failures and rollbacks carry
+// no labels; checkpoints and rollbacks also appear as ckpt-layer spans.
+const (
+	MetricFailures    = "lossyckpt_faultsim_failures_total"
+	MetricRollbacks   = "lossyckpt_faultsim_rollbacks_total"
+	MetricReworkSteps = "lossyckpt_faultsim_rework_steps_total"
+	MetricVirtualSec  = "lossyckpt_faultsim_virtual_seconds"
+	MetricOverheadPct = "lossyckpt_faultsim_overhead_pct"
 )
 
 // ErrConfig indicates invalid simulation parameters.
@@ -79,6 +90,15 @@ type Config struct {
 	// store's fault-injecting FS can then exercise torn writes and
 	// crashes inside the failure simulation itself.
 	Store *store.Store
+	// Observer receives simulation telemetry (failure/rollback counters,
+	// virtual-time gauges) and is handed to the checkpoint manager the run
+	// creates, so checkpoint/restore spans and quality gauges land in the
+	// same registry. nil falls back to the process default.
+	Observer *obs.Registry
+	// QualityTelemetry turns on the manager's per-variable reconstruction
+	// quality gauges (lossy codecs only; costs a decode per checkpoint
+	// entry).
+	QualityTelemetry bool
 }
 
 func (c Config) validate() error {
@@ -136,6 +156,12 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	mgr := ckpt.NewManager(cfg.Codec, 0)
+	obsr := cfg.Observer
+	if obsr == nil {
+		obsr = obs.Default()
+	}
+	mgr.SetObserver(obsr)
+	mgr.EnableQualityTelemetry(cfg.QualityTelemetry)
 	for _, nf := range app.Fields() {
 		if err := mgr.Register(nf.Name, nf.Field); err != nil {
 			return nil, err
@@ -221,6 +247,13 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 			app.SetStepCount(step)
 			res.ReworkSteps += before - step
 			clock += cfg.RestartCost
+			if obsr != nil {
+				obsr.Counter(MetricFailures).Inc()
+				obsr.Counter(MetricRollbacks).Inc()
+				obsr.Counter(MetricReworkSteps).Add(float64(before - step))
+				obsr.Event("faultsim.failure",
+					"at_step", before, "rolled_back_to", step, "virtual_clock", clock.String())
+			}
 		}
 		app.Step()
 		clock += cfg.StepCost
@@ -246,6 +279,10 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.FinalError = s
+	if obsr != nil {
+		obsr.Gauge(MetricVirtualSec).Set(res.VirtualTime.Seconds())
+		obsr.Gauge(MetricOverheadPct).Set(res.OverheadPct())
+	}
 	return res, nil
 }
 

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   full JSON snapshot (metrics + trace events)
+//	/summary        the human end-of-run table
+//	/debug/pprof/…  net/http/pprof profiles
+//	/               a plain-text index of the above
+//
+// Safe to serve while recording continues; every page renders a fresh
+// snapshot.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/summary", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteSummary(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lossyckpt observability endpoints:")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /metrics.json  JSON snapshot (metrics + events)")
+		fmt.Fprintln(w, "  /summary       human summary table")
+		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
+	})
+	return mux
+}
+
+// Server is a running metrics listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests get a short grace period.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.srv.SetKeepAlivesEnabled(false)
+	return s.srv.Close()
+}
+
+// Serve starts an HTTP listener on addr serving r.Handler() in a
+// background goroutine and returns immediately. Use ":0" to bind an
+// ephemeral port and read it back from Server.Addr.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

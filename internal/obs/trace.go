@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultEventCap bounds the event ring: old events are dropped once the
+// ring is full, so a long run cannot grow memory without bound. The drop
+// count is reported in snapshots.
+const DefaultEventCap = 512
+
+// Event is one lightweight span/trace record: a timestamp, a dotted name
+// ("store.commit", "ckpt.restore.fallback") and alternating key/value
+// attribute pairs.
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []string
+}
+
+// eventRing is a mutex-protected bounded ring of events. Recording is a
+// short critical section (append + index math); exposition copies out
+// under the same lock.
+type eventRing struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []Event
+	next    int // write position once buf is full
+	dropped uint64
+}
+
+func (e *eventRing) add(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cap <= 0 {
+		e.cap = DefaultEventCap
+	}
+	if len(e.buf) < e.cap {
+		e.buf = append(e.buf, ev)
+		return
+	}
+	e.buf[e.next] = ev
+	e.next = (e.next + 1) % e.cap
+	e.dropped++
+}
+
+// snapshot returns the retained events oldest-first plus the drop count.
+func (e *eventRing) snapshot() ([]Event, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, 0, len(e.buf))
+	out = append(out, e.buf[e.next:]...)
+	out = append(out, e.buf[:e.next]...)
+	return out, e.dropped
+}
+
+// Event appends one trace event to the bounded ring. Attrs are
+// alternating key/value pairs; values are formatted with %v.
+func (r *Registry) Event(name string, attrs ...any) {
+	if r == nil {
+		return
+	}
+	strs := make([]string, len(attrs))
+	for i, a := range attrs {
+		if s, ok := a.(string); ok {
+			strs[i] = s
+		} else {
+			strs[i] = fmt.Sprint(a)
+		}
+	}
+	r.events.add(Event{Time: time.Now(), Name: name, Attrs: strs})
+}
+
+// Events returns the retained events oldest-first and the number dropped
+// from the ring so far.
+func (r *Registry) Events() ([]Event, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	return r.events.snapshot()
+}
+
+// Span measures one operation: StartSpan stamps the clock, End records
+// a <name>_seconds histogram observation, a <name>_total counter
+// increment (plus <name>_errors_total on failure) and one trace event.
+// A nil *Span (from a nil Registry) is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+	attrs []any
+}
+
+// StartSpan opens a span. The attrs travel onto the completion event.
+func (r *Registry) StartSpan(name string, attrs ...any) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span successfully.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span, recording the error outcome when err != nil.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.r.Histogram(s.name+"_seconds", DurationBuckets).ObserveDuration(d)
+	s.r.Counter(s.name + "_total").Inc()
+	attrs := append(s.attrs, "seconds", fmt.Sprintf("%.6f", d.Seconds()))
+	if err != nil {
+		s.r.Counter(s.name + "_errors_total").Inc()
+		attrs = append(attrs, "error", err.Error())
+	}
+	s.r.Event(s.name, attrs...)
+}

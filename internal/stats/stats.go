@@ -61,6 +61,34 @@ func RelativeErrors(orig, approx []float64, dst []float64) ([]float64, error) {
 	return dst, nil
 }
 
+// MaxAbsError returns max_i |x_i − x̃_i|, the un-normalized companion to
+// the paper's relative errors (Eq. 6) — the quantity an absolute
+// ErrorBound promises to cap. A pair of NaNs at the same index counts as
+// zero error; a NaN paired with a number yields NaN (the comparison is
+// meaningless, and hiding it would overstate fidelity).
+func MaxAbsError(orig, approx []float64) (float64, error) {
+	if len(orig) != len(approx) {
+		return 0, fmt.Errorf("%w: %d original vs %d approximate values", ErrInput, len(orig), len(approx))
+	}
+	if len(orig) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrInput)
+	}
+	var max float64
+	for i := range orig {
+		d := math.Abs(orig[i] - approx[i])
+		if math.IsNaN(d) {
+			if math.IsNaN(orig[i]) && math.IsNaN(approx[i]) {
+				continue
+			}
+			return math.NaN(), nil
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
 // Summary aggregates an error distribution the way the paper reports it.
 type Summary struct {
 	// AvgPct is the average relative error in percent (the paper's

@@ -221,6 +221,49 @@ func TestQuickRelativeErrorBounded(t *testing.T) {
 	}
 }
 
+func TestMaxAbsError(t *testing.T) {
+	got, err := MaxAbsError([]float64{0, 10, -5}, []float64{1, 8, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("MaxAbsError = %g, want 2", got)
+	}
+	v := []float64{1, 2, 3}
+	if got, _ := MaxAbsError(v, v); got != 0 {
+		t.Errorf("self-comparison = %g, want 0", got)
+	}
+}
+
+func TestMaxAbsErrorNaN(t *testing.T) {
+	// NaN at the same index on both sides is "equal" (no error contribution).
+	nan := math.NaN()
+	got, err := MaxAbsError([]float64{nan, 0, 4}, []float64{nan, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("paired NaN should be skipped: got %g, want 1", got)
+	}
+	// NaN on one side only poisons the result.
+	got, err = MaxAbsError([]float64{0, nan}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got) {
+		t.Errorf("one-sided NaN = %g, want NaN", got)
+	}
+}
+
+func TestMaxAbsErrorInputChecks(t *testing.T) {
+	if _, err := MaxAbsError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MaxAbsError(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
 func TestPSNRIdentical(t *testing.T) {
 	v := []float64{1, 2, 3}
 	p, err := PSNR(v, v)

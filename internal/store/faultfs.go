@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"lossyckpt/internal/obs"
 )
 
 // Fault-injection errors.
@@ -34,6 +36,26 @@ const (
 	// corruption that only CRCs can catch.
 	BitFlip
 )
+
+// String names the fault kind (used as the kind label on the injected
+// fault counter).
+func (k FaultKind) String() string {
+	switch k {
+	case ErrorOnce:
+		return "error_once"
+	case Crash:
+		return "crash"
+	case TornWrite:
+		return "torn_write"
+	case BitFlip:
+		return "bit_flip"
+	}
+	return fmt.Sprintf("kind_%d", int(k))
+}
+
+// MetricInjectedFaults counts faults a FaultFS actually fired, labeled by
+// kind=<error_once|crash|torn_write|bit_flip>.
+const MetricInjectedFaults = "lossyckpt_faultfs_injected_faults_total"
 
 // Fault describes one injected failure.
 type Fault struct {
@@ -76,6 +98,23 @@ type FaultFS struct {
 	faults  map[int]Fault
 	crashed bool
 	journal []string
+	obsr    *obs.Registry
+}
+
+// SetObserver routes injected-fault counts and events to r (nil falls
+// back to the process default registry at fire time).
+func (f *FaultFS) SetObserver(r *obs.Registry) {
+	f.mu.Lock()
+	f.obsr = r
+	f.mu.Unlock()
+}
+
+// observerLocked resolves the observer; callers hold f.mu.
+func (f *FaultFS) observerLocked() *obs.Registry {
+	if f.obsr != nil {
+		return f.obsr
+	}
+	return obs.Default()
 }
 
 // NewFaultFS wraps inner with an empty fault plan.
@@ -124,6 +163,10 @@ func (f *FaultFS) step(desc string) (Fault, bool, error) {
 	fault, ok := f.faults[f.op]
 	if !ok {
 		return Fault{}, false, nil
+	}
+	if o := f.observerLocked(); o != nil {
+		o.Counter(MetricInjectedFaults, "kind", fault.Kind.String()).Inc()
+		o.Event("faultfs.injected", "kind", fault.Kind.String(), "op", f.op, "desc", desc)
 	}
 	switch fault.Kind {
 	case ErrorOnce:

@@ -1,0 +1,27 @@
+package store
+
+import "lossyckpt/internal/obs"
+
+// Metric names recorded by the store. Commit latency/count/errors come
+// from a span named MetricCommitSpan (yielding _seconds, _total and
+// _errors_total series); retries are labeled with the low-level op that
+// needed them (create/write/sync/close/rename/syncdir/mkdir).
+const (
+	MetricCommitSpan       = "lossyckpt_store_commit"
+	MetricCommitBytes      = "lossyckpt_store_commit_bytes_total"
+	MetricRetries          = "lossyckpt_store_retries_total"
+	MetricBackoffSeconds   = "lossyckpt_store_backoff_seconds_total"
+	MetricManifestRebuilds = "lossyckpt_store_manifest_rebuilds_total"
+	MetricSweptFiles       = "lossyckpt_store_swept_files_total"
+	MetricReads            = "lossyckpt_store_reads_total"
+	MetricPrunedGens       = "lossyckpt_store_pruned_generations_total"
+)
+
+// observer resolves the store's effective observer: the explicit one from
+// Options, else the process default (usually nil — a no-op).
+func (s *Store) observer() *obs.Registry {
+	if s.opts.Observer != nil {
+		return s.opts.Observer
+	}
+	return obs.Default()
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"lossyckpt/internal/obs"
 )
 
 // Errors returned by the store.
@@ -48,6 +50,11 @@ type Options struct {
 	// Sleep is the backoff clock, injectable for tests; nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Observer receives store telemetry (commit spans, retry and backoff
+	// counters, rescan/sweep events — see observe.go for the names). nil
+	// falls back to the process default registry, itself a no-op unless
+	// installed.
+	Observer *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +118,10 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: open %s: rescan: %w", dir, rerr)
 		}
 		s.rebuilt = true
+		if o := s.observer(); o != nil {
+			o.Counter(MetricManifestRebuilds).Inc()
+			o.Event("store.manifest_rebuilt", "dir", dir, "generations", len(s.man.Gens))
+		}
 	}
 	s.sweepTemp()
 	return s, nil
@@ -153,9 +164,18 @@ func parseGenName(name string) (uint64, bool) {
 // fsync → rename into the generation slot → directory fsync → manifest
 // update (same protocol) → retention pruning. On any error the store's
 // previous latest generation is still intact and indexed.
-func (s *Store) Commit(step int, payload []byte) (Generation, error) {
+func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	if o := s.observer(); o != nil {
+		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", fmt.Sprint(len(payload)))
+		defer func() {
+			sp.EndErr(err)
+			if err == nil {
+				o.Counter(MetricCommitBytes).Add(float64(len(payload)))
+			}
+		}()
 	}
 	seq := s.man.NextSeq
 	if seq == 0 {
@@ -175,7 +195,7 @@ func (s *Store) Commit(step int, payload []byte) (Generation, error) {
 		return Generation{}, fmt.Errorf("store: commit gen %d: sync dir: %w", seq, err)
 	}
 
-	gen := Generation{
+	gen = Generation{
 		Seq:  seq,
 		Step: uint64(step),
 		Size: uint64(len(payload)),
@@ -200,6 +220,9 @@ func (s *Store) Commit(step int, payload []byte) (Generation, error) {
 	// not corruption, and the next Open sweeps unindexed generations too.
 	for _, g := range dropped {
 		s.fs.Remove(filepath.Join(s.dir, genName(g.Seq)))
+	}
+	if o := s.observer(); o != nil && len(dropped) > 0 {
+		o.Counter(MetricPrunedGens).Add(float64(len(dropped)))
 	}
 	return gen, nil
 }
@@ -253,6 +276,12 @@ func (s *Store) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err e
 		return nil, false, fmt.Errorf("store: read gen %d: %w", seq, err)
 	}
 	verified = uint64(len(data)) == gen.Size && crc32.ChecksumIEEE(data) == gen.CRC
+	if o := s.observer(); o != nil {
+		o.Counter(MetricReads, "verified", strconv.FormatBool(verified)).Inc()
+		if !verified {
+			o.Event("store.read_unverified", "seq", seq, "bytes", len(data))
+		}
+	}
 	return data, verified, nil
 }
 
@@ -369,14 +398,21 @@ func (s *Store) sweepTemp() {
 	for _, g := range s.man.Gens {
 		indexed[g.Seq] = true
 	}
+	swept := 0
 	for _, name := range names {
 		if strings.HasSuffix(name, tmpSuffix) {
 			s.fs.Remove(filepath.Join(s.dir, name))
+			swept++
 			continue
 		}
 		if seq, ok := parseGenName(name); ok && !indexed[seq] {
 			s.fs.Remove(filepath.Join(s.dir, name))
+			swept++
 		}
+	}
+	if o := s.observer(); o != nil && swept > 0 {
+		o.Counter(MetricSweptFiles).Add(float64(swept))
+		o.Event("store.sweep", "dir", s.dir, "removed", swept)
 	}
 }
 
@@ -389,6 +425,10 @@ func (s *Store) retry(op string, fn func() error) error {
 		err = fn()
 		if err == nil || !IsTransient(err) || attempt >= s.opts.Retries {
 			return err
+		}
+		if o := s.observer(); o != nil {
+			o.Counter(MetricRetries, "op", op).Inc()
+			o.Counter(MetricBackoffSeconds).Add(backoff.Seconds())
 		}
 		s.opts.Sleep(backoff)
 		backoff *= 2

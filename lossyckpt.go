@@ -35,9 +35,12 @@
 package lossyckpt
 
 import (
+	"io"
+
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/wavelet"
@@ -174,3 +177,44 @@ func DecompressAny(data []byte) (*Field, error) { return core.DecompressAny(data
 func PSNR(orig, approx *Field) (float64, error) {
 	return stats.PSNR(orig.Data(), approx.Data())
 }
+
+// MaxAbsError returns max |orig_i − approx_i| between two fields — the
+// quantity an absolute error bound (Options.ErrorBound) promises to cap.
+func MaxAbsError(orig, approx *Field) (float64, error) {
+	return stats.MaxAbsError(orig.Data(), approx.Data())
+}
+
+// --- Observability ----------------------------------------------------------
+
+// Observer collects metrics (counters, gauges, histograms) and trace
+// events from every layer that is handed one: set Options.Observer for
+// the compression pipeline, Manager.SetObserver for checkpoint/restore.
+// A nil *Observer is a valid no-op, so instrumentation costs one branch
+// when disabled. Expose the collected state with WritePrometheus (text
+// exposition format), WriteJSON (snapshot) or WriteSummary (human table),
+// or serve all three plus net/http/pprof with ServeObserver.
+type Observer = obs.Registry
+
+// NewObserver returns an empty, ready-to-record observer. Safe for
+// concurrent use.
+func NewObserver() *Observer { return obs.NewRegistry() }
+
+// SetDefaultObserver installs r as the process-wide fallback observer
+// used by every layer whose explicit observer is nil, and returns the
+// previous fallback (restore it when done). Passing nil disables the
+// fallback again.
+func SetDefaultObserver(r *Observer) *Observer { return obs.SetDefault(r) }
+
+// ObserverServer is a live HTTP listener exposing an observer; see
+// ServeObserver.
+type ObserverServer = obs.Server
+
+// ServeObserver starts an HTTP listener on addr (e.g. ":9090" or
+// "127.0.0.1:0") serving /metrics (Prometheus text format),
+// /metrics.json, /summary and /debug/pprof/. Close the returned server
+// when done.
+func ServeObserver(addr string, r *Observer) (*ObserverServer, error) { return obs.Serve(addr, r) }
+
+// WriteObserverSummary renders the observer's state as an aligned
+// end-of-run table; it writes nothing for a nil or empty observer.
+func WriteObserverSummary(w io.Writer, r *Observer) error { return r.WriteSummary(w) }

@@ -14,6 +14,7 @@ import (
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/obs"
 )
 
 // parallelChunkExtent slices the leading axis into ~128-plane slabs — large
@@ -109,6 +110,32 @@ func BenchmarkChunkedParallelDecompress(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkChunkedParallelObs measures the observability tax on the
+// chunked-parallel hot path: /noop runs with no observer anywhere (the
+// default — instrumentation reduces to one nil check per record site),
+// /enabled hands the pipeline a live registry recording every stage timing
+// and operation series. `make bench-obs` distills the pair into
+// BENCH_obs.json; the acceptance bar is noop within 5% of the
+// pre-instrumentation baseline.
+func BenchmarkChunkedParallelObs(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	run := func(b *testing.B, reg *obs.Registry) {
+		opts := core.DefaultOptions()
+		opts.Workers = 2
+		opts.Observer = reg
+		b.SetBytes(int64(f.Bytes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompressChunkedParallel(f, opts, parallelChunkExtent); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 // --- Allocation benchmarks for the pooled hot paths ----------------------
