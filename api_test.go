@@ -118,7 +118,7 @@ func TestPublicManagerWorkflow(t *testing.T) {
 }
 
 func TestPublicCodecByName(t *testing.T) {
-	for _, n := range []string{"none", "gzip", "fpc", "lossy"} {
+	for _, n := range []string{"none", "gzip", "fpc", "lossy", "guard"} {
 		c, err := CodecByName(n)
 		if err != nil || c.Name() != n {
 			t.Errorf("CodecByName(%q): %v %v", n, c, err)
@@ -172,5 +172,40 @@ func TestPublicErrorBound(t *testing.T) {
 	}
 	if res.EffectiveDivisions < 1 {
 		t.Error("no effective divisions reported")
+	}
+}
+
+func TestPublicGuardCodec(t *testing.T) {
+	temp := publicSmoothField(t)
+	orig := temp.Clone()
+	const bound = 1e-3
+
+	codec := NewGuardCodec(GuardPolicy{MaxAbs: bound, Verify: VerifyDecode})
+	mgr := NewManager(codec, 0)
+	if err := mgr.Register("temperature", temp); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	rep, err := mgr.Checkpoint(&stream, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ann *GuardAnnotation
+	for _, e := range rep.Entries {
+		ann = e.Guarantee
+	}
+	if ann == nil || !ann.Guaranteed() || ann.MaxAbs != bound {
+		t.Fatalf("guard annotation %+v, want enforced bound %v", ann, bound)
+	}
+	temp.Fill(0)
+	if _, err := mgr.Restore(&stream); err != nil {
+		t.Fatal(err)
+	}
+	maxAbs, err := MaxAbsError(orig, temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbs > bound {
+		t.Fatalf("restored error %v exceeds declared bound %v", maxAbs, bound)
 	}
 }

@@ -13,8 +13,9 @@
 //	lossyckpt decompress -in temp.lkc -out restored.grd [-workers 0]
 //	lossyckpt inspect -in temp.lkc
 //	lossyckpt diff -a temp.grd -b restored.grd
-//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-step 0] [-workers 0]
+//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-step 0] [-workers 0] [-bound 0] [-rel-bound 0] [-psnr 0] [-guard-mode analytic]
 //	lossyckpt restore -dir ckpts -out outdir [-workers 0]
+//	lossyckpt fsck -dir ckpts [-decode] [-workers 0]
 //
 // save and restore use the crash-safe generation store of package store:
 // save commits one checkpoint atomically (temp file → fsync → rename →
@@ -32,6 +33,21 @@
 // -metrics-hold keeps the listener up after the work finishes so short
 // runs can be scraped. save -quality adds per-variable reconstruction
 // quality gauges (PSNR, max relative/absolute error) for lossy codecs.
+//
+// save -bound/-rel-bound/-psnr switch the codec to the quality guard: the
+// declared bound is enforced on every array (violations degrade down an
+// escalation ladder, ultimately to bit-exact gzip) and each entry is
+// annotated with the guarantee it ships with, which restore and fsck
+// report back. -guard-mode picks analytic (bound from quantization
+// tables; cheap, conservative) or decode (re-expand and measure;
+// paranoid) verification.
+//
+// fsck audits a store in place: every retained generation is re-read and
+// re-verified (size, CRC, stream framing, guard envelopes; -decode adds
+// a full decode of every entry) and corrupt generations are moved to
+// quarantine/ — never deleted — with the manifest rebuilt if the newest
+// generation was the casualty. Exits non-zero when anything was
+// quarantined or missing.
 package main
 
 import (
@@ -48,6 +64,7 @@ import (
 	"lossyckpt/internal/container"
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
@@ -64,7 +81,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore> [flags]")
+		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore|fsck> [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -81,6 +98,8 @@ func run(args []string) error {
 		return cmdSave(args[1:])
 	case "restore":
 		return cmdRestore(args[1:])
+	case "fsck":
+		return cmdFsck(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -341,8 +360,12 @@ func cmdDiff(args []string) error {
 	if err != nil {
 		return err
 	}
+	maxRel, err := stats.MaxRelError(fa.Data(), fb.Data())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("relative error (Eq. 6 of the paper): %s\n", s)
-	fmt.Printf("max relative error: %.6g%%\n", s.MaxPct)
+	fmt.Printf("max relative error: %.6g%%\n", 100*maxRel)
 	fmt.Printf("max absolute error: %.6g\n", maxAbs)
 	fmt.Printf("psnr: %.2f dB\n", psnr)
 	return nil
@@ -364,6 +387,10 @@ func cmdSave(args []string) error {
 	step := fs.Int("step", 0, "application step recorded in the checkpoint")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
 	quality := fs.Bool("quality", false, "record per-variable reconstruction-quality gauges (lossy codecs; costs a decode per array)")
+	bound := fs.Float64("bound", 0, "enforce this max absolute reconstruction error (switches to the guard codec)")
+	relBound := fs.Float64("rel-bound", 0, "enforce this max relative (range-normalized) reconstruction error")
+	psnrFloor := fs.Float64("psnr", 0, "enforce this minimum PSNR in dB")
+	guardMode := fs.String("guard-mode", "analytic", "guard verification: analytic or decode (paranoid)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -376,9 +403,19 @@ func cmdSave(args []string) error {
 		return err
 	}
 	defer sess.finish()
-	codec, err := ckpt.CodecByName(*codecName)
-	if err != nil {
-		return err
+	var codec ckpt.Codec
+	if *bound > 0 || *relBound > 0 || *psnrFloor > 0 || *codecName == "guard" {
+		vm, err := guard.ParseVerifyMode(*guardMode)
+		if err != nil {
+			return err
+		}
+		codec = ckpt.NewGuard(guard.Policy{
+			MaxAbs: *bound, MaxRel: *relBound, PSNRFloor: *psnrFloor, Verify: vm})
+	} else {
+		codec, err = ckpt.CodecByName(*codecName)
+		if err != nil {
+			return err
+		}
 	}
 	mgr := ckpt.NewManager(codec, *workers)
 	mgr.EnableQualityTelemetry(*quality)
@@ -406,6 +443,11 @@ func cmdSave(args []string) error {
 	fmt.Printf("committed generation %d (step %d): %d arrays, %d -> %d bytes (cr %.2f%%)\n",
 		gen.Seq, *step, len(rep.Entries), rep.RawBytes, rep.CompressedBytes,
 		stats.CompressionRate(int(gen.Size), rep.RawBytes))
+	for _, e := range rep.Entries {
+		if e.Guarantee != nil {
+			fmt.Printf("  %s: %s\n", e.Name, e.Guarantee)
+		}
+	}
 	fmt.Printf("store %s retains %d generation(s), keep %d\n", st.Dir(), len(st.Generations()), *keep)
 	return nil
 }
@@ -447,6 +489,9 @@ func cmdRestore(args []string) error {
 			return err
 		}
 		fmt.Printf("restored %s: %s\n", path, lf.Field)
+		if lf.Guarantee != nil {
+			fmt.Printf("  guarantee: %s\n", lf.Guarantee)
+		}
 	}
 	latest, _ := st.Latest()
 	fmt.Printf("generation %d (step %d, codec %s): %d array(s) recovered\n",
@@ -457,5 +502,65 @@ func cmdRestore(args []string) error {
 	if lc.Partial {
 		fmt.Printf("partial recovery: %d frame(s) skipped\n", lc.SkippedFrames)
 	}
+	return nil
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	dir := fs.String("dir", "", "checkpoint store directory (required)")
+	decode := fs.Bool("decode", false, "fully decode every entry (paranoid; slow for large stores)")
+	workers := fs.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("fsck: -dir is required")
+	}
+	sess, err := startObs(of)
+	if err != nil {
+		return err
+	}
+	defer sess.finish()
+	st, err := store.Open(*dir, store.Options{Keep: -1})
+	if err != nil {
+		return err
+	}
+	if st.Rebuilt() {
+		fmt.Println("manifest was missing or corrupt; index rebuilt from directory scan")
+	}
+	rep, err := st.Scrub(store.ScrubOptions{Verify: ckpt.StoreVerifier(*decode, *workers)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked %d generation(s)\n", rep.Checked)
+	for _, q := range rep.Quarantined {
+		fmt.Printf("  generation %d corrupt (%s): moved to %s\n", q.Seq, q.Reason, q.Path)
+	}
+	for _, seq := range rep.Missing {
+		fmt.Printf("  generation %d missing: dropped from index\n", seq)
+	}
+	if rep.ManifestRebuilt {
+		fmt.Println("newest generation was quarantined; manifest rebuilt from surviving files")
+	}
+	// Report the surviving guarantees so an operator knows what a restore
+	// would promise.
+	for _, g := range st.Generations() {
+		data, verified, err := st.ReadGenerationRaw(g.Seq)
+		if err != nil || !verified {
+			continue
+		}
+		if info, err := ckpt.InspectStream(data); err == nil {
+			for _, e := range info.Entries {
+				if e.Guarantee != nil {
+					fmt.Printf("  generation %d %s: %s\n", g.Seq, e.Name, e.Guarantee)
+				}
+			}
+		}
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("fsck: %d generation(s) quarantined, %d missing", len(rep.Quarantined), len(rep.Missing))
+	}
+	fmt.Println("store is clean")
 	return nil
 }

@@ -249,3 +249,68 @@ func TestCompressTempFileMode(t *testing.T) {
 		t.Fatalf("decompress after temp-file mode: %v", err)
 	}
 }
+
+func TestSaveGuardedAndFsck(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "temperature.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "64x16x2", "-steps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+	outDir := filepath.Join(dir, "restored")
+
+	// -bound switches to the guard codec and enforces the bound.
+	if err := run([]string{"save", "-dir", ckptDir, "-in", grd, "-bound", "0.01",
+		"-guard-mode", "decode", "-step", "1"}); err != nil {
+		t.Fatalf("guarded save: %v", err)
+	}
+	if err := run([]string{"restore", "-dir", ckptDir, "-out", outDir}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The restored field is within the declared bound.
+	if err := run([]string{"diff", "-a", grd, "-b", filepath.Join(outDir, "temperature.grd")}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+
+	// A clean store fscks clean (exit nil).
+	if err := run([]string{"fsck", "-dir", ckptDir, "-decode"}); err != nil {
+		t.Fatalf("fsck on clean store: %v", err)
+	}
+
+	// Corrupt the generation at rest: fsck must quarantine it and exit
+	// non-zero, and the file must survive under quarantine/.
+	raw, err := os.ReadFile(filepath.Join(ckptDir, "gen-00000001.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x10
+	if err := os.WriteFile(filepath.Join(ckptDir, "gen-00000001.ckpt"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fsck", "-dir", ckptDir}); err == nil {
+		t.Fatal("fsck on corrupt store exited clean")
+	}
+	if _, err := os.Stat(filepath.Join(ckptDir, "quarantine", "gen-00000001.ckpt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// A second fsck over the now-empty index is clean again.
+	if err := run([]string{"fsck", "-dir", ckptDir}); err != nil {
+		t.Fatalf("fsck after quarantine: %v", err)
+	}
+}
+
+func TestSaveGuardModeValidation(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "temperature.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "32x8x2", "-steps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"save", "-dir", filepath.Join(dir, "ckpts"), "-in", grd,
+		"-bound", "0.1", "-guard-mode", "bogus"})
+	if err == nil {
+		t.Fatal("bogus -guard-mode accepted")
+	}
+	if err := run([]string{"fsck"}); err == nil {
+		t.Fatal("fsck without -dir accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/fpc"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/gzipio"
 )
 
@@ -34,6 +35,9 @@ type Encoded struct {
 	// Timings is the per-phase compression breakdown (zero-valued phases
 	// for codecs without that phase).
 	Timings core.Timings
+	// Guarantee is the quality annotation established for the entry (guard
+	// codec only; nil otherwise).
+	Guarantee *guard.Annotation
 }
 
 // Codec turns fields into bytes and back. Implementations must be safe for
@@ -228,6 +232,8 @@ func CodecByName(name string) (Codec, error) {
 		return &FPC{}, nil
 	case "lossy":
 		return NewLossy(), nil
+	case "guard":
+		return NewGuard(guard.Policy{}), nil
 	default:
 		return nil, fmt.Errorf("%w: unknown codec %q", ErrCodec, name)
 	}

@@ -1,0 +1,77 @@
+package ckpt
+
+import (
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
+)
+
+// NamedEncoder is an optional Codec extension: codecs that care which
+// variable they are encoding (the guard applies per-variable policy
+// overrides and labels its telemetry) implement it, and the manager
+// prefers it over Encode when present. Implementations must be safe for
+// concurrent use, like Codec.
+type NamedEncoder interface {
+	EncodeNamed(name string, f *grid.Field) (*Encoded, error)
+}
+
+// Guard wraps the lossy pipeline in internal/guard's bounded-error
+// enforcement: every entry's payload is a guard envelope carrying the
+// guarantee it ships with, and violations degrade down the ladder to
+// bit-exact gzip rather than out of spec.
+type Guard struct {
+	// Options configures the underlying pipeline (guard ladder rungs
+	// override ErrorBound/Method/LosslessBands per attempt).
+	Options core.Options
+	// Policy is the quality guarantee to enforce; the zero value enforces
+	// nothing but still annotates entries (mode "unbounded").
+	Policy guard.Policy
+}
+
+// NewGuard returns a Guard codec over the paper's default pipeline
+// configuration with the given policy.
+func NewGuard(pol guard.Policy) *Guard {
+	return &Guard{Options: core.DefaultOptions(), Policy: pol}
+}
+
+// Name implements Codec.
+func (*Guard) Name() string { return "guard" }
+
+// Lossless implements Codec. The guard is not lossless in general — only
+// individual entries that fell back are, and their annotations say so.
+func (*Guard) Lossless() bool { return false }
+
+// Encode implements Codec (no variable name: base policy only).
+func (c *Guard) Encode(f *grid.Field) (*Encoded, error) {
+	return c.EncodeNamed("", f)
+}
+
+// EncodeNamed implements NamedEncoder.
+func (c *Guard) EncodeNamed(name string, f *grid.Field) (*Encoded, error) {
+	out, err := guard.Encode(name, f, c.Options, c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	ann := out.Annotation
+	return &Encoded{Payload: out.Payload, RawBytes: out.RawBytes, Guarantee: &ann}, nil
+}
+
+// Decode implements Codec.
+func (c *Guard) Decode(payload []byte, shape []int) (*grid.Field, error) {
+	f, _, err := guard.Decode(payload, shape, c.Options.Workers)
+	return f, err
+}
+
+// entryGuarantee sniffs a guard annotation off an entry payload; nil for
+// non-enveloped codec payloads or a corrupt envelope (the decode proper
+// reports that error).
+func entryGuarantee(payload []byte) *guard.Annotation {
+	if !guard.IsEnveloped(payload) {
+		return nil
+	}
+	ann, err := guard.ParseAnnotation(payload)
+	if err != nil {
+		return nil
+	}
+	return &ann
+}

@@ -14,6 +14,7 @@ import (
 
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
 )
 
@@ -108,6 +109,11 @@ type EntryReport struct {
 	RawBytes        int
 	CompressedBytes int
 	Timings         core.Timings
+	// Guarantee is the quality annotation the entry carries (guard codec
+	// only; nil otherwise). On checkpoint it is the guarantee just
+	// established; on restore it is parsed back off the payload envelope
+	// so callers can report what the generation actually promised.
+	Guarantee *guard.Annotation
 }
 
 // Report aggregates one Checkpoint or Restore.
@@ -177,14 +183,19 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 	errs := make([]error, len(m.names))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, m.workers)
+	named, _ := m.codec.(NamedEncoder)
 	for i, name := range m.names {
 		wg.Add(1)
-		go func(i int, f *grid.Field) {
+		go func(i int, name string, f *grid.Field) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			encoded[i], errs[i] = m.codec.Encode(f)
-		}(i, m.fields[name])
+			if named != nil {
+				encoded[i], errs[i] = named.EncodeNamed(name, f)
+			} else {
+				encoded[i], errs[i] = m.codec.Encode(f)
+			}
+		}(i, name, m.fields[name])
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -221,6 +232,7 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 			RawBytes:        encoded[i].RawBytes,
 			CompressedBytes: len(encoded[i].Payload),
 			Timings:         encoded[i].Timings,
+			Guarantee:       encoded[i].Guarantee,
 		})
 		rep.RawBytes += encoded[i].RawBytes
 		rep.CompressedBytes += len(encoded[i].Payload)
@@ -366,6 +378,7 @@ func (m *Manager) applyEntry(ent *rawEntry, seen map[string]bool, rep *Report) e
 		Name:            ent.Name,
 		RawBytes:        target.Bytes(),
 		CompressedBytes: len(ent.Payload),
+		Guarantee:       entryGuarantee(ent.Payload),
 	})
 	rep.RawBytes += target.Bytes()
 	rep.CompressedBytes += len(ent.Payload)

@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/store"
 )
@@ -143,6 +144,9 @@ func namesOf(rep *Report) []string {
 type LoadedField struct {
 	Name  string
 	Field *grid.Field
+	// Guarantee is the guard annotation the entry carried (nil for
+	// non-guard codecs): the quality promise the generation restores with.
+	Guarantee *guard.Annotation
 }
 
 // LoadedCheckpoint is the registration-free result of LoadLatest.
@@ -261,7 +265,8 @@ func loadStream(r io.Reader, workers int, lenient bool) (*LoadedCheckpoint, erro
 			continue
 		}
 		seen[ent.Name] = true
-		lc.Fields = append(lc.Fields, LoadedField{Name: ent.Name, Field: f})
+		lc.Fields = append(lc.Fields, LoadedField{
+			Name: ent.Name, Field: f, Guarantee: entryGuarantee(ent.Payload)})
 	}
 	lc.Partial = lc.SkippedFrames > 0
 	if len(lc.Fields) == 0 {

@@ -1,0 +1,112 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"lossyckpt/internal/guard"
+)
+
+// StreamEntry is one entry's metadata as seen by InspectStream.
+type StreamEntry struct {
+	Name         string
+	Shape        []int
+	PayloadBytes int
+	// Guarantee is the guard annotation the payload envelope carries
+	// (nil for non-guard codecs).
+	Guarantee *guard.Annotation
+}
+
+// StreamInfo is the registration-free summary of one checkpoint stream.
+type StreamInfo struct {
+	Codec   string
+	Step    int
+	Entries []StreamEntry
+}
+
+// InspectStream parses a checkpoint stream's framing without decoding
+// payloads: header, per-frame CRCs, entry bodies, and any guard
+// annotations. Any damage is an error (use loadStream's lenient mode for
+// salvage semantics).
+func InspectStream(data []byte) (*StreamInfo, error) {
+	br := newByteReader(bytes.NewReader(data))
+	hdr, err := readStreamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	info := &StreamInfo{Codec: hdr.Codec, Step: hdr.Step}
+	seen := make(map[string]bool, hdr.Count)
+	for i := 0; i < hdr.Count; i++ {
+		body, crcOK, err := readEntryFrame(br, i)
+		if err != nil {
+			return nil, err
+		}
+		if !crcOK {
+			return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
+		}
+		ent, err := parseEntryBody(body, i)
+		if err != nil {
+			return nil, err
+		}
+		if seen[ent.Name] {
+			return nil, fmt.Errorf("%w: duplicate variable %q", ErrFormat, ent.Name)
+		}
+		seen[ent.Name] = true
+		se := StreamEntry{Name: ent.Name, Shape: ent.Shape, PayloadBytes: len(ent.Payload)}
+		if guard.IsEnveloped(ent.Payload) {
+			ann, err := guard.ParseAnnotation(ent.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: entry %q guard envelope: %w", ent.Name, err)
+			}
+			se.Guarantee = &ann
+		}
+		info.Entries = append(info.Entries, se)
+	}
+	return info, nil
+}
+
+// VerifyStream audits one checkpoint stream end to end: framing and
+// per-frame CRCs always, guard envelope CRCs and annotations when
+// present, and — with decode set — a full decode of every entry. It is
+// the verification callback store.Scrub uses to re-audit retained
+// generations beyond the store's own size+CRC check.
+func VerifyStream(data []byte, decode bool, workers int) error {
+	info, err := InspectStream(data)
+	if err != nil {
+		return err
+	}
+	if !decode {
+		return nil
+	}
+	codec, err := CodecByName(info.Codec)
+	if err != nil {
+		return err
+	}
+	if lossy, ok := codec.(*Lossy); ok {
+		lossy.Options.Workers = workers
+	}
+	br := newByteReader(bytes.NewReader(data))
+	hdr, err := readStreamHeader(br)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < hdr.Count; i++ {
+		body, _, err := readEntryFrame(br, i)
+		if err != nil {
+			return err
+		}
+		ent, err := parseEntryBody(body, i)
+		if err != nil {
+			return err
+		}
+		if _, err := codec.Decode(ent.Payload, ent.Shape); err != nil {
+			return fmt.Errorf("ckpt: decoding %q: %w", ent.Name, err)
+		}
+	}
+	return nil
+}
+
+// StoreVerifier adapts VerifyStream to store.ScrubOptions.Verify.
+func StoreVerifier(decode bool, workers int) func([]byte) error {
+	return func(data []byte) error { return VerifyStream(data, decode, workers) }
+}

@@ -68,6 +68,10 @@ type ChunkedResult struct {
 	// Workers is the worker-pool size the compression actually used
 	// (1 for the serial CompressChunked path).
 	Workers int
+	// MaxCoeffError is the largest per-chunk Result.MaxCoeffError — the
+	// worst quantization error across every slab, usable the same way as
+	// the single-array field.
+	MaxCoeffError float64
 }
 
 // CompressionRatePct returns cr (Eq. 5) in percent, framing included.
@@ -108,6 +112,9 @@ func (r *ChunkedResult) addChunk(cres *Result) {
 	r.Timings.TempWrite += cres.Timings.TempWrite
 	r.Timings.Gzip += cres.Timings.Gzip
 	r.Timings.CPUTotal += cres.Timings.Total
+	if cres.MaxCoeffError > r.MaxCoeffError {
+		r.MaxCoeffError = cres.MaxCoeffError
+	}
 }
 
 // CompressChunked splits the field into slabs of chunkExtent planes along

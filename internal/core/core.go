@@ -95,6 +95,15 @@ type Options struct {
 	// the bound, compression proceeds at the cap and the Result reports
 	// BoundUnreachable.
 	ErrorBound float64
+	// LosslessBands stores every high-frequency coefficient verbatim
+	// instead of quantizing it: stage 2 emits an all-passthrough bitmap
+	// with an empty code stream (quant.PassthroughAll), so the only
+	// reconstruction error left is the wavelet round-trip rounding (a few
+	// ulps). The container format is unchanged — only the bitmap differs —
+	// which makes this the guard ladder's next-to-last rung: nearly exact
+	// without giving up the wavelet+gzip framing. Overrides Method,
+	// Divisions, ErrorBound and ZeroThreshold.
+	LosslessBands bool
 	// Observer receives pipeline metrics: per-stage CPU seconds, bytes
 	// in/out, operation counts and wall-clock histograms (see observe.go
 	// for the metric names). nil falls back to the process default
@@ -181,6 +190,13 @@ type Result struct {
 	// BoundUnreachable reports that Options.ErrorBound could not be met
 	// even at the division cap; the stream still holds the best effort.
 	BoundUnreachable bool
+	// MaxCoeffError is the largest absolute quantization error over the
+	// high-frequency coefficients, max |v − mean(partition(v))| across all
+	// bands — the coefficient-domain quantity internal/guard amplifies
+	// into a reconstruction-error bound. Zero under LosslessBands. It is
+	// measured after ZeroThreshold clipping, so a caller deriving a bound
+	// on the original coefficients must add Options.ZeroThreshold.
+	MaxCoeffError float64
 	// Timings is the per-phase breakdown.
 	Timings Timings
 }
@@ -271,7 +287,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		}
 		highGroups = [][]float64{high}
 	}
-	if opts.ZeroThreshold > 0 {
+	if opts.ZeroThreshold > 0 && !opts.LosslessBands {
 		for _, g := range highGroups {
 			for i, v := range g {
 				if v <= opts.ZeroThreshold && v >= -opts.ZeroThreshold {
@@ -284,7 +300,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	for i, g := range highGroups {
 		res.NumHigh += len(g)
 		var q *quant.Quantization
-		if opts.ErrorBound > 0 {
+		if opts.LosslessBands {
+			q = quant.PassthroughAll(len(g))
+		} else if opts.ErrorBound > 0 {
 			n, chosen, err := quant.ChooseDivisions(g, opts.ErrorBound, opts.Method, opts.SpikeDivisions)
 			if err == quant.ErrBoundUnreachable {
 				res.BoundUnreachable = true
@@ -305,6 +323,15 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		}
 		res.NumQuantized += q.NumQuantized
 		res.SpikePartitions += q.SpikePartitions
+		if q.NumQuantized > 0 {
+			e, err := quant.MaxQuantizationError(g, q)
+			if err != nil {
+				return nil, err
+			}
+			if e > res.MaxCoeffError {
+				res.MaxCoeffError = e
+			}
+		}
 		quants[i] = q
 	}
 	res.Timings.Quantize = time.Since(t0)

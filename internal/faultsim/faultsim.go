@@ -28,6 +28,7 @@ import (
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/store"
@@ -99,6 +100,15 @@ type Config struct {
 	// quality gauges (lossy codecs only; costs a decode per checkpoint
 	// entry).
 	QualityTelemetry bool
+	// ScrubEvery, when positive (real-I/O mode only), runs a store scrub
+	// after every ScrubEvery-th checkpoint, modelling a background
+	// integrity auditor sharing the run. Quarantined generations are the
+	// retention ring doing its job: the next rollback falls back to an
+	// older generation instead of consuming rot.
+	ScrubEvery int
+	// ScrubDecode makes those scrubs decode every entry (ckpt.StoreVerifier
+	// paranoid mode) rather than stopping at framing and envelope CRCs.
+	ScrubDecode bool
 }
 
 func (c Config) validate() error {
@@ -138,6 +148,13 @@ type Result struct {
 	// PartialRestores counts rollbacks (real-I/O mode only) that
 	// recovered only a subset of the arrays via frame-level recovery.
 	PartialRestores int
+	// LosslessFallbacks counts checkpoint entries the guard codec had to
+	// degrade to bit-exact gzip to honor its bound (guard codec only).
+	LosslessFallbacks int
+	// ScrubRuns and QuarantinedGens report the in-run scrubber's activity
+	// (real-I/O mode with ScrubEvery set).
+	ScrubRuns       int
+	QuarantinedGens int
 }
 
 // OverheadPct returns the virtual-time overhead over the ideal run.
@@ -181,19 +198,36 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 	haveCkpt := false
 
 	checkpoint := func() error {
+		var rep *ckpt.Report
 		if cfg.Store != nil {
-			if _, _, err := mgr.CheckpointTo(cfg.Store, app.StepCount()); err != nil {
+			var err error
+			if rep, _, err = mgr.CheckpointTo(cfg.Store, app.StepCount()); err != nil {
 				return err
 			}
 		} else {
 			lastCkpt.Reset()
-			if _, err := mgr.Checkpoint(&lastCkpt, app.StepCount()); err != nil {
+			var err error
+			if rep, err = mgr.Checkpoint(&lastCkpt, app.StepCount()); err != nil {
 				return err
+			}
+		}
+		for _, e := range rep.Entries {
+			if e.Guarantee != nil && e.Guarantee.Mode == guard.Lossless {
+				res.LosslessFallbacks++
 			}
 		}
 		haveCkpt = true
 		res.Checkpoints++
 		clock += cfg.CheckpointCost
+		if cfg.Store != nil && cfg.ScrubEvery > 0 && res.Checkpoints%cfg.ScrubEvery == 0 {
+			srep, err := cfg.Store.Scrub(store.ScrubOptions{
+				Verify: ckpt.StoreVerifier(cfg.ScrubDecode, 0)})
+			if err != nil {
+				return fmt.Errorf("faultsim: scrub after checkpoint %d: %w", res.Checkpoints, err)
+			}
+			res.ScrubRuns++
+			res.QuarantinedGens += len(srep.Quarantined)
+		}
 		return nil
 	}
 	// rollback restores the last checkpoint and returns the step it

@@ -9,6 +9,7 @@ import (
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/climate"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/store"
 )
 
@@ -287,5 +288,56 @@ func TestRealIOFallbackOnCorruptLatest(t *testing.T) {
 	}
 	if sr.Generation != latest.Seq-1 || sr.Step != 0 {
 		t.Fatalf("restored %+v, want full fallback to generation %d", sr, latest.Seq-1)
+	}
+}
+
+func TestGuardedRunWithScrubber(t *testing.T) {
+	app, ref := climateApp(t)
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(ckpt.NewGuard(guard.Policy{MaxAbs: 1e-2, Verify: guard.VerifyDecode}))
+	cfg.Store = st
+	cfg.ScrubEvery = 2
+	cfg.ScrubDecode = true
+	res, err := Run(app, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures injected")
+	}
+	if res.ScrubRuns == 0 {
+		t.Fatalf("ScrubEvery=2 over %d checkpoints ran no scrubs", res.Checkpoints)
+	}
+	// The store is healthy, so the scrubber must not quarantine anything.
+	if res.QuarantinedGens != 0 {
+		t.Fatalf("clean run quarantined %d generations", res.QuarantinedGens)
+	}
+	// Guarded rollbacks honor the bound: the final drift stays small
+	// (loose sanity check; the guard property test is the precise one).
+	if res.FinalError.MaxPct > 50 {
+		t.Fatalf("guarded run drifted wildly: %+v", res.FinalError)
+	}
+}
+
+func TestGuardLosslessFallbackCounted(t *testing.T) {
+	app, ref := climateApp(t)
+	// An unmeetably tight bound with a one-attempt budget forces every
+	// entry of every checkpoint down to the gzip-only rung.
+	pol := guard.Policy{MaxAbs: 1e-300, MaxAttempts: 1, Verify: guard.VerifyDecode}
+	cfg := baseConfig(ckpt.NewGuard(pol))
+	res, err := Run(app, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LosslessFallbacks == 0 {
+		t.Fatal("unmeetable bound produced no lossless fallbacks")
+	}
+	// Lossless fallbacks mean rollbacks were bit-exact.
+	if res.FinalError.MaxPct != 0 {
+		t.Errorf("all-lossless run still drifted: %+v", res.FinalError)
 	}
 }

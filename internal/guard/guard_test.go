@@ -1,0 +1,376 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/stats"
+	"lossyckpt/internal/wavelet"
+)
+
+// makeField builds one of several data classes on a small 3-D grid.
+func makeField(t *testing.T, class string, seed int64) *grid.Field {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := grid.MustNew(12, 10, 6)
+	d := f.Data()
+	switch class {
+	case "smooth":
+		nx, nz := 12, 10
+		for i := range d {
+			x, z := i/(nz*6), (i/6)%nz
+			d[i] = 275 + 40*math.Sin(2*math.Pi*float64(x)/float64(nx))*
+				math.Cos(2*math.Pi*float64(z)/float64(nz))
+		}
+	case "noise":
+		for i := range d {
+			d[i] = rng.NormFloat64() * 1e3
+		}
+	case "constant":
+		for i := range d {
+			d[i] = 42.5
+		}
+	case "spiky":
+		for i := range d {
+			d[i] = math.Sin(float64(i) / 7)
+			if rng.Intn(50) == 0 {
+				d[i] *= 1e6
+			}
+		}
+	case "nan":
+		for i := range d {
+			d[i] = rng.Float64() * 10
+			if rng.Intn(20) == 0 {
+				d[i] = math.NaN()
+			}
+		}
+	case "inf":
+		for i := range d {
+			d[i] = rng.Float64() * 10
+			if rng.Intn(25) == 0 {
+				d[i] = math.Inf(1 - 2*rng.Intn(2))
+			}
+		}
+	default:
+		t.Fatalf("unknown class %s", class)
+	}
+	return f
+}
+
+// annEqual compares annotations treating NaN float fields as equal
+// (struct == would fail on the unbounded mode's NaN achieved figures).
+func annEqual(a, b Annotation) bool {
+	feq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return a.Mode == b.Mode && a.Verified == b.Verified &&
+		a.BudgetExhausted == b.BudgetExhausted &&
+		feq(a.MaxAbs, b.MaxAbs) && feq(a.MaxRel, b.MaxRel) && feq(a.PSNRFloor, b.PSNRFloor) &&
+		feq(a.AchievedMaxAbs, b.AchievedMaxAbs) && feq(a.AchievedMaxRel, b.AchievedMaxRel) &&
+		feq(a.AchievedPSNR, b.AchievedPSNR) &&
+		a.Escalations == b.Escalations && a.Attempts == b.Attempts
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGuardProperty is the acceptance property: for randomized arrays and
+// policies, every encode either provably meets its declared bound —
+// checked here by an independent full decode — or ships marked
+// lossless-fallback and restores bit-exact. Run under -race, subtests in
+// parallel, to also exercise concurrent guard encodes.
+func TestGuardProperty(t *testing.T) {
+	classes := []string{"smooth", "noise", "constant", "spiky", "nan", "inf"}
+	bounds := []Policy{
+		{MaxAbs: 1e-1},
+		{MaxAbs: 1e-3},
+		{MaxAbs: 1e-9},
+		{MaxRel: 1e-2},
+		{MaxRel: 1e-6},
+		{PSNRFloor: 60},
+		{PSNRFloor: 140},
+		{MaxAbs: 1e-2, MaxRel: 1e-4, PSNRFloor: 80},
+		{}, // unbounded
+	}
+	schemes := []wavelet.Scheme{wavelet.Haar, wavelet.CDF53}
+	for _, class := range classes {
+		for bi, bpol := range bounds {
+			for _, vm := range []VerifyMode{VerifyAnalytic, VerifyDecode} {
+				pol := bpol
+				pol.Verify = vm
+				class := class
+				scheme := schemes[bi%len(schemes)]
+				name := fmt.Sprintf("%s/b%d/%v", class, bi, vm)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					f := makeField(t, class, int64(1000+bi))
+					orig := append([]float64(nil), f.Data()...)
+					base := core.DefaultOptions()
+					base.Scheme = scheme
+					out, err := Encode("v", f, base, pol)
+					if err != nil {
+						t.Fatalf("Encode: %v", err)
+					}
+					ann := out.Annotation
+					g, ann2, err := Decode(out.Payload, f.Shape(), 0)
+					if err != nil {
+						t.Fatalf("Decode: %v", err)
+					}
+					if !annEqual(ann, ann2) {
+						t.Errorf("annotation round-trip mismatch:\n enc %+v\n dec %+v", ann, ann2)
+					}
+					if !pol.Enforced() {
+						if ann.Mode != Unbounded {
+							t.Errorf("unenforced policy got mode %v", ann.Mode)
+						}
+						return
+					}
+					if ann.Mode == Unbounded {
+						t.Fatalf("enforced policy shipped unbounded")
+					}
+					if ann.Mode == Lossless {
+						if !bitsEqual(orig, g.Data()) {
+							t.Fatalf("lossless-fallback not bit-exact")
+						}
+						return
+					}
+					// Bounded or lossless-bands: the declared bound must
+					// hold for the actual reconstruction.
+					maxAbs, err := stats.MaxAbsError(orig, g.Data())
+					if err != nil {
+						t.Fatal(err)
+					}
+					maxRel, err := stats.MaxRelError(orig, g.Data())
+					if err != nil {
+						t.Fatal(err)
+					}
+					psnr, err := stats.PSNR(orig, g.Data())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.IsNaN(maxAbs) {
+						t.Fatalf("mode %v shipped non-finite mismatch", ann.Mode)
+					}
+					if pol.MaxAbs > 0 && maxAbs > pol.MaxAbs {
+						t.Errorf("max-abs %g > bound %g (mode %v)", maxAbs, pol.MaxAbs, ann.Mode)
+					}
+					if pol.MaxRel > 0 && maxRel > pol.MaxRel {
+						t.Errorf("max-rel %g > bound %g (mode %v)", maxRel, pol.MaxRel, ann.Mode)
+					}
+					if pol.PSNRFloor > 0 && !(psnr >= pol.PSNRFloor) {
+						t.Errorf("PSNR %g < floor %g (mode %v)", psnr, pol.PSNRFloor, ann.Mode)
+					}
+					// The annotation's achieved figures must themselves
+					// bound the measurement (they are what restore reports).
+					if maxAbs > ann.AchievedMaxAbs+1e-300 {
+						t.Errorf("measured max-abs %g exceeds annotated ceiling %g", maxAbs, ann.AchievedMaxAbs)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGuardEscalationLadder: noise under a tight bound must escalate past
+// the division rungs, and the escalation trail must land in the metrics.
+func TestGuardEscalationLadder(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := makeField(t, "noise", 3)
+	pol := Policy{MaxAbs: 1e-12, Verify: VerifyDecode, Observer: reg}
+	out, err := Encode("temp", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := out.Annotation
+	if ann.Mode == Unbounded || ann.Mode == Bounded {
+		t.Fatalf("noise at 1e-12 stayed %v; want escalation", ann.Mode)
+	}
+	if ann.Escalations == 0 {
+		t.Errorf("no escalations recorded: %+v", ann)
+	}
+	if ann.Attempts < 2 {
+		t.Errorf("attempts %d, want ≥ 2 (ladder walked)", ann.Attempts)
+	}
+}
+
+// TestGuardBudgetExhaustion: a one-attempt budget must jump to lossless
+// with the flag set — never a silent violation.
+func TestGuardBudgetExhaustion(t *testing.T) {
+	f := makeField(t, "noise", 5)
+	orig := append([]float64(nil), f.Data()...)
+	pol := Policy{MaxAbs: 1e-13, Verify: VerifyDecode, MaxAttempts: 1}
+	out, err := Encode("v", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Annotation.Mode != Lossless {
+		t.Fatalf("mode %v, want lossless after budget exhaustion", out.Annotation.Mode)
+	}
+	if !out.Annotation.BudgetExhausted {
+		t.Errorf("BudgetExhausted not set: %+v", out.Annotation)
+	}
+	g, _, err := Decode(out.Payload, f.Shape(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(orig, g.Data()) {
+		t.Errorf("budget-exhausted fallback not bit-exact")
+	}
+}
+
+// TestGuardTimeBudget: an already-expired wall-clock budget degrades to
+// lossless the same way.
+func TestGuardTimeBudget(t *testing.T) {
+	f := makeField(t, "smooth", 5)
+	pol := Policy{MaxAbs: 1e-6, MaxDuration: time.Nanosecond,
+		Sleep: func(time.Duration) {}}
+	time.Sleep(time.Millisecond)
+	out, err := Encode("v", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Annotation.Mode != Lossless || !out.Annotation.BudgetExhausted {
+		t.Errorf("got %+v, want budget-exhausted lossless", out.Annotation)
+	}
+}
+
+// TestGuardPerVarOverride: PerVar bounds override the base policy.
+func TestGuardPerVarOverride(t *testing.T) {
+	pol := Policy{MaxAbs: 1, PerVar: map[string]Policy{
+		"strict": {MaxAbs: 1e-15, Verify: VerifyDecode},
+	}}
+	eff := pol.ForVar("strict")
+	if eff.MaxAbs != 1e-15 || eff.Verify != VerifyDecode {
+		t.Fatalf("override not applied: %+v", eff)
+	}
+	if other := pol.ForVar("relaxed"); other.MaxAbs != 1 {
+		t.Fatalf("base policy mutated: %+v", other)
+	}
+	f := makeField(t, "noise", 9)
+	outStrict, err := Encode("strict", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outRelaxed, err := Encode("relaxed", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outStrict.Annotation.Mode != Lossless {
+		t.Errorf("strict var mode %v, want lossless", outStrict.Annotation.Mode)
+	}
+	if outRelaxed.Annotation.Mode == Lossless {
+		t.Errorf("relaxed var escalated to lossless; ladder too eager")
+	}
+}
+
+// TestGuardBackoff: violations trigger capped exponential backoff through
+// the injected sleep.
+func TestGuardBackoff(t *testing.T) {
+	var slept []time.Duration
+	f := makeField(t, "noise", 13)
+	pol := Policy{
+		MaxAbs: 1e-13, Verify: VerifyDecode,
+		BackoffBase: time.Millisecond, BackoffCap: 3 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	if _, err := Encode("v", f, core.DefaultOptions(), pol); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	for i, d := range slept {
+		if d > 3*time.Millisecond {
+			t.Errorf("sleep %d = %v exceeds cap", i, d)
+		}
+	}
+	if slept[0] != time.Millisecond {
+		t.Errorf("first sleep %v, want base 1ms", slept[0])
+	}
+}
+
+// TestGuardMetrics: escalations, violations and final mode land in the
+// registry under the documented names.
+func TestGuardMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := makeField(t, "noise", 17)
+	pol := Policy{MaxAbs: 1e-13, Verify: VerifyDecode, Observer: reg}
+	if _, err := Encode("rho", f, core.DefaultOptions(), pol); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, m := range snap.Metrics {
+		found[m.Name] = true
+	}
+	for _, want := range []string{MetricEscalations, MetricViolations, MetricEncodes, MetricFinalMode} {
+		if !found[want] {
+			t.Errorf("metric %s not recorded (have %v)", want, found)
+		}
+	}
+}
+
+// TestEnvelopeCorruption: a flipped byte anywhere in the envelope must be
+// detected, never silently decoded.
+func TestEnvelopeCorruption(t *testing.T) {
+	f := makeField(t, "smooth", 21)
+	out, err := Encode("v", f, core.DefaultOptions(), Policy{MaxAbs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(out.Payload); pos += 7 {
+		corrupt := append([]byte(nil), out.Payload...)
+		corrupt[pos] ^= 0x40
+		if _, err := ParseAnnotation(corrupt); err == nil {
+			// The flip may land in the inner stream; the envelope CRC
+			// still covers it, so ParseAnnotation must fail everywhere.
+			t.Errorf("flip at %d: annotation parsed from corrupt envelope", pos)
+		}
+	}
+	if _, err := ParseAnnotation(out.Payload[:10]); err == nil {
+		t.Error("truncated envelope parsed")
+	}
+	if !IsEnveloped(out.Payload) {
+		t.Error("IsEnveloped false on real envelope")
+	}
+	if IsEnveloped([]byte{1, 2, 3, 4, 5}) {
+		t.Error("IsEnveloped true on junk")
+	}
+}
+
+// TestChooseDivisionsRungHonoured: a loose bound on smooth data must stay
+// on the first rung with a small division count, proving the ladder
+// starts cheap.
+func TestChooseDivisionsRungHonoured(t *testing.T) {
+	f := makeField(t, "smooth", 23)
+	pol := Policy{MaxAbs: 5, Verify: VerifyDecode}
+	out, err := Encode("v", f, core.DefaultOptions(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Annotation.Mode != Bounded {
+		t.Fatalf("smooth at loose bound: mode %v, want bounded", out.Annotation.Mode)
+	}
+	if out.Annotation.Escalations != 0 {
+		t.Errorf("escalated %d times on an easy bound", out.Annotation.Escalations)
+	}
+	if quant.MaxDivisions != 255 {
+		t.Fatal("MaxDivisions changed; ladder assumptions stale")
+	}
+}

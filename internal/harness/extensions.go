@@ -231,11 +231,12 @@ var Runners = map[string]func(Config) (*Table, error){
 	"faults":      Faults,
 	"incremental": Incremental,
 	"datasets":    Datasets,
+	"guard":       GuardOverhead,
 }
 
 // RunnerIDs lists the experiment ids in canonical order.
 var RunnerIDs = []string{
 	"tab1", "fig6", "fig7", "fig8", "fig8-all", "fig9", "fig10",
 	"ablate-gzip", "errbound", "fpc", "nbody", "levels", "cluster", "interval",
-	"perband", "threshold", "faults", "incremental", "datasets",
+	"perband", "threshold", "faults", "incremental", "datasets", "guard",
 }

@@ -407,6 +407,19 @@ func spikeSelect(values []float64, d int) selection {
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// PassthroughAll returns the quantization that selects nothing: every one
+// of the n values is carried verbatim by the passthrough stream and the
+// code stream is empty, so the quantization error is exactly zero. It is
+// what core.Options.LosslessBands feeds the encoder — the container
+// framing is unchanged while the band carries no quantization loss.
+func PassthroughAll(n int) *Quantization {
+	return &Quantization{
+		Averages: []float64{},
+		Codes:    []uint8{},
+		Mask:     make([]bool, n),
+	}
+}
+
 // --- Error-bound extension (paper §IV-C future work) --------------------
 
 // MaxQuantizationError returns the largest absolute error the quantization
@@ -455,8 +468,34 @@ func ChooseDivisions(values []float64, bound float64, method Method, spikeDivisi
 		e, err := MaxQuantizationError(values, q)
 		return q, e, err
 	}
+	// Deterministic fast paths. A single partition is already exact for
+	// empty, all-non-finite (everything passes through) and constant
+	// pools — every quantized value equals the one partition mean — and
+	// n = 1 is minimal, so return it without scanning.
+	q1, e1, err := try(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	if e1 <= bound {
+		return 1, q1, nil
+	}
+	// A zero bound demands an exact quantization. The max error does not
+	// creep toward zero as n grows, so the doubling scan would walk all
+	// the way to the cap only to fail; test the cap directly instead:
+	// either MaxDivisions partitions reproduce every pool value exactly
+	// (at most MaxDivisions distinct finite values) or no n can.
+	if bound == 0 {
+		qc, ec, err := try(MaxDivisions)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ec == 0 {
+			return MaxDivisions, qc, nil
+		}
+		return MaxDivisions, qc, ErrBoundUnreachable
+	}
 	var best *Quantization
-	for n := 1; n <= MaxDivisions; n *= 2 {
+	for n := 2; n <= MaxDivisions; n *= 2 {
 		q, e, err := try(n)
 		if err != nil {
 			return 0, nil, err

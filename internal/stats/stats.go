@@ -35,6 +35,22 @@ func RelativeErrors(orig, approx []float64, dst []float64) ([]float64, error) {
 	if len(orig) == 0 {
 		return nil, fmt.Errorf("%w: empty", ErrInput)
 	}
+	rng := normRange(orig)
+	for i := range orig {
+		d := math.Abs(orig[i] - approx[i])
+		if math.IsNaN(orig[i]) && math.IsNaN(approx[i]) {
+			d = 0
+		}
+		dst = append(dst, d/rng)
+	}
+	return dst, nil
+}
+
+// normRange returns the Eq. 6 normalizing divisor: max − min over the
+// original data ignoring NaNs, falling back to 1 when the range is zero
+// (constant array) or non-finite — the documented RelativeErrors
+// deviation, under which relative errors degrade to absolute ones.
+func normRange(orig []float64) float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range orig {
 		if math.IsNaN(v) {
@@ -51,14 +67,24 @@ func RelativeErrors(orig, approx []float64, dst []float64) ([]float64, error) {
 	if rng == 0 || math.IsInf(rng, 0) || math.IsNaN(rng) {
 		rng = 1
 	}
-	for i := range orig {
-		d := math.Abs(orig[i] - approx[i])
-		if math.IsNaN(orig[i]) && math.IsNaN(approx[i]) {
-			d = 0
-		}
-		dst = append(dst, d/rng)
+	return rng
+}
+
+// MaxRelError returns max_i re_i (Eq. 6) as a fraction, not percent: the
+// quantity a relative error bound (guard.Policy.MaxRel) promises to cap.
+// The normalizing range comes from the original data with the same
+// constant-array fallback as RelativeErrors. NaN handling follows
+// MaxAbsError: a pair of NaNs at one index counts as zero error, a NaN
+// paired with a number poisons the result to NaN.
+func MaxRelError(orig, approx []float64) (float64, error) {
+	maxAbs, err := MaxAbsError(orig, approx)
+	if err != nil {
+		return 0, err
 	}
-	return dst, nil
+	if math.IsNaN(maxAbs) {
+		return maxAbs, nil
+	}
+	return maxAbs / normRange(orig), nil
 }
 
 // MaxAbsError returns max_i |x_i − x̃_i|, the un-normalized companion to

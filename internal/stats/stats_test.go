@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -323,5 +324,70 @@ func TestPSNRErrors(t *testing.T) {
 	}
 	if !math.IsInf(p, -1) {
 		t.Errorf("one-sided NaN PSNR = %g, want -Inf", p)
+	}
+}
+
+// TestMaxRelError is the table-driven check of the guard's rel-bound
+// metric: Eq. 6's maximum as a fraction, range from the original data,
+// constant-array fallback to absolute error, MaxAbsError NaN semantics.
+func TestMaxRelError(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		orig   []float64
+		approx []float64
+		want   float64 // NaN means "want NaN"
+	}{
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"simple", []float64{0, 10}, []float64{1, 10}, 0.1},
+		{"max at end", []float64{0, 5, 10}, []float64{0, 5, 12}, 0.2},
+		{"negative range", []float64{-4, 4}, []float64{-4, 6}, 0.25},
+		{"constant falls back to abs", []float64{7, 7, 7}, []float64{7, 7, 9}, 2},
+		{"paired NaNs are exact", []float64{nan, 0, 2}, []float64{nan, 0, 1}, 0.5},
+		{"one-sided NaN poisons", []float64{1, 2}, []float64{1, nan}, nan},
+		{"range ignores NaN", []float64{nan, 0, 4}, []float64{nan, 1, 4}, 0.25},
+	}
+	for _, tc := range cases {
+		got, err := MaxRelError(tc.orig, tc.approx)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %g, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: got %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMaxRelErrorMatchesSummary: MaxRelError × 100 must agree with the
+// Compare summary's MaxPct — the diff subcommand relies on that.
+func TestMaxRelErrorMatchesSummary(t *testing.T) {
+	orig := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	approx := []float64{0, 1.25, 2, 2.5, 4, 5, 6.1, 7}
+	rel, err := MaxRelError(orig, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compare(orig, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel*100-s.MaxPct) > 1e-12 {
+		t.Errorf("MaxRelError*100 = %g, Summary.MaxPct = %g", rel*100, s.MaxPct)
+	}
+}
+
+// TestMaxRelErrorInputChecks mirrors MaxAbsError's validation.
+func TestMaxRelErrorInputChecks(t *testing.T) {
+	if _, err := MaxRelError([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("length mismatch: err = %v, want ErrInput", err)
+	}
+	if _, err := MaxRelError(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: err = %v, want ErrInput", err)
 	}
 }

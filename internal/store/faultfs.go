@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"lossyckpt/internal/obs"
@@ -35,6 +36,10 @@ const (
 	// the data of a Write and lets the operation succeed — at-rest
 	// corruption that only CRCs can catch.
 	BitFlip
+	// Truncate cuts a file down to its first TornBytes bytes. It is only
+	// meaningful through CorruptAtRest (post-commit media decay); as an
+	// op-boundary fault it is ignored.
+	Truncate
 )
 
 // String names the fault kind (used as the kind label on the injected
@@ -49,6 +54,8 @@ func (k FaultKind) String() string {
 		return "torn_write"
 	case BitFlip:
 		return "bit_flip"
+	case Truncate:
+		return "truncate"
 	}
 	return fmt.Sprintf("kind_%d", int(k))
 }
@@ -331,4 +338,73 @@ func (ff *faultFile) Close() error {
 		return err
 	}
 	return ff.inner.Close()
+}
+
+// CorruptAtRest damages a file that is already durably on "disk",
+// bypassing the op counter and fault plan: the model for silent media
+// decay after a successful commit, which scrubbing exists to catch.
+// BitFlip flips bit FlipBit of byte FlipByte (clamped); Truncate keeps
+// only the first TornBytes bytes. Other kinds are rejected.
+func (f *FaultFS) CorruptAtRest(name string, fault Fault) error {
+	f.mu.Lock()
+	inner := f.inner
+	o := f.observerLocked()
+	f.mu.Unlock()
+
+	src, err := inner.Open(name)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(src)
+	src.Close()
+	if err != nil {
+		return err
+	}
+
+	switch fault.Kind {
+	case BitFlip:
+		if len(data) == 0 {
+			return fmt.Errorf("store: CorruptAtRest(%s): empty file", name)
+		}
+		i := fault.FlipByte
+		if i >= len(data) {
+			i = len(data) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		data[i] ^= 1 << (fault.FlipBit % 8)
+	case Truncate:
+		n := fault.TornBytes
+		if n < 0 {
+			n = 0
+		}
+		if n >= len(data) {
+			return fmt.Errorf("store: CorruptAtRest(%s): truncate to %d leaves %d-byte file intact", name, n, len(data))
+		}
+		data = data[:n]
+	default:
+		return fmt.Errorf("store: CorruptAtRest(%s): kind %s not applicable at rest", name, fault.Kind)
+	}
+
+	dst, err := inner.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := dst.Write(data); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	if o != nil {
+		o.Counter(MetricInjectedFaults, "kind", fault.Kind.String()).Inc()
+		o.Event("faultfs.corrupt_at_rest", "kind", fault.Kind.String(), "name", name)
+	}
+	return nil
 }

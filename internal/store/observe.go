@@ -15,6 +15,13 @@ const (
 	MetricSweptFiles       = "lossyckpt_store_swept_files_total"
 	MetricReads            = "lossyckpt_store_reads_total"
 	MetricPrunedGens       = "lossyckpt_store_pruned_generations_total"
+
+	// Scrub metrics: runs, generations checked, generations quarantined
+	// (labeled reason=<crc|size|missing|verify>), and scrub-triggered
+	// manifest rebuilds fold into MetricManifestRebuilds above.
+	MetricScrubRuns        = "lossyckpt_store_scrub_runs_total"
+	MetricScrubChecked     = "lossyckpt_store_scrub_checked_total"
+	MetricScrubQuarantined = "lossyckpt_store_scrub_quarantined_total"
 )
 
 // observer resolves the store's effective observer: the explicit one from

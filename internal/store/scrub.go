@@ -1,0 +1,222 @@
+// scrub.go audits generations already on disk. Commit-time durability
+// (temp+fsync+rename) protects against crashes, not against media decay
+// after the commit: a bit that rots in a retained generation is invisible
+// until restore needs exactly that generation. Scrub re-reads every
+// retained generation, re-verifies its size and CRC against the manifest
+// (plus an optional content-level verifier, e.g. ckpt.StoreVerifier),
+// and moves anything corrupt into quarantine/ — never deleting, so a
+// human or a forensic tool can still salvage frames from it. When the
+// newest generation is the casualty the manifest is rebuilt from the
+// surviving files, keeping NextSeq monotonic so quarantined sequence
+// numbers are never reissued.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// QuarantineDir is the subdirectory (under the store root) that corrupt
+// generation files are moved into.
+const QuarantineDir = "quarantine"
+
+// ScrubOptions configures one scrub pass.
+type ScrubOptions struct {
+	// Verify, when non-nil, content-checks each generation payload after
+	// the size/CRC check passes (e.g. ckpt.StoreVerifier re-parses stream
+	// framing and guard envelopes, optionally with a full decode). A
+	// returned error quarantines the generation with reason "verify".
+	Verify func(data []byte) error
+}
+
+// Quarantined records one generation a scrub removed from the index.
+type Quarantined struct {
+	Seq uint64
+	// Reason is why: "size", "crc" (manifest mismatch), or "verify"
+	// (ScrubOptions.Verify rejected the content).
+	Reason string
+	// Path is where the file now lives, relative to the store root.
+	Path string
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Checked counts generations examined.
+	Checked int
+	// Quarantined lists generations moved to quarantine/.
+	Quarantined []Quarantined
+	// Missing lists indexed generations whose file has vanished: nothing
+	// to quarantine, they are just dropped from the index.
+	Missing []uint64
+	// ManifestRebuilt is true when the newest generation was dropped and
+	// the manifest was rebuilt from the surviving files.
+	ManifestRebuilt bool
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r *ScrubReport) Clean() bool {
+	return len(r.Quarantined) == 0 && len(r.Missing) == 0
+}
+
+// Scrub audits every retained generation and quarantines corrupt ones.
+// It holds the store lock for the whole pass (including Verify calls),
+// so commits block behind it; size the scrub interval accordingly. The
+// error covers infrastructure failures (unreadable directory, a rename
+// into quarantine failing) — corrupt generations are not errors, they
+// are the report.
+func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	rep := &ScrubReport{}
+	o := s.observer()
+	start := time.Now()
+
+	gens := s.generationsLocked()
+	var survivors []Generation
+	dropped := false
+	for _, g := range gens {
+		rep.Checked++
+		data, err := s.readFile(filepath.Join(s.dir, genName(g.Seq)))
+		if err != nil {
+			// File vanished (or is unreadable): there is nothing on disk
+			// to preserve, so just drop it from the index.
+			rep.Missing = append(rep.Missing, g.Seq)
+			dropped = true
+			if o != nil {
+				o.Event("store.scrub_missing", "seq", g.Seq, "err", err.Error())
+			}
+			continue
+		}
+		reason := ""
+		switch {
+		case uint64(len(data)) != g.Size:
+			reason = "size"
+		case crc32.ChecksumIEEE(data) != g.CRC:
+			reason = "crc"
+		case opts.Verify != nil:
+			if verr := opts.Verify(data); verr != nil {
+				reason = "verify"
+				if o != nil {
+					o.Event("store.scrub_verify_failed", "seq", g.Seq, "err", verr.Error())
+				}
+			}
+		}
+		if reason == "" {
+			survivors = append(survivors, g)
+			continue
+		}
+		qpath, err := s.quarantineLocked(g.Seq)
+		if err != nil {
+			return rep, fmt.Errorf("store: quarantining gen %d: %w", g.Seq, err)
+		}
+		dropped = true
+		rep.Quarantined = append(rep.Quarantined, Quarantined{Seq: g.Seq, Reason: reason, Path: qpath})
+		if o != nil {
+			o.Counter(MetricScrubQuarantined, "reason", reason).Inc()
+			o.Event("store.scrub_quarantined", "seq", g.Seq, "reason", reason, "path", qpath)
+		}
+	}
+
+	if dropped {
+		newestDropped := len(gens) > 0 && (len(survivors) == 0 || survivors[len(survivors)-1].Seq != gens[len(gens)-1].Seq)
+		if newestDropped {
+			// The generation a restore would reach for first is gone:
+			// rebuild the index from the files themselves, holding
+			// NextSeq so quarantined sequence numbers are never reused.
+			if err := s.rescan(s.man.NextSeq); err != nil {
+				return rep, fmt.Errorf("store: manifest rebuild after scrub: %w", err)
+			}
+			rep.ManifestRebuilt = true
+			if o != nil {
+				o.Counter(MetricManifestRebuilds).Inc()
+				o.Event("store.scrub_rebuild", "dir", s.dir, "survivors", len(s.man.Gens))
+			}
+		} else {
+			next := manifest{NextSeq: s.man.NextSeq, Gens: survivors}
+			if err := s.writeManifest(next); err != nil {
+				return rep, fmt.Errorf("store: persisting scrubbed manifest: %w", err)
+			}
+			s.man = next
+		}
+	}
+
+	if o != nil {
+		o.Counter(MetricScrubRuns).Inc()
+		o.Counter(MetricScrubChecked).Add(float64(rep.Checked))
+		o.Event("store.scrub", "dir", s.dir,
+			"checked", rep.Checked,
+			"quarantined", len(rep.Quarantined),
+			"missing", len(rep.Missing),
+			"rebuilt", rep.ManifestRebuilt,
+			"elapsed", time.Since(start).String())
+	}
+	return rep, nil
+}
+
+// quarantineLocked moves one generation file into quarantine/, never
+// overwriting an earlier resident: collisions get a .1, .2, ... suffix.
+// Returns the destination path relative to the store root. Callers hold
+// s.mu.
+func (s *Store) quarantineLocked(seq uint64) (string, error) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		return "", err
+	}
+	taken := make(map[string]bool)
+	if names, err := s.fs.ReadDir(qdir); err == nil {
+		for _, n := range names {
+			taken[n] = true
+		}
+	}
+	base := genName(seq)
+	name := base
+	for i := 1; taken[name]; i++ {
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+	if err := s.fs.Rename(filepath.Join(s.dir, base), filepath.Join(qdir, name)); err != nil {
+		return "", err
+	}
+	// Make the move durable: the file left one directory and entered
+	// another.
+	s.fs.SyncDir(qdir)
+	s.fs.SyncDir(s.dir)
+	return filepath.Join(QuarantineDir, name), nil
+}
+
+// StartScrubber runs Scrub every interval until the returned stop
+// function is called. Scrub failures are recorded through the store's
+// observer and do not stop the loop. stop is idempotent and waits for an
+// in-flight pass to finish.
+func (s *Store) StartScrubber(interval time.Duration, opts ScrubOptions) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := s.Scrub(opts); err != nil {
+					if o := s.observer(); o != nil {
+						o.Event("store.scrub_error", "dir", s.dir, "err", err.Error())
+					}
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lossyckpt/internal/obs"
@@ -80,14 +81,17 @@ func (o Options) withDefaults() Options {
 }
 
 // Store is a crash-safe multi-generation checkpoint store rooted at one
-// directory. It is not safe for concurrent use by multiple goroutines
-// (or processes); the durability guarantees are about crashes, not
-// concurrent writers.
+// directory. A mutex serializes commits, reads and scrubs, so one Store
+// may be shared by goroutines in a process (an interval scrubber runs
+// alongside commits); it is still not safe for multiple processes — the
+// durability guarantees are about crashes, not concurrent writers.
 type Store struct {
 	dir  string
 	fs   FS
 	opts Options
-	man  manifest
+
+	mu  sync.Mutex // guards man and all directory mutations
+	man manifest
 	// rebuilt records that Open found no valid manifest and recovered
 	// the generation index by scanning the directory.
 	rebuilt bool
@@ -114,7 +118,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		// Manifest missing, unreadable or corrupt: recover the index
 		// from the generation files themselves.
-		if rerr := s.rescan(); rerr != nil {
+		if rerr := s.rescan(0); rerr != nil {
 			return nil, fmt.Errorf("store: open %s: rescan: %w", dir, rerr)
 		}
 		s.rebuilt = true
@@ -136,11 +140,21 @@ func (s *Store) Rebuilt() bool { return s.rebuilt }
 
 // Generations returns the retained generations, oldest first.
 func (s *Store) Generations() []Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generationsLocked()
+}
+
+func (s *Store) generationsLocked() []Generation {
 	return append([]Generation(nil), s.man.Gens...)
 }
 
 // Latest returns the newest generation, if any.
-func (s *Store) Latest() (Generation, bool) { return s.man.latest() }
+func (s *Store) Latest() (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.latest()
+}
 
 // genName returns the file name of a generation.
 func genName(seq uint64) string {
@@ -168,6 +182,8 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if o := s.observer(); o != nil {
 		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", fmt.Sprint(len(payload)))
 		defer func() {
@@ -204,7 +220,7 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 	// The manifest rename is the commit point: before it, the store
 	// still indexes the previous latest; after it, the new generation is
 	// the latest-good.
-	next := manifest{NextSeq: seq + 1, Gens: append(s.Generations(), gen)}
+	next := manifest{NextSeq: seq + 1, Gens: append(s.generationsLocked(), gen)}
 	var dropped []Generation
 	if s.opts.Keep > 0 && len(next.Gens) > s.opts.Keep {
 		cut := len(next.Gens) - s.opts.Keep
@@ -261,6 +277,8 @@ func (s *Store) ReadGeneration(seq uint64) ([]byte, error) {
 // verify against the manifest record. Torn tails come back with
 // verified=false so frame-level partial recovery can still mine them.
 func (s *Store) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var gen *Generation
 	for i := range s.man.Gens {
 		if s.man.Gens[i].Seq == seq {
@@ -352,7 +370,10 @@ func (s *Store) readFile(path string) ([]byte, error) {
 // recomputed from the files, so a torn generation tail records as-is
 // and later fails ReadGeneration verification only if it was also
 // indexed before — after a rescan the files are the source of truth.
-func (s *Store) rescan() error {
+// NextSeq never drops below minNext, so a rebuild triggered after the
+// newest generation left the directory (quarantine) cannot reuse its
+// sequence number against a file still sitting in quarantine/.
+func (s *Store) rescan(minNext uint64) error {
 	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return err
@@ -378,7 +399,11 @@ func (s *Store) rescan() error {
 		}
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i].Seq < gens[j].Seq })
-	s.man = manifest{NextSeq: maxSeq + 1, Gens: gens}
+	next := maxSeq + 1
+	if next < minNext {
+		next = minNext
+	}
+	s.man = manifest{NextSeq: next, Gens: gens}
 	// Persist the recovered index; failure is non-fatal (the next Open
 	// just rescans again).
 	_ = s.writeManifest(s.man)

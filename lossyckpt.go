@@ -40,6 +40,7 @@ import (
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
+	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
@@ -152,8 +153,36 @@ func NewFPCCodec() Codec { return &ckpt.FPC{} }
 func NewRawCodec() Codec { return ckpt.None{} }
 
 // CodecByName constructs a default-configured codec from its name:
-// "none", "gzip", "fpc" or "lossy".
+// "none", "gzip", "fpc", "lossy" or "guard".
 func CodecByName(name string) (Codec, error) { return ckpt.CodecByName(name) }
+
+// --- Quality guard ----------------------------------------------------------
+
+// GuardPolicy declares the reconstruction-quality guarantee the guard
+// codec enforces per array: max absolute error, max relative error, a
+// PSNR floor, the verification mode, and optional per-variable overrides.
+type GuardPolicy = guard.Policy
+
+// GuardAnnotation is the guarantee one checkpoint entry actually shipped
+// with, carried inside the entry payload and reported back on restore.
+type GuardAnnotation = guard.Annotation
+
+// GuardVerifyMode selects how the guard checks a bound: VerifyAnalytic
+// (conservative bound from the quantization tables) or VerifyDecode
+// (decode and measure; paranoid).
+type GuardVerifyMode = guard.VerifyMode
+
+// Guard verification modes.
+const (
+	VerifyAnalytic = guard.VerifyAnalytic
+	VerifyDecode   = guard.VerifyDecode
+)
+
+// NewGuardCodec wraps the lossy pipeline in bounded-error enforcement:
+// every array is verified against pol and degrades down an escalation
+// ladder — more divisions, the simple method, lossless bands, and
+// finally bit-exact gzip — rather than violating it.
+func NewGuardCodec(pol GuardPolicy) Codec { return ckpt.NewGuard(pol) }
 
 // --- Large-array and error-bound variants ---------------------------------
 
