@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-gzip bench-smoke bench-compare bench-compare-smoke
 
 check: fmt-check vet build race fuzz-smoke bench-compare-smoke
 
@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunked$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunkedParallel$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gzipio -run='^Fuzz' -fuzz='^FuzzDecompressMembers$$' -fuzztime=$(FUZZTIME)
 
 # bench-parallel runs the parallel-engine benchmarks that feed
 # BENCH_parallel.json (workers sweep + allocation counts).
@@ -50,6 +51,17 @@ bench-parallel:
 # feeds BENCH_obs.json.
 bench-obs:
 	$(GO) test -run xxx -bench 'ChunkedParallelObs' -benchtime 5x -count 3 .
+
+# bench-gzip runs the block-parallel DEFLATE and streaming-checkpoint
+# benchmarks that feed BENCH_gzip.json (serial vs parallel compress,
+# block-size sweep, both decoders, buffered vs streaming checkpoint).
+bench-gzip:
+	$(GO) test -run xxx -bench 'ParallelGzip|StreamingCheckpoint' -benchtime 3x .
+
+# bench-smoke executes every benchmark once — CI's guard that the bench
+# code itself keeps compiling and running.
+bench-smoke:
+	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc|ParallelGzip|StreamingCheckpoint' -benchtime 1x .
 
 # bench-compare diffs two BENCH_*.json snapshots and fails on >15%
 # ns_per_op regressions:  make bench-compare OLD=old.json NEW=new.json
@@ -63,3 +75,4 @@ bench-compare:
 bench-compare-smoke:
 	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_parallel.json
 	$(GO) run ./cmd/benchdiff BENCH_obs.json BENCH_obs.json
+	$(GO) run ./cmd/benchdiff BENCH_gzip.json BENCH_gzip.json

@@ -188,6 +188,7 @@ func cmdCompress(args []string) error {
 	tempFile := fs.Bool("tempfile", false, "emulate the paper prototype's temp-file gzip path")
 	chunk := fs.Int("chunk", 0, "compress in slabs of this many leading-axis planes (0 = whole array)")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
+	gzipBlock := fs.Int("gzip-block", 0, "block-parallel DEFLATE block size in bytes (0 = serial gzip stage; incompatible with -tempfile)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,6 +220,7 @@ func cmdCompress(args []string) error {
 	opts.Levels = *levels
 	opts.Scheme = scheme
 	opts.Workers = *workers
+	opts.GzipBlock = *gzipBlock
 	if *tempFile {
 		opts.GzipMode = gzipio.TempFile
 	}

@@ -1,0 +1,140 @@
+// Benchmarks for the block-parallel DEFLATE engine and the streaming
+// checkpoint pipeline (ISSUE PR 5): serial CompressFormat vs pigz-style
+// CompressParallel over worker and block-size sweeps, both decoders, and
+// buffered Checkpoint vs CheckpointStream on the 24 MB nicam16x array.
+// `make bench-gzip` distills these into BENCH_gzip.json.
+package lossyckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/gzipio"
+)
+
+// floatImage serializes a field to its little-endian byte image — the
+// exact input stage 4c sees.
+func floatImage(f *grid.Field) []byte {
+	out := make([]byte, 8*len(f.Data()))
+	for i, v := range f.Data() {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BenchmarkParallelGzip compares the serial DEFLATE stage against the
+// block-parallel engine on the NICAM array's byte image: a workers sweep
+// at the default 1 MiB block, a block-size sweep at the full worker
+// count, and both decode paths. On a single-CPU host the acceptance bar
+// is ≤5% overhead vs serial; the speedup claim needs GOMAXPROCS ≥ 2.
+func BenchmarkParallelGzip(b *testing.B) {
+	data := floatImage(syntheticClimate(b, 1156, 82, 2)) // ~1.5 MB
+
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gzipio.CompressFormat(data, gzipio.Default, gzipio.InMemory, "", gzipio.FormatGzip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("block=1MiB/workers=%d", workers), func(b *testing.B) {
+			po := gzipio.ParallelOptions{Workers: workers}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gzipio.CompressParallel(data, gzipio.Default, gzipio.FormatGzip, po); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, block := range []int{256 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("block=%dKiB", block>>10), func(b *testing.B) {
+			po := gzipio.ParallelOptions{BlockSize: block}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gzipio.CompressParallel(data, gzipio.Default, gzipio.FormatGzip, po); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	multi, err := gzipio.CompressParallel(data, gzipio.Default, gzipio.FormatGzip,
+		gzipio.ParallelOptions{BlockSize: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decompress=auto", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gzipio.DecompressAuto(multi.Compressed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decompress=parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gzipio.DecompressMembersParallel(multi.Compressed, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamingCheckpoint compares the buffered checkpoint (whole
+// framed stream assembled in memory) against the v2 streaming pipeline
+// on the 24 MB nicam16x array with the chunked lossy codec: identical
+// compression work, but the streaming path's bytes_per_op drops by the
+// payload size because finished frames flow straight to the writer.
+func BenchmarkStreamingCheckpoint(b *testing.B) {
+	f := syntheticClimate(b, 16*1156, 82, 2)
+	newMgr := func() *ckpt.Manager {
+		lossy := ckpt.NewLossy()
+		lossy.ChunkExtent = parallelChunkExtent
+		m := ckpt.NewManager(lossy, 1)
+		if err := m.Register("q", f); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("buffered", func(b *testing.B) {
+		m := newMgr()
+		b.SetBytes(int64(f.Bytes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Checkpoint(io.Discard, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		m := newMgr()
+		b.SetBytes(int64(f.Bytes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.CheckpointStream(io.Discard, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

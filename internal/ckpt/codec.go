@@ -13,6 +13,8 @@ package ckpt
 import (
 	"errors"
 	"fmt"
+	"io"
+	"time"
 
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/fpc"
@@ -54,6 +56,17 @@ type Codec interface {
 	Lossless() bool
 }
 
+// StreamEncoder is an optional Codec extension for codecs that can emit
+// their payload incrementally. EncodeTo writes the exact bytes Encode
+// would have returned as Payload directly to w and returns the Encoded
+// accounting with Payload nil — CheckpointStream pipes the writes into
+// its segment framing, so the payload is never buffered whole.
+// Implementations may still buffer internally when their format demands
+// it (and must then leave Payload nil after writing it out).
+type StreamEncoder interface {
+	EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error)
+}
+
 // --- None ------------------------------------------------------------------
 
 // None stores arrays verbatim — the paper's "checkpoint time without
@@ -72,6 +85,15 @@ func (None) Encode(f *grid.Field) (*Encoded, error) {
 		Payload:  floatsToBytes(f.Data()),
 		RawBytes: f.Bytes(),
 	}, nil
+}
+
+// EncodeTo implements StreamEncoder: the float image goes out in bounded
+// blocks, never materialized whole.
+func (None) EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error) {
+	if err := writeFloatBlocks(w, f.Data()); err != nil {
+		return nil, err
+	}
+	return &Encoded{RawBytes: f.Bytes()}, nil
 }
 
 // Decode implements Codec.
@@ -116,6 +138,42 @@ func (g *Gzip) Encode(f *grid.Field) (*Encoded, error) {
 		return nil, err
 	}
 	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+}
+
+// EncodeTo implements StreamEncoder. In-memory mode compresses straight
+// onto w through a pooled DEFLATE writer, feeding the float image in
+// bounded blocks; temp-file mode already spools to disk, so it reuses
+// the buffered path and streams the result out.
+func (g *Gzip) EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error) {
+	if g.Mode != gzipio.InMemory {
+		enc, err := g.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(enc.Payload); err != nil {
+			return nil, err
+		}
+		enc.Payload = nil
+		return enc, nil
+	}
+	start := time.Now()
+	zw, err := gzipio.AcquireWriter(gzipio.FormatGzip, g.Level, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFloatBlocks(zw, f.Data()); err != nil {
+		zw.Close()
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	gzipio.ReleaseWriter(gzipio.FormatGzip, g.Level, zw)
+	el := time.Since(start)
+	return &Encoded{
+		RawBytes: f.Bytes(),
+		Timings:  core.Timings{Gzip: el, Total: el, CPUTotal: el},
+	}, nil
 }
 
 // Decode implements Codec.
@@ -200,6 +258,30 @@ func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
 		return nil, err
 	}
 	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+}
+
+// EncodeTo implements StreamEncoder. With ChunkExtent set this is the
+// full pipeline overlap the streaming checkpoint exists for: slabs
+// compress on a bounded worker pool while finished frames stream into
+// w (core.CompressChunkedTo), so peak memory is O(workers × chunk)
+// instead of O(array). Whole-array mode compresses buffered and streams
+// the result out.
+func (c *Lossy) EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error) {
+	if c.ChunkExtent > 0 {
+		res, err := core.CompressChunkedTo(w, f, c.Options, c.ChunkExtent)
+		if err != nil {
+			return nil, err
+		}
+		return &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}, nil
+	}
+	res, err := core.Compress(f, c.Options)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(res.Data); err != nil {
+		return nil, err
+	}
+	return &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}, nil
 }
 
 // Decode implements Codec. The shape argument is validated against the

@@ -31,6 +31,20 @@ func FuzzRestore(f *testing.F) {
 		f.Add(mut)
 	}
 
+	// Same corruptions over the v2 segmented layout.
+	var sbuf bytes.Buffer
+	if _, err := seedMgr.CheckpointStream(&sbuf, 3); err != nil {
+		f.Fatal(err)
+	}
+	sraw := sbuf.Bytes()
+	f.Add(sraw)
+	f.Add(sraw[:len(sraw)/2])
+	for _, pos := range []int{6, 20, len(sraw) / 3, len(sraw) - 5} {
+		mut := append([]byte(nil), sraw...)
+		mut[pos] ^= 0xA5
+		f.Add(mut)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mgr := NewManager(NewGzip(), 1)
 		target := smoothField(64, 8)

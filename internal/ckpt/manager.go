@@ -30,9 +30,16 @@ var (
 )
 
 const (
-	fileMagic   = 0x54504B43 // "CKPT"
+	fileMagic = 0x54504B43 // "CKPT"
+	// fileVersion is the buffered stream layout Checkpoint writes: every
+	// entry is one length-prefixed frame with its CRC up front.
 	fileVersion = 1
-	maxNameLen  = 4096
+	// fileVersionStream is the streaming layout CheckpointStream writes:
+	// entries carry their payload in bounded segments with length and CRC
+	// trailing, so the writer never buffers a whole payload. Readers
+	// accept both versions.
+	fileVersionStream = 2
+	maxNameLen        = 4096
 	// maxVars bounds the header-declared variable count so a corrupt
 	// header cannot drive an unbounded parse loop.
 	maxVars = 1 << 20
@@ -247,9 +254,10 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 
 // streamHeader is the parsed fixed prefix of a checkpoint stream.
 type streamHeader struct {
-	Codec string
-	Step  int
-	Count int
+	Version int
+	Codec   string
+	Step    int
+	Count   int
 }
 
 // readStreamHeader parses and validates the stream header. Every
@@ -259,8 +267,9 @@ func readStreamHeader(br *byteReader) (*streamHeader, error) {
 	if br.u32() != fileMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	if v := br.u16(); v != fileVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	version := int(br.u16())
+	if version != fileVersion && version != fileVersionStream {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, version)
 	}
 	codecName := br.str()
 	step := br.u64()
@@ -277,7 +286,35 @@ func readStreamHeader(br *byteReader) (*streamHeader, error) {
 	if count > maxVars {
 		return nil, fmt.Errorf("%w: %d variables exceeds cap", ErrFormat, count)
 	}
-	return &streamHeader{Codec: codecName, Step: int(step), Count: int(count)}, nil
+	return &streamHeader{Version: version, Codec: codecName, Step: int(step), Count: int(count)}, nil
+}
+
+// errEntryDamaged marks an entry whose framing stayed intact but whose
+// content failed verification (CRC mismatch, unparseable body): the scan
+// can skip it and resume at the next entry. Entry errors NOT matching
+// this sentinel mean the stream is torn at that point — nothing beyond is
+// framed. It wraps ErrFormat, so errors.Is(err, ErrFormat) still holds.
+var errEntryDamaged = fmt.Errorf("%w (damaged entry)", ErrFormat)
+
+// readEntry reads entry i in the given stream-format version, unifying
+// the v1 frame-per-entry and v2 segmented layouts behind one scanner.
+// Damage comes back classified via errEntryDamaged (see above).
+func readEntry(br *byteReader, version, i int) (*rawEntry, error) {
+	if version >= fileVersionStream {
+		return readEntryV2(br, i)
+	}
+	body, crcOK, err := readEntryFrame(br, i)
+	if err != nil {
+		return nil, err
+	}
+	if !crcOK {
+		return nil, fmt.Errorf("%w: entry %d checksum mismatch", errEntryDamaged, i)
+	}
+	ent, err := parseEntryBody(body, i)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEntryDamaged, err)
+	}
+	return ent, nil
 }
 
 // rawEntry is one parsed checkpoint frame before decoding.
@@ -410,14 +447,7 @@ func (m *Manager) Restore(r io.Reader) (rep *Report, err error) {
 	rep = &Report{Codec: hdr.Codec, Step: hdr.Step}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
-		body, crcOK, err := readEntryFrame(br, i)
-		if err != nil {
-			return nil, err
-		}
-		if !crcOK {
-			return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
-		}
-		ent, err := parseEntryBody(body, i)
+		ent, err := readEntry(br, hdr.Version, i)
 		if err != nil {
 			return nil, err
 		}
@@ -462,16 +492,12 @@ func (m *Manager) RestorePartial(r io.Reader) (rep *Report, skipped []string, er
 	rep = &Report{Codec: hdr.Codec, Step: hdr.Step}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
-		body, crcOK, err := readEntryFrame(br, i)
+		ent, err := readEntry(br, hdr.Version, i)
+		if errors.Is(err, errEntryDamaged) {
+			continue // damaged entry: skip, the framing keeps the scan aligned
+		}
 		if err != nil {
 			break // torn tail: nothing beyond this point is framed
-		}
-		if !crcOK {
-			continue // damaged frame: skip, keep scanning
-		}
-		ent, err := parseEntryBody(body, i)
-		if err != nil {
-			continue
 		}
 		// Mismatched or duplicate entries are skipped rather than fatal:
 		// partial recovery salvages what it can.

@@ -63,6 +63,11 @@ func (m *Manager) recordCheckpoint(o *obs.Registry, rep *Report, encoded []*Enco
 		if !measure {
 			continue
 		}
+		// Streaming checkpoints never buffer payloads, so there is nothing
+		// to decode for quality measurement.
+		if encoded[i] == nil || encoded[i].Payload == nil {
+			continue
+		}
 		f := m.fields[e.Name]
 		decoded, err := m.codec.Decode(encoded[i].Payload, f.Shape())
 		if err != nil {

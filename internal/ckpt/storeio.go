@@ -226,28 +226,17 @@ func loadStream(r io.Reader, workers int, lenient bool) (*LoadedCheckpoint, erro
 	lc := &LoadedCheckpoint{Step: hdr.Step, Codec: hdr.Codec}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
-		body, crcOK, err := readEntryFrame(br, i)
+		ent, err := readEntry(br, hdr.Version, i)
 		if err != nil {
 			if !lenient {
 				return nil, err
+			}
+			if errors.Is(err, errEntryDamaged) {
+				lc.SkippedFrames++
+				continue
 			}
 			lc.SkippedFrames += hdr.Count - i
-			break
-		}
-		if !crcOK {
-			if !lenient {
-				return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
-			}
-			lc.SkippedFrames++
-			continue
-		}
-		ent, err := parseEntryBody(body, i)
-		if err != nil {
-			if !lenient {
-				return nil, err
-			}
-			lc.SkippedFrames++
-			continue
+			break // torn tail: nothing beyond this point is framed
 		}
 		if seen[ent.Name] {
 			if !lenient {

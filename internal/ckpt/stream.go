@@ -1,0 +1,331 @@
+// stream.go adds the v2 streaming checkpoint format. The buffered
+// Checkpoint assembles the whole framed stream in memory before the
+// writer sees its first byte — peak memory is O(total payload). v2
+// frames each entry's payload in bounded segments with the length and
+// CRC trailing instead of leading, so CheckpointStream can pipe codec
+// output straight through to the writer and peak memory drops to the
+// codec's own working set (O(workers × chunk) for the chunked lossy
+// pipeline). Readers accept both versions through readEntry.
+//
+// v2 entry layout (all integers little-endian):
+//
+//	u16 nameLen + name            — prologue, same serialization as v1
+//	u16 dims
+//	u64 extent × dims
+//	{ u32 segLen (>0), payload[segLen] }*   — payload in bounded segments
+//	u32 0                         — segment terminator
+//	u64 payloadLen                — trailer: total payload bytes
+//	u32 crc32(prologue ++ payload)
+//
+// A trailer mismatch marks the entry damaged but leaves the scan
+// aligned on the next entry (segments framed the payload), so partial
+// recovery skips it exactly like a v1 CRC failure. A structural
+// failure (truncated segment, implausible length) tears the stream.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/store"
+)
+
+// readEntryV2 reads one v2 segmented entry. The prologue is re-serialized
+// to feed the CRC exactly as the writer hashed it.
+func readEntryV2(br *byteReader, i int) (*rawEntry, error) {
+	name := br.str()
+	if br.err == nil && len(name) > maxNameLen {
+		return nil, fmt.Errorf("%w: entry %d name %d bytes exceeds cap", ErrFormat, i, len(name))
+	}
+	nd := int(br.u16())
+	if br.err != nil || nd == 0 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: entry %d metadata", ErrFormat, i)
+	}
+	shape := make([]int, nd)
+	for d := range shape {
+		e := br.u64()
+		if e == 0 || e > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: entry %d extent %d", ErrFormat, i, e)
+		}
+		shape[d] = int(e)
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("%w: entry %d prologue: %v", ErrFormat, i, br.err)
+	}
+	crc := crc32.NewIEEE()
+	var pro bytes.Buffer
+	writeString(&pro, name)
+	writeU16(&pro, uint16(nd))
+	for _, e := range shape {
+		writeU64(&pro, uint64(e))
+	}
+	crc.Write(pro.Bytes())
+
+	var payload []byte
+	for {
+		segLen := br.u32()
+		if br.err != nil {
+			return nil, fmt.Errorf("%w: entry %d segment header: %v", ErrFormat, i, br.err)
+		}
+		if segLen == 0 {
+			break
+		}
+		if uint64(len(payload))+uint64(segLen) > maxPayloadLen {
+			return nil, fmt.Errorf("%w: entry %d payload exceeds cap", ErrFormat, i)
+		}
+		seg, err := readExactly(br, uint64(segLen))
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d segment: %v", ErrFormat, i, err)
+		}
+		crc.Write(seg)
+		payload = append(payload, seg...)
+	}
+	wantLen := br.u64()
+	wantCRC := br.u32()
+	if br.err != nil {
+		return nil, fmt.Errorf("%w: entry %d trailer: %v", ErrFormat, i, br.err)
+	}
+	if wantLen != uint64(len(payload)) || wantCRC != crc.Sum32() {
+		return nil, fmt.Errorf("%w: entry %d trailer mismatch", errEntryDamaged, i)
+	}
+	return &rawEntry{Name: name, Shape: shape, Payload: payload}, nil
+}
+
+// streamSegment bounds the segment size CheckpointStream frames payload
+// bytes into — also the only per-entry buffer the writer side keeps.
+const streamSegment = 256 << 10
+
+// CheckpointStream compresses every registered array and writes one v2
+// checkpoint stream to w without ever buffering a whole payload: codecs
+// implementing StreamEncoder pipe their output straight into the
+// segment framing (the chunked lossy pipeline overlaps compression with
+// the write), others fall back to buffered Encode per entry. Entries are
+// written serially in registration order — the parallelism lives inside
+// the streaming codecs, where it bounds memory instead of multiplying it.
+func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err error) {
+	start := time.Now()
+	if len(m.names) == 0 {
+		return nil, fmt.Errorf("%w: no fields registered", ErrRegistered)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("%w: negative step %d", ErrRegistered, step)
+	}
+	encoded := make([]*Encoded, len(m.names))
+	if o := m.observer(); o != nil {
+		sp := o.StartSpan(MetricCheckpointSpan, "codec", m.codec.Name(), "step", fmt.Sprint(step), "mode", "stream")
+		defer func() {
+			sp.EndErr(err)
+			if err == nil {
+				m.recordCheckpoint(o, rep, encoded)
+			}
+		}()
+	}
+
+	cw := &countingWriter{w: w}
+	var hdrBuf bytes.Buffer
+	writeU32(&hdrBuf, fileMagic)
+	writeU16(&hdrBuf, fileVersionStream)
+	writeString(&hdrBuf, m.codec.Name())
+	writeU64(&hdrBuf, uint64(step))
+	writeU32(&hdrBuf, uint32(len(m.names)))
+	if _, err := cw.Write(hdrBuf.Bytes()); err != nil {
+		return nil, fmt.Errorf("ckpt: write: %w", err)
+	}
+
+	rep = &Report{Codec: m.codec.Name(), Step: step}
+	streamer, _ := m.codec.(StreamEncoder)
+	named, _ := m.codec.(NamedEncoder)
+	for i, name := range m.names {
+		f := m.fields[name]
+		var pro bytes.Buffer
+		writeString(&pro, name)
+		writeU16(&pro, uint16(f.Dims()))
+		for _, e := range f.Shape() {
+			writeU64(&pro, uint64(e))
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(pro.Bytes())
+		if _, err := cw.Write(pro.Bytes()); err != nil {
+			return nil, fmt.Errorf("ckpt: write: %w", err)
+		}
+		sw := newSegmentWriter(cw, crc)
+
+		var enc *Encoded
+		var eerr error
+		switch {
+		case streamer != nil:
+			enc, eerr = streamer.EncodeTo(sw, f)
+		case named != nil:
+			enc, eerr = named.EncodeNamed(name, f)
+		default:
+			enc, eerr = m.codec.Encode(f)
+		}
+		if eerr != nil {
+			return nil, fmt.Errorf("ckpt: encoding %q: %w", name, eerr)
+		}
+		if enc.Payload != nil {
+			// Buffered fallback: the payload exists in memory; stream it out
+			// through the same segment framing.
+			if _, err := sw.Write(enc.Payload); err != nil {
+				return nil, fmt.Errorf("ckpt: write: %w", err)
+			}
+		}
+		if err := sw.finish(); err != nil {
+			return nil, fmt.Errorf("ckpt: write: %w", err)
+		}
+		encoded[i] = enc
+
+		rep.Entries = append(rep.Entries, EntryReport{
+			Name:            name,
+			RawBytes:        enc.RawBytes,
+			CompressedBytes: int(sw.n),
+			Timings:         enc.Timings,
+			Guarantee:       enc.Guarantee,
+		})
+		rep.RawBytes += enc.RawBytes
+		rep.CompressedBytes += int(sw.n)
+	}
+	rep.FileBytes = cw.n
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// CheckpointStreamTo streams a v2 checkpoint straight into the store's
+// next generation via CommitStream: compression, entropy coding and
+// store I/O overlap, and neither the manager nor the store buffers the
+// stream. The durability protocol is identical to CheckpointTo.
+func (m *Manager) CheckpointStreamTo(st *store.Store, step int) (*Report, store.Generation, error) {
+	var rep *Report
+	gen, err := st.CommitStream(step, func(w io.Writer) error {
+		var cerr error
+		rep, cerr = m.CheckpointStream(w, step)
+		return cerr
+	})
+	if err != nil {
+		return nil, store.Generation{}, err
+	}
+	return rep, gen, nil
+}
+
+// segmentWriter frames payload bytes into streamSegment-sized v2
+// segments on its way to the underlying writer, accumulating the total
+// length and the running CRC (seeded with the entry prologue by the
+// caller). finish writes the terminator and trailer; after it the
+// writer is poisoned so a codec retaining the handle cannot corrupt the
+// stream.
+type segmentWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	buf []byte
+	n   uint64
+	err error
+}
+
+func newSegmentWriter(w io.Writer, crc hash.Hash32) *segmentWriter {
+	return &segmentWriter{w: w, crc: crc, buf: make([]byte, 0, streamSegment)}
+}
+
+// Write implements io.Writer.
+func (s *segmentWriter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	s.crc.Write(p)
+	s.n += uint64(len(p))
+	for rest := p; len(rest) > 0; {
+		take := streamSegment - len(s.buf)
+		if take > len(rest) {
+			take = len(rest)
+		}
+		s.buf = append(s.buf, rest[:take]...)
+		rest = rest[take:]
+		if len(s.buf) == streamSegment {
+			if err := s.flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// flush emits the buffered bytes as one length-prefixed segment.
+func (s *segmentWriter) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(s.buf)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		s.err = err
+		return err
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+		return err
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// finish flushes the tail segment and writes the terminator and trailer,
+// then poisons the writer.
+func (s *segmentWriter) finish() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	var tail [16]byte // u32 0 terminator + u64 payloadLen + u32 crc
+	binary.LittleEndian.PutUint64(tail[4:], s.n)
+	binary.LittleEndian.PutUint32(tail[12:], s.crc.Sum32())
+	if _, err := s.w.Write(tail[:]); err != nil {
+		s.err = err
+		return err
+	}
+	s.err = fmt.Errorf("ckpt: segment writer already finished")
+	return nil
+}
+
+// countingWriter counts bytes through to the underlying writer
+// (Report.FileBytes for the streaming path).
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+// writeFloatBlocks streams a float64 slice as little-endian bytes in
+// bounded blocks (256 KiB), so raw-payload codecs never materialize the
+// full byte image of an array.
+func writeFloatBlocks(w io.Writer, data []float64) error {
+	const blockFloats = 32 << 10 // 256 KiB per block
+	buf := make([]byte, 8*blockFloats)
+	for off := 0; off < len(data); off += blockFloats {
+		end := off + blockFloats
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := data[off:end]
+		b := buf[:8*len(blk)]
+		for i, v := range blk {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -37,14 +37,7 @@ func InspectStream(data []byte) (*StreamInfo, error) {
 	info := &StreamInfo{Codec: hdr.Codec, Step: hdr.Step}
 	seen := make(map[string]bool, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
-		body, crcOK, err := readEntryFrame(br, i)
-		if err != nil {
-			return nil, err
-		}
-		if !crcOK {
-			return nil, fmt.Errorf("%w: entry %d checksum mismatch", ErrFormat, i)
-		}
-		ent, err := parseEntryBody(body, i)
+		ent, err := readEntry(br, hdr.Version, i)
 		if err != nil {
 			return nil, err
 		}
@@ -91,11 +84,7 @@ func VerifyStream(data []byte, decode bool, workers int) error {
 		return err
 	}
 	for i := 0; i < hdr.Count; i++ {
-		body, _, err := readEntryFrame(br, i)
-		if err != nil {
-			return err
-		}
-		ent, err := parseEntryBody(body, i)
+		ent, err := readEntry(br, hdr.Version, i)
 		if err != nil {
 			return err
 		}

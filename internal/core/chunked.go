@@ -18,7 +18,7 @@ func recordChunkedCompress(opts Options, res *ChunkedResult) {
 	if o == nil {
 		return
 	}
-	recordCompressOp(o, "chunked", res.RawBytes, len(res.Data), res.Timings)
+	recordCompressOp(o, "chunked", res.RawBytes, res.StreamBytes, res.Timings)
 	o.Counter(MetricCompressChunks).Add(float64(res.Chunks))
 }
 
@@ -50,12 +50,18 @@ const (
 
 // ChunkedResult aggregates a chunked compression.
 type ChunkedResult struct {
-	// Data is the framed multi-chunk stream.
+	// Data is the framed multi-chunk stream. CompressChunkedTo streams the
+	// frames to its writer instead of buffering them, so Data is nil there;
+	// StreamBytes carries the size either way.
 	Data []byte
+	// StreamBytes is the total framed stream length, header and per-chunk
+	// frames included — len(Data) for the buffered paths, the byte count
+	// written to w for CompressChunkedTo.
+	StreamBytes int
 	// Chunks is the number of slabs.
 	Chunks int
 	// RawBytes and CompressedBytes sum over chunks (CompressedBytes
-	// excludes the small framing overhead; len(Data) includes it).
+	// excludes the small framing overhead; StreamBytes includes it).
 	RawBytes        int
 	CompressedBytes int
 	// Timings aggregates the per-chunk phase breakdowns. The named phases
@@ -76,7 +82,7 @@ type ChunkedResult struct {
 
 // CompressionRatePct returns cr (Eq. 5) in percent, framing included.
 func (r *ChunkedResult) CompressionRatePct() float64 {
-	return 100 * float64(len(r.Data)) / float64(r.RawBytes)
+	return 100 * float64(r.StreamBytes) / float64(r.RawBytes)
 }
 
 // chunkedHeader frames the stream prefix shared by the serial and parallel
@@ -164,6 +170,7 @@ func CompressChunked(f *grid.Field, opts Options, chunkExtent int) (*ChunkedResu
 		res.addChunk(cres)
 	}
 	res.Data = out
+	res.StreamBytes = len(out)
 	res.Timings.Total = time.Since(wall)
 	recordChunkedCompress(opts, res)
 	return res, nil

@@ -122,6 +122,7 @@ func CompressChunkedParallel(f *grid.Field, opts Options, chunkExtent int) (*Chu
 		res.addChunk(cres)
 	}
 	res.Data = out
+	res.StreamBytes = len(out)
 	res.Timings.Total = time.Since(wall)
 	recordChunkedCompress(opts, res)
 	return res, nil

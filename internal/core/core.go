@@ -64,6 +64,16 @@ type Options struct {
 	// command-line tool) or zlib (the paper's proposed improvement).
 	// Decompress auto-detects either.
 	GzipFormat gzipio.Format
+	// GzipBlock, when positive, routes stage 4c through the block-parallel
+	// DEFLATE engine (gzipio.CompressParallel): the formatted stream is
+	// sharded into GzipBlock-byte blocks compressed concurrently on up to
+	// Workers goroutines. The output is byte-stable for a fixed
+	// (GzipBlock, GzipLevel, GzipFormat) regardless of worker count, and
+	// Decompress consumes it transparently. Zero keeps the serial
+	// single-member DEFLATE. Requires GzipMode == InMemory — the paper
+	// prototype's temp-file path exists to measure its serial cost and
+	// would make a parallel stage meaningless.
+	GzipBlock int
 	// TmpDir is where TempFile mode puts its temporary ("" = system temp).
 	TmpDir string
 	// PerBandQuant quantizes each wavelet sub-band separately instead of
@@ -225,6 +235,12 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: workers %d", ErrOptions, o.Workers)
 	}
+	if o.GzipBlock < 0 {
+		return fmt.Errorf("%w: gzip block %d", ErrOptions, o.GzipBlock)
+	}
+	if o.GzipBlock > 0 && o.GzipMode != gzipio.InMemory {
+		return fmt.Errorf("%w: gzip block %d requires in-memory gzip mode", ErrOptions, o.GzipBlock)
+	}
 	return nil
 }
 
@@ -376,8 +392,18 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	res.FormattedBytes = len(formatted)
 	res.Timings.Format = time.Since(t0)
 
-	// Stage 4b/4c: DEFLATE (with optional temp-file emulation).
-	gz, err := gzipio.CompressFormat(formatted, opts.GzipLevel, opts.GzipMode, opts.TmpDir, opts.GzipFormat)
+	// Stage 4b/4c: DEFLATE (with optional temp-file emulation), sharded
+	// over blocks when GzipBlock is set.
+	var gz gzipio.Result
+	if opts.GzipBlock > 0 {
+		gz, err = gzipio.CompressParallel(formatted, opts.GzipLevel, opts.GzipFormat, gzipio.ParallelOptions{
+			BlockSize: opts.GzipBlock,
+			Workers:   opts.Workers,
+			Observer:  opts.observer(),
+		})
+	} else {
+		gz, err = gzipio.CompressFormat(formatted, opts.GzipLevel, opts.GzipMode, opts.TmpDir, opts.GzipFormat)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +439,10 @@ func Decompress(data []byte) (*grid.Field, error) {
 // bound (0 = GOMAXPROCS, 1 = serial). The reconstruction is identical for
 // every worker count.
 func decompressWorkers(data []byte, workers int) (*grid.Field, error) {
-	formatted, err := gzipio.DecompressAuto(data)
+	// Multi-member streams from GzipBlock compressions inflate members on
+	// the same worker bound; everything else falls through to the serial
+	// auto-detecting decoder inside.
+	formatted, err := gzipio.DecompressMembersParallel(data, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,60 @@
+package gzipio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecompressMembers hardens the multi-member decoder: arbitrary
+// bytes through DecompressMembersParallel (and the serial DecompressAuto
+// it falls back to) must error out cleanly — no panics, no unbounded
+// allocations from lying length fields — and whenever both decoders
+// accept an input they must agree on the output.
+func FuzzDecompressMembers(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x78, 0x9c})
+
+	data := bytes.Repeat([]byte("wavelet coefficients "), 3000)
+	res, err := CompressParallel(data, Default, FormatGzip, ParallelOptions{BlockSize: 16 << 10, Workers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := res.Compressed
+	f.Add(good)
+
+	// Truncated members: mid-header, mid-payload, mid-trailer.
+	for _, cut := range []int{memberHeaderLen / 2, len(good) / 3, len(good) - 3} {
+		f.Add(good[:cut])
+	}
+	// Garbage between members.
+	if members, ok := splitMembers(good); ok && len(members) >= 2 {
+		var mixed []byte
+		mixed = append(mixed, members[0]...)
+		mixed = append(mixed, 0x00, 0xff, 0x13, 0x37)
+		mixed = append(mixed, members[1]...)
+		f.Add(mixed)
+	}
+	// Declared-size lies: member length subfield and ISIZE trailer.
+	lieLen := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(lieLen[memberLenOff:], 0xfffffff0)
+	f.Add(lieLen)
+	lieSize := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(lieSize[len(lieSize)-4:], 0xfffffff0)
+	f.Add(lieSize)
+	// Zlib parallel output too.
+	zres, err := CompressParallel(data, Default, FormatZlib, ParallelOptions{BlockSize: 16 << 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zres.Compressed)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		par, perr := DecompressMembersParallel(in, 2)
+		ser, serr := DecompressAuto(in)
+		if perr == nil && serr == nil && !bytes.Equal(par, ser) {
+			t.Fatalf("decoder disagreement: parallel %d bytes, serial %d bytes", len(par), len(ser))
+		}
+	})
+}

@@ -13,6 +13,7 @@ package gzipio
 
 import (
 	"bytes"
+	"compress/flate"
 	"compress/gzip"
 	"compress/zlib"
 	"fmt"
@@ -56,21 +57,35 @@ func CompressFormat(data []byte, level int, mode Mode, tmpDir string, format For
 }
 
 // DecompressAuto inflates either framing, sniffing the two-byte magic
-// (gzip: 0x1f 0x8b; zlib: 0x78 …).
+// (gzip: 0x1f 0x8b; zlib: 0x78 …). Both framings may be multi-member:
+// gzip streams concatenate RFC 1952 members (what CompressParallel and
+// `cat a.gz b.gz` produce) and are consumed member by member; zlib
+// streams likewise decode back-to-back concatenations. Trailing bytes
+// that are not another member are an error.
 func DecompressAuto(data []byte) ([]byte, error) {
 	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
 		return Decompress(data)
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("gzipio: open zlib: %w", err)
+	// bytes.Reader implements io.ByteReader, so the flate decoder reads
+	// exactly the stream's bytes and r lands on the next member boundary.
+	r := bytes.NewReader(data)
+	var out bytes.Buffer
+	for {
+		zr, err := zlib.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("gzipio: open zlib: %w", err)
+		}
+		if _, err := out.ReadFrom(zr); err != nil {
+			zr.Close()
+			return nil, fmt.Errorf("gzipio: inflate zlib: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("gzipio: verify zlib: %w", err)
+		}
+		if r.Len() == 0 {
+			return out.Bytes(), nil
+		}
 	}
-	defer zr.Close()
-	out, err := io.ReadAll(zr)
-	if err != nil {
-		return nil, fmt.Errorf("gzipio: inflate zlib: %w", err)
-	}
-	return out, nil
 }
 
 // Mode selects how the DEFLATE stage is executed.
@@ -176,12 +191,21 @@ type resetWriter interface {
 	Reset(io.Writer)
 }
 
+// formatFlate is an internal pool key for raw (headerless) DEFLATE
+// writers, the per-block compressor of the parallel engine. It is not a
+// valid Format for CompressFormat.
+const formatFlate Format = -1
+
 // deflatePools caches per-(format, level) sync.Pools of DEFLATE writers so
 // the hot compression path stops allocating a fresh ~800 KB flate state on
 // every call. A writer Put back after Close is reusable after Reset.
+// Keying by both format and level matters: a flate state carries the level
+// it was constructed with (Reset preserves it), so mixed-level callers
+// sharing one pool would either thrash (discarding mismatched writers) or
+// silently compress at the wrong level.
 var deflatePools sync.Map // struct{format Format; level int} -> *sync.Pool
 
-func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sync.Pool, error) {
+func deflatePool(format Format, level int) *sync.Pool {
 	key := struct {
 		format Format
 		level  int
@@ -190,7 +214,11 @@ func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sy
 	if !ok {
 		p, _ = deflatePools.LoadOrStore(key, &sync.Pool{})
 	}
-	pool := p.(*sync.Pool)
+	return p.(*sync.Pool)
+}
+
+func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sync.Pool, error) {
+	pool := deflatePool(format, level)
 	if w, ok := pool.Get().(resetWriter); ok {
 		w.Reset(dst)
 		return w, pool, nil
@@ -198,6 +226,8 @@ func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sy
 	var w resetWriter
 	var err error
 	switch format {
+	case formatFlate:
+		w, err = flate.NewWriter(dst, level)
 	case FormatZlib:
 		w, err = zlib.NewWriterLevel(dst, level)
 	default:
@@ -207,6 +237,26 @@ func getDeflateWriter(format Format, level int, dst io.Writer) (resetWriter, *sy
 		return nil, nil, err
 	}
 	return w, pool, nil
+}
+
+// AcquireWriter returns a pooled DEFLATE writer for (format, level),
+// reset to write into dst. After Close, hand it back with ReleaseWriter
+// so the ~800 KB flate state is reused. Callers that abandon a writer
+// mid-stream must not release it.
+func AcquireWriter(format Format, level int, dst io.Writer) (io.WriteCloser, error) {
+	if format != FormatGzip && format != FormatZlib {
+		return nil, fmt.Errorf("gzipio: unknown format %d", int(format))
+	}
+	w, _, err := getDeflateWriter(format, level, dst)
+	return w, err
+}
+
+// ReleaseWriter returns a closed writer obtained from AcquireWriter to
+// its (format, level) pool.
+func ReleaseWriter(format Format, level int, w io.WriteCloser) {
+	if rw, ok := w.(resetWriter); ok {
+		deflatePool(format, level).Put(rw)
+	}
 }
 
 // Default is the gzip level used throughout this repository, matching the

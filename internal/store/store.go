@@ -203,6 +203,14 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 	if err := s.writePayload(tmp, payload); err != nil {
 		return Generation{}, err
 	}
+	return s.finishCommit(seq, step, uint64(len(payload)), crc32.ChecksumIEEE(payload), tmp, final)
+}
+
+// finishCommit is the shared commit point of Commit and CommitStream: the
+// temp file is fully written and synced; rename it into the generation
+// slot, fsync the directory, update the manifest and prune the retention
+// ring. The caller holds s.mu.
+func (s *Store) finishCommit(seq uint64, step int, size uint64, crc uint32, tmp, final string) (Generation, error) {
 	if err := s.retry("rename", func() error { return s.fs.Rename(tmp, final) }); err != nil {
 		s.fs.Remove(tmp)
 		return Generation{}, fmt.Errorf("store: commit gen %d: rename: %w", seq, err)
@@ -211,11 +219,11 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 		return Generation{}, fmt.Errorf("store: commit gen %d: sync dir: %w", seq, err)
 	}
 
-	gen = Generation{
+	gen := Generation{
 		Seq:  seq,
 		Step: uint64(step),
-		Size: uint64(len(payload)),
-		CRC:  crc32.ChecksumIEEE(payload),
+		Size: size,
+		CRC:  crc,
 	}
 	// The manifest rename is the commit point: before it, the store
 	// still indexes the previous latest; after it, the new generation is

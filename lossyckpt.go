@@ -196,6 +196,15 @@ func CompressChunked(f *Field, opts Options, chunkExtent int) (*ChunkedResult, e
 	return core.CompressChunked(f, opts, chunkExtent)
 }
 
+// CompressChunkedTo streams the chunked compression straight to w
+// instead of buffering the framed stream: slabs compress on a bounded
+// worker pool (opts.Workers) while finished frames are written in
+// order, so peak memory is O(workers × chunk). The bytes written are
+// identical to CompressChunked's for any worker count.
+func CompressChunkedTo(w io.Writer, f *Field, opts Options, chunkExtent int) (*ChunkedResult, error) {
+	return core.CompressChunkedTo(w, f, opts, chunkExtent)
+}
+
 // DecompressAny decodes either a Compress stream or a CompressChunked
 // stream, sniffing the framing.
 func DecompressAny(data []byte) (*Field, error) { return core.DecompressAny(data) }
