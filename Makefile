@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-gzip bench-smoke bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-gzip bench-entropy bench-smoke bench-compare bench-compare-smoke
 
 check: fmt-check vet build race fuzz-smoke bench-compare-smoke
 
@@ -41,6 +41,10 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunked$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^Fuzz' -fuzz='^FuzzDecompressChunkedParallel$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gzipio -run='^Fuzz' -fuzz='^FuzzDecompressMembers$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzLZ4RoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzLZ4Decompress$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzDecompressAny$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzShuffle$$' -fuzztime=$(FUZZTIME)
 
 # bench-parallel runs the parallel-engine benchmarks that feed
 # BENCH_parallel.json (workers sweep + allocation counts).
@@ -58,10 +62,16 @@ bench-obs:
 bench-gzip:
 	$(GO) test -run xxx -bench 'ParallelGzip|StreamingCheckpoint' -benchtime 3x .
 
+# bench-entropy runs the pluggable-entropy-stage benchmarks that feed
+# BENCH_entropy.json (lz4 vs gzip compress/decompress, the byte-shuffle
+# pre-pass, and the autotuned vs gzip-only end-to-end pipeline).
+bench-entropy:
+	$(GO) test -run xxx -bench 'Entropy' -benchtime 3x .
+
 # bench-smoke executes every benchmark once — CI's guard that the bench
 # code itself keeps compiling and running.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc|ParallelGzip|StreamingCheckpoint' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc|ParallelGzip|StreamingCheckpoint|Entropy' -benchtime 1x .
 
 # bench-compare diffs two BENCH_*.json snapshots and fails on >15%
 # ns_per_op regressions:  make bench-compare OLD=old.json NEW=new.json
@@ -76,3 +86,4 @@ bench-compare-smoke:
 	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_parallel.json
 	$(GO) run ./cmd/benchdiff BENCH_obs.json BENCH_obs.json
 	$(GO) run ./cmd/benchdiff BENCH_gzip.json BENCH_gzip.json
+	$(GO) run ./cmd/benchdiff BENCH_entropy.json BENCH_entropy.json

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/harness"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/store"
@@ -40,6 +41,9 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	warmup := fs.Int("warmup", 0, "override warm-up steps (0 = config default)")
 	restartSteps := fs.Int("restart-steps", 0, "override fig10 restart steps (0 = config default)")
+	codec := fs.String("codec", "", "entropy codec for the entropy experiment's extra row: gzip or lz4 (\"\" = none)")
+	shuffle := fs.Bool("shuffle", false, "byte-shuffle pre-pass for the entropy experiment's extra row")
+	autotune := fs.Bool("autotune", false, "add the throughput/ratio autotuner objectives to the entropy experiment")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /metrics.json, /summary and /debug/pprof on this address while experiments run")
 	obsOut := fs.String("obs-out", "", "write the final metrics snapshot (JSON) to this file")
 	obsSummary := fs.Bool("obs-summary", false, "print the end-of-run metric summary table")
@@ -64,6 +68,14 @@ func run(args []string, out io.Writer) error {
 	if *restartSteps > 0 {
 		cfg.RestartSteps = *restartSteps
 	}
+	if *codec != "" {
+		if _, err := entropy.ParseID(*codec); err != nil {
+			return err
+		}
+		cfg.EntropyCodec = *codec
+	}
+	cfg.EntropyShuffle = *shuffle
+	cfg.Autotune = *autotune
 
 	var ids []string
 	if *runIDs == "all" {

@@ -9,11 +9,11 @@
 // Usage:
 //
 //	lossyckpt gen -out temp.grd [-shape 1156x82x2] [-steps 720] [-var temperature]
-//	lossyckpt compress -in temp.grd -out temp.lkc [-method proposed] [-n 128] [-d 64] [-levels 1] [-scheme haar] [-chunk 0] [-workers 0]
+//	lossyckpt compress -in temp.grd -out temp.lkc [-method proposed] [-n 128] [-d 64] [-levels 1] [-scheme haar] [-chunk 0] [-workers 0] [-codec gzip] [-shuffle] [-autotune]
 //	lossyckpt decompress -in temp.lkc -out restored.grd [-workers 0]
 //	lossyckpt inspect -in temp.lkc
 //	lossyckpt diff -a temp.grd -b restored.grd
-//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-step 0] [-workers 0] [-bound 0] [-rel-bound 0] [-psnr 0] [-guard-mode analytic]
+//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-shuffle] [-autotune] [-step 0] [-workers 0] [-bound 0] [-rel-bound 0] [-psnr 0] [-guard-mode analytic]
 //	lossyckpt restore -dir ckpts -out outdir [-workers 0]
 //	lossyckpt fsck -dir ckpts [-decode] [-workers 0]
 //
@@ -42,6 +42,15 @@
 // tables; cheap, conservative) or decode (re-expand and measure;
 // paranoid) verification.
 //
+// The entropy stage is pluggable: compress -codec picks the entropy
+// codec (gzip, or the pure-Go lz4 coder), -shuffle inserts the
+// byte-shuffle pre-pass, and -autotune lets the online tuner of package
+// tune probe a sample and pick codec/shuffle/block size itself. save
+// accepts the same -shuffle/-autotune switches (the tuner attaches to
+// the lossy and guard codecs; -codec lz4 selects the lossless lz4
+// checkpoint codec). inspect and fsck report each payload's entropy
+// framing, sniffed from the self-describing envelope.
+//
 // fsck audits a store in place: every retained generation is re-read and
 // re-verified (size, CRC, stream framing, guard envelopes; -decode adds
 // a full decode of every entry) and corrupt generations are moved to
@@ -52,8 +61,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -63,12 +74,14 @@ import (
 	"lossyckpt/internal/climate"
 	"lossyckpt/internal/container"
 	"lossyckpt/internal/core"
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/store"
+	"lossyckpt/internal/tune"
 	"lossyckpt/internal/wavelet"
 )
 
@@ -189,6 +202,9 @@ func cmdCompress(args []string) error {
 	chunk := fs.Int("chunk", 0, "compress in slabs of this many leading-axis planes (0 = whole array)")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
 	gzipBlock := fs.Int("gzip-block", 0, "block-parallel DEFLATE block size in bytes (0 = serial gzip stage; incompatible with -tempfile)")
+	codecStr := fs.String("codec", "gzip", "entropy codec: gzip or lz4")
+	shuffle := fs.Bool("shuffle", false, "byte-shuffle pre-pass before the entropy codec")
+	autotune := fs.Bool("autotune", false, "let the online autotuner pick codec/shuffle/block size (overrides -codec, -shuffle and -gzip-block)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -223,6 +239,18 @@ func cmdCompress(args []string) error {
 	opts.GzipBlock = *gzipBlock
 	if *tempFile {
 		opts.GzipMode = gzipio.TempFile
+	}
+	eid, err := entropy.ParseID(*codecStr)
+	if err != nil {
+		return err
+	}
+	opts.EntropyCodec = eid
+	opts.Shuffle = *shuffle
+	opts.VarName = varNameFromPath(*in)
+	if *autotune {
+		setting := tune.New(tune.Config{}).Decide(opts.VarName, fld.Bytes(), floatSample(fld.Data(), 256<<10))
+		opts = setting.Apply(opts)
+		fmt.Printf("autotune: selected %s\n", setting.Label())
 	}
 	if *chunk > 0 {
 		res, err := core.CompressChunkedParallel(fld, opts, *chunk)
@@ -299,7 +327,7 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	formatted, err := gzipio.Decompress(data)
+	formatted, err := entropy.Decompress(data, 0)
 	if err != nil {
 		return err
 	}
@@ -309,6 +337,7 @@ func cmdInspect(args []string) error {
 	}
 	fmt.Printf("file: %s\n", *in)
 	fmt.Printf("  compressed size:  %d bytes\n", len(data))
+	fmt.Printf("  entropy codec:    %s\n", core.IdentifyEntropy(data))
 	fmt.Printf("  formatted size:   %d bytes\n", len(formatted))
 	fmt.Printf("  shape:            %v\n", arch.Shape)
 	fmt.Printf("  wavelet scheme:   %s (levels=%d)\n", arch.Params.Scheme, arch.Params.Levels)
@@ -380,14 +409,31 @@ func varNameFromPath(path string) string {
 	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
+// floatSample serializes at most maxBytes of a field's leading values as
+// the autotuner's probe sample (little-endian, matching the entropy
+// stage's byte image).
+func floatSample(data []float64, maxBytes int) []byte {
+	n := len(data)
+	if n*8 > maxBytes {
+		n = maxBytes / 8
+	}
+	buf := make([]byte, 8*n)
+	for i, v := range data[:n] {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
 func cmdSave(args []string) error {
 	fs := flag.NewFlagSet("save", flag.ContinueOnError)
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	in := fs.String("in", "", "comma-separated .grd files to checkpoint (required)")
 	keep := fs.Int("keep", 3, "generations to retain")
-	codecName := fs.String("codec", "lossy", "checkpoint codec: none, gzip, fpc or lossy")
+	codecName := fs.String("codec", "lossy", "checkpoint codec: none, gzip, lz4, fpc or lossy")
 	step := fs.Int("step", 0, "application step recorded in the checkpoint")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
+	shuffle := fs.Bool("shuffle", false, "byte-shuffle pre-pass for the entropy stage (gzip, lossy and guard codecs)")
+	autotune := fs.Bool("autotune", false, "attach the online entropy autotuner (lossy and guard codecs)")
 	quality := fs.Bool("quality", false, "record per-variable reconstruction-quality gauges (lossy codecs; costs a decode per array)")
 	bound := fs.Float64("bound", 0, "enforce this max absolute reconstruction error (switches to the guard codec)")
 	relBound := fs.Float64("rel-bound", 0, "enforce this max relative (range-normalized) reconstruction error")
@@ -417,6 +463,29 @@ func cmdSave(args []string) error {
 		codec, err = ckpt.CodecByName(*codecName)
 		if err != nil {
 			return err
+		}
+	}
+	if *shuffle {
+		switch c := codec.(type) {
+		case *ckpt.Gzip:
+			c.Shuffle = true
+		case *ckpt.Lossy:
+			c.Options.Shuffle = true
+		case *ckpt.Guard:
+			c.Options.Shuffle = true
+		default:
+			return fmt.Errorf("save: -shuffle is not supported by codec %q", codec.Name())
+		}
+	}
+	if *autotune {
+		tn := tune.New(tune.Config{})
+		switch c := codec.(type) {
+		case *ckpt.Lossy:
+			c.Tuner = tn
+		case *ckpt.Guard:
+			c.Tuner = tn
+		default:
+			return fmt.Errorf("save: -autotune needs the lossy or guard codec, not %q", codec.Name())
 		}
 	}
 	mgr := ckpt.NewManager(codec, *workers)
@@ -545,8 +614,8 @@ func cmdFsck(args []string) error {
 	if rep.ManifestRebuilt {
 		fmt.Println("newest generation was quarantined; manifest rebuilt from surviving files")
 	}
-	// Report the surviving guarantees so an operator knows what a restore
-	// would promise.
+	// Report the surviving entries' entropy framing and guarantees so an
+	// operator knows what a restore would promise.
 	for _, g := range st.Generations() {
 		data, verified, err := st.ReadGenerationRaw(g.Seq)
 		if err != nil || !verified {
@@ -555,7 +624,9 @@ func cmdFsck(args []string) error {
 		if info, err := ckpt.InspectStream(data); err == nil {
 			for _, e := range info.Entries {
 				if e.Guarantee != nil {
-					fmt.Printf("  generation %d %s: %s\n", g.Seq, e.Name, e.Guarantee)
+					fmt.Printf("  generation %d %s: entropy %s, %s\n", g.Seq, e.Name, e.Entropy, e.Guarantee)
+				} else {
+					fmt.Printf("  generation %d %s: entropy %s\n", g.Seq, e.Name, e.Entropy)
 				}
 			}
 		}

@@ -17,10 +17,12 @@ import (
 	"time"
 
 	"lossyckpt/internal/core"
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/fpc"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/gzipio"
+	"lossyckpt/internal/tune"
 )
 
 // Errors returned by codecs and the manager.
@@ -67,6 +69,14 @@ type StreamEncoder interface {
 	EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error)
 }
 
+// NamedStreamEncoder combines both extensions: a streaming encode that
+// also knows which variable it is encoding. CheckpointStream prefers it
+// over StreamEncoder so per-variable concerns (the autotuner, telemetry
+// labels) reach the streaming path.
+type NamedStreamEncoder interface {
+	EncodeNamedTo(w io.Writer, name string, f *grid.Field) (*Encoded, error)
+}
+
 // --- None ------------------------------------------------------------------
 
 // None stores arrays verbatim — the paper's "checkpoint time without
@@ -111,8 +121,11 @@ func (None) Decode(payload []byte, shape []int) (*grid.Field, error) {
 
 // --- Gzip ------------------------------------------------------------------
 
-// Gzip DEFLATE-compresses the raw array bytes — the paper's lossless
-// comparison point (Fig. 6's "gzip" bar).
+// Gzip entropy-codes the raw array bytes losslessly — the paper's
+// comparison point (Fig. 6's "gzip" bar) by default, or the LZ4-class
+// fast coder with optional byte-shuffle when Entropy/Shuffle are set
+// (the stream then carries the self-describing entropy envelope and the
+// codec names itself "lz4").
 type Gzip struct {
 	// Level is a compress/gzip level; use gzipio.Default normally.
 	Level int
@@ -120,19 +133,61 @@ type Gzip struct {
 	Mode gzipio.Mode
 	// TmpDir is the temp-file directory ("" = system default).
 	TmpDir string
+	// Entropy selects the coder (entropy.Gzip — the zero value — keeps
+	// the legacy byte stream; entropy.LZ4 trades ratio for throughput).
+	Entropy entropy.ID
+	// Shuffle applies the byte-lane transpose pre-pass, using the packed
+	// float64 width as the stride (raw array bytes are exactly that).
+	Shuffle bool
 }
 
 // NewGzip returns a Gzip codec with default settings.
 func NewGzip() *Gzip { return &Gzip{Level: gzipio.Default, Mode: gzipio.InMemory} }
 
-// Name implements Codec.
-func (*Gzip) Name() string { return "gzip" }
+// NewLZ4 returns the codec CodecByName("lz4") constructs: the LZ4-class
+// entropy coder with the byte-shuffle pre-pass, the throughput-first
+// lossless configuration.
+func NewLZ4() *Gzip {
+	return &Gzip{Level: gzipio.Default, Mode: gzipio.InMemory, Entropy: entropy.LZ4, Shuffle: true}
+}
+
+// Name implements Codec. The name keys restore-side codec construction
+// (CodecByName), so the LZ4 configuration must not call itself "gzip";
+// shuffle alone does not change the name — the envelope self-describes
+// it.
+func (g *Gzip) Name() string {
+	if g.Entropy == entropy.LZ4 {
+		return "lz4"
+	}
+	return "gzip"
+}
 
 // Lossless implements Codec.
 func (*Gzip) Lossless() bool { return true }
 
+// legacy reports whether the codec writes the pre-PR-6 bare DEFLATE
+// stream.
+func (g *Gzip) legacy() bool { return g.Entropy == entropy.Gzip && !g.Shuffle }
+
 // Encode implements Codec.
 func (g *Gzip) Encode(f *grid.Field) (*Encoded, error) {
+	if !g.legacy() {
+		start := time.Now()
+		res, err := entropy.Compress(floatsToBytes(f.Data()), entropy.Params{
+			Codec:     g.Entropy,
+			Shuffle:   g.Shuffle,
+			GzipLevel: g.Level,
+		})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		return &Encoded{
+			Payload:  res.Compressed,
+			RawBytes: f.Bytes(),
+			Timings:  core.Timings{Gzip: res.CodeTime, Total: el, CPUTotal: el},
+		}, nil
+	}
 	res, err := core.CompressGzipOnly(f, g.Level, g.Mode, g.TmpDir)
 	if err != nil {
 		return nil, err
@@ -140,12 +195,12 @@ func (g *Gzip) Encode(f *grid.Field) (*Encoded, error) {
 	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
 }
 
-// EncodeTo implements StreamEncoder. In-memory mode compresses straight
-// onto w through a pooled DEFLATE writer, feeding the float image in
-// bounded blocks; temp-file mode already spools to disk, so it reuses
-// the buffered path and streams the result out.
+// EncodeTo implements StreamEncoder. In-memory legacy mode compresses
+// straight onto w through a pooled DEFLATE writer, feeding the float
+// image in bounded blocks; temp-file mode and the enveloped entropy
+// configurations buffer per entry and stream the result out.
 func (g *Gzip) EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error) {
-	if g.Mode != gzipio.InMemory {
+	if g.Mode != gzipio.InMemory || !g.legacy() {
 		enc, err := g.Encode(f)
 		if err != nil {
 			return nil, err
@@ -233,6 +288,43 @@ type Lossy struct {
 	// many leading-axis planes (core.CompressChunkedParallel), bounding
 	// peak memory for very large arrays. Zero compresses whole arrays.
 	ChunkExtent int
+	// Tuner, when set, picks the entropy-stage configuration (codec,
+	// shuffle, gzip block size) per variable from probe measurements and
+	// observed stage timings, overriding the corresponding Options
+	// fields. The lossy stages are untouched — tuning only ever changes
+	// lossless entropy framing.
+	Tuner *tune.Tuner
+}
+
+// tuneSampleBytes bounds the probe sample handed to the tuner (the
+// leading slice of the raw float image).
+const tuneSampleBytes = 256 << 10
+
+// optionsFor resolves the effective pipeline options for one variable:
+// the tuned entropy setting overlaid on the base options, labeled for
+// telemetry.
+func (c *Lossy) optionsFor(name string, f *grid.Field) core.Options {
+	opts := c.Options
+	opts.VarName = name
+	if c.Tuner == nil {
+		return opts
+	}
+	n := f.Len()
+	if n*8 > tuneSampleBytes {
+		n = tuneSampleBytes / 8
+	}
+	setting := c.Tuner.Decide(name, f.Bytes(), floatsToBytes(f.Data()[:n]))
+	opts = setting.Apply(opts)
+	opts.VarName = name
+	return opts
+}
+
+// feedback reports one real encode's entropy-stage timing back to the
+// tuner, closing the online loop.
+func (c *Lossy) feedback(name string, enc *Encoded) {
+	if c.Tuner != nil && enc != nil {
+		c.Tuner.Observe(name, enc.RawBytes, enc.Timings.Gzip.Seconds())
+	}
 }
 
 // NewLossy returns a Lossy codec with the paper's default configuration.
@@ -246,18 +338,29 @@ func (*Lossy) Lossless() bool { return false }
 
 // Encode implements Codec.
 func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
+	return c.EncodeNamed("", f)
+}
+
+// EncodeNamed implements NamedEncoder: the variable name keys the
+// tuner's per-variable decisions and the entropy-selection telemetry.
+func (c *Lossy) EncodeNamed(name string, f *grid.Field) (*Encoded, error) {
+	opts := c.optionsFor(name, f)
+	var enc *Encoded
 	if c.ChunkExtent > 0 {
-		res, err := core.CompressChunkedParallel(f, c.Options, c.ChunkExtent)
+		res, err := core.CompressChunkedParallel(f, opts, c.ChunkExtent)
 		if err != nil {
 			return nil, err
 		}
-		return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+		enc = &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}
+	} else {
+		res, err := core.Compress(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		enc = &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}
 	}
-	res, err := core.Compress(f, c.Options)
-	if err != nil {
-		return nil, err
-	}
-	return &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}, nil
+	c.feedback(name, enc)
+	return enc, nil
 }
 
 // EncodeTo implements StreamEncoder. With ChunkExtent set this is the
@@ -267,21 +370,33 @@ func (c *Lossy) Encode(f *grid.Field) (*Encoded, error) {
 // instead of O(array). Whole-array mode compresses buffered and streams
 // the result out.
 func (c *Lossy) EncodeTo(w io.Writer, f *grid.Field) (*Encoded, error) {
+	return c.EncodeNamedTo(w, "", f)
+}
+
+// EncodeNamedTo implements NamedStreamEncoder: the streaming encode with
+// the variable name available, so the tuner steers the streaming path
+// too.
+func (c *Lossy) EncodeNamedTo(w io.Writer, name string, f *grid.Field) (*Encoded, error) {
+	opts := c.optionsFor(name, f)
+	var enc *Encoded
 	if c.ChunkExtent > 0 {
-		res, err := core.CompressChunkedTo(w, f, c.Options, c.ChunkExtent)
+		res, err := core.CompressChunkedTo(w, f, opts, c.ChunkExtent)
 		if err != nil {
 			return nil, err
 		}
-		return &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}, nil
+		enc = &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}
+	} else {
+		res, err := core.Compress(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(res.Data); err != nil {
+			return nil, err
+		}
+		enc = &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}
 	}
-	res, err := core.Compress(f, c.Options)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := w.Write(res.Data); err != nil {
-		return nil, err
-	}
-	return &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}, nil
+	c.feedback(name, enc)
+	return enc, nil
 }
 
 // Decode implements Codec. The shape argument is validated against the
@@ -310,6 +425,8 @@ func CodecByName(name string) (Codec, error) {
 		return None{}, nil
 	case "gzip":
 		return NewGzip(), nil
+	case "lz4":
+		return NewLZ4(), nil
 	case "fpc":
 		return &FPC{}, nil
 	case "lossy":

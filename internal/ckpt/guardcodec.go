@@ -4,6 +4,7 @@ import (
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
+	"lossyckpt/internal/tune"
 )
 
 // NamedEncoder is an optional Codec extension: codecs that care which
@@ -26,6 +27,11 @@ type Guard struct {
 	// Policy is the quality guarantee to enforce; the zero value enforces
 	// nothing but still annotates entries (mode "unbounded").
 	Policy guard.Policy
+	// Tuner, when set, picks the entropy-stage configuration per variable
+	// before the ladder runs. The ladder stays the enforcement backstop:
+	// tuning only changes lossless entropy framing, and the final gzip
+	// rung is untouched.
+	Tuner *tune.Tuner
 }
 
 // NewGuard returns a Guard codec over the paper's default pipeline
@@ -48,7 +54,17 @@ func (c *Guard) Encode(f *grid.Field) (*Encoded, error) {
 
 // EncodeNamed implements NamedEncoder.
 func (c *Guard) EncodeNamed(name string, f *grid.Field) (*Encoded, error) {
-	out, err := guard.Encode(name, f, c.Options, c.Policy)
+	opts := c.Options
+	opts.VarName = name
+	if c.Tuner != nil {
+		n := f.Len()
+		if n*8 > tuneSampleBytes {
+			n = tuneSampleBytes / 8
+		}
+		opts = c.Tuner.Decide(name, f.Bytes(), floatsToBytes(f.Data()[:n])).Apply(opts)
+		opts.VarName = name
+	}
+	out, err := guard.Encode(name, f, opts, c.Policy)
 	if err != nil {
 		return nil, err
 	}

@@ -140,6 +140,7 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 	}
 
 	rep = &Report{Codec: m.codec.Name(), Step: step}
+	namedStreamer, _ := m.codec.(NamedStreamEncoder)
 	streamer, _ := m.codec.(StreamEncoder)
 	named, _ := m.codec.(NamedEncoder)
 	for i, name := range m.names {
@@ -160,6 +161,8 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 		var enc *Encoded
 		var eerr error
 		switch {
+		case namedStreamer != nil:
+			enc, eerr = namedStreamer.EncodeNamedTo(sw, name, f)
 		case streamer != nil:
 			enc, eerr = streamer.EncodeTo(sw, f)
 		case named != nil:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"lossyckpt/internal/core"
 	"lossyckpt/internal/guard"
 )
 
@@ -15,6 +16,11 @@ type StreamEntry struct {
 	// Guarantee is the guard annotation the payload envelope carries
 	// (nil for non-guard codecs).
 	Guarantee *guard.Annotation
+	// Entropy names the entry's entropy framing ("gzip", "lz4+shuffle",
+	// …), sniffed through guard envelopes and chunked framing without
+	// decoding; "unknown" for payloads with no recognizable entropy
+	// stage (the none/fpc codecs).
+	Entropy string
 }
 
 // StreamInfo is the registration-free summary of one checkpoint stream.
@@ -46,13 +52,18 @@ func InspectStream(data []byte) (*StreamInfo, error) {
 		}
 		seen[ent.Name] = true
 		se := StreamEntry{Name: ent.Name, Shape: ent.Shape, PayloadBytes: len(ent.Payload)}
+		inner := ent.Payload
 		if guard.IsEnveloped(ent.Payload) {
 			ann, err := guard.ParseAnnotation(ent.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("ckpt: entry %q guard envelope: %w", ent.Name, err)
 			}
 			se.Guarantee = &ann
+			if p, err := guard.InnerPayload(ent.Payload); err == nil {
+				inner = p
+			}
 		}
+		se.Entropy = core.IdentifyEntropy(inner)
 		info.Entries = append(info.Entries, se)
 	}
 	return info, nil

@@ -44,6 +44,14 @@ const (
 	version = 1
 )
 
+// PackedWidth is the byte width of one packed value in the serialized
+// stream: every float section (low band, averages, passthrough) stores
+// 8-byte little-endian float64 words. The entropy stage's byte-shuffle
+// pre-pass uses this as its lane stride; exposing it here, next to
+// writeFloats, keeps the two from drifting apart silently (a layout
+// regression test pins both).
+func PackedWidth() int { return 8 }
+
 // Params records the pipeline configuration baked into an archive; the
 // decompressor needs them to invert the transform.
 type Params struct {

@@ -1,0 +1,71 @@
+package container
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"lossyckpt/internal/bitpack"
+	"lossyckpt/internal/encode"
+	"lossyckpt/internal/quant"
+	"lossyckpt/internal/wavelet"
+)
+
+// TestPackedWidthPinsFloatLayout is the regression test for the
+// PackedWidth accessor: the entropy stage's byte-shuffle pre-pass
+// assumes the serialized float sections are runs of PackedWidth()-byte
+// little-endian float64 words. This test serializes an archive with
+// recognizable low-band values and asserts, byte for byte, that the low
+// band sits at the computed offset as 8-byte LE words — so any change
+// to the packing width or endianness fails here before it silently
+// breaks the shuffle transform.
+func TestPackedWidthPinsFloatLayout(t *testing.T) {
+	if PackedWidth() != 8 {
+		t.Fatalf("PackedWidth() = %d, want 8 (float64 LE words)", PackedWidth())
+	}
+
+	low := []float64{1.5, -2.25, math.Pi, 0, 1e300}
+	bm := bitpack.New(2)
+	bm.Set(0, true)
+	a := &Archive{
+		Params: Params{Scheme: wavelet.Haar, Method: quant.Proposed, Levels: 1, Divisions: 4},
+		Shape:  []int{2, 4},
+		Low:    low,
+		Bands: []*encode.EncodedBand{{
+			N:           2,
+			Bitmap:      bm,
+			Codes:       []uint8{0},
+			Averages:    []float64{3.5},
+			Passthrough: []float64{7.75},
+		}},
+	}
+	raw, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Header: u32 magic + 8 u16 fields + one u64 extent per dimension.
+	headerLen := 4 + 8*2 + 8*len(a.Shape)
+	// Low-band section: u64 count, then count packed words.
+	off := headerLen
+	if got := binary.LittleEndian.Uint64(raw[off:]); got != uint64(len(low)) {
+		t.Fatalf("low-band count at offset %d = %d, want %d", off, got, len(low))
+	}
+	off += 8
+	w := PackedWidth()
+	for i, f := range low {
+		got := binary.LittleEndian.Uint64(raw[off+i*w:])
+		if got != math.Float64bits(f) {
+			t.Fatalf("low[%d] at offset %d = %#x, want %#x (8-byte LE float64)",
+				i, off+i*w, got, math.Float64bits(f))
+		}
+	}
+
+	// The accessor must agree with SerializedSize's accounting: each float
+	// costs exactly PackedWidth() bytes.
+	sizeWith := a.SerializedSize()
+	a.Low = append(a.Low, 42)
+	if diff := a.SerializedSize() - sizeWith; diff != w {
+		t.Fatalf("one extra low float costs %d bytes, want PackedWidth()=%d", diff, w)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/obs"
 )
@@ -20,6 +21,7 @@ func recordChunkedCompress(opts Options, res *ChunkedResult) {
 	}
 	recordCompressOp(o, "chunked", res.RawBytes, res.StreamBytes, res.Timings)
 	o.Counter(MetricCompressChunks).Add(float64(res.Chunks))
+	entropy.RecordSelection(o, opts.entropyParams().Label(), opts.VarName)
 }
 
 // The paper stresses that compression must be "not only fast but also
@@ -279,6 +281,20 @@ func parseChunked(data []byte) (shape []int, frames []chunkFrame, err error) {
 		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrChunked, len(data)-pos)
 	}
 	return shape, frames, nil
+}
+
+// IdentifyEntropy names the entropy coding of a compressed stream
+// without decoding it: for chunked streams the first chunk's framing is
+// reported (all chunks of one compression share it), for single streams
+// the payload itself. Unrecognized bytes report "unknown".
+func IdentifyEntropy(data []byte) string {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == chunkedMagic {
+		if _, frames, err := parseChunked(data); err == nil && len(frames) > 0 {
+			return entropy.Identify(frames[0].payload)
+		}
+		return "unknown"
+	}
+	return entropy.Identify(data)
 }
 
 // decodeChunkInto decompresses one chunk payload, validates its shape and

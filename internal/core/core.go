@@ -31,6 +31,7 @@ import (
 
 	"lossyckpt/internal/container"
 	"lossyckpt/internal/encode"
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/obs"
@@ -76,6 +77,22 @@ type Options struct {
 	GzipBlock int
 	// TmpDir is where TempFile mode puts its temporary ("" = system temp).
 	TmpDir string
+	// EntropyCodec selects the stage-4c coder (see internal/entropy). The
+	// zero value, entropy.Gzip, keeps the paper's DEFLATE stage and — with
+	// Shuffle off — produces the exact legacy byte stream, no envelope.
+	// Any other selection wraps the payload in the self-describing entropy
+	// envelope, which Decompress/DecompressAny consume transparently.
+	// entropy.LZ4 trades compression ratio for >4× stage-4 throughput.
+	EntropyCodec entropy.ID
+	// Shuffle runs the byte-lane transpose pre-pass over the formatted
+	// container before the entropy coder, using the container's packed
+	// float width (container.PackedWidth) as the lane stride. It helps the
+	// cheap LZ4 coder most; requires GzipMode == InMemory.
+	Shuffle bool
+	// VarName labels entropy-stage telemetry (the
+	// entropy_codec_selected{codec,var} counter); it does not affect the
+	// output stream. Empty records "-".
+	VarName string
 	// PerBandQuant quantizes each wavelet sub-band separately instead of
 	// pooling all high-frequency values as the paper does (ablation; see
 	// DESIGN.md experiment X8). Each band gets its own average table,
@@ -241,7 +258,38 @@ func (o Options) validate() error {
 	if o.GzipBlock > 0 && o.GzipMode != gzipio.InMemory {
 		return fmt.Errorf("%w: gzip block %d requires in-memory gzip mode", ErrOptions, o.GzipBlock)
 	}
+	if _, err := entropy.ByID(o.EntropyCodec); err != nil {
+		return fmt.Errorf("%w: %v", ErrOptions, err)
+	}
+	if o.EntropyCodec != entropy.Gzip && o.GzipBlock > 0 {
+		return fmt.Errorf("%w: gzip block size applies only to the gzip codec", ErrOptions)
+	}
+	if (o.EntropyCodec != entropy.Gzip || o.Shuffle) && o.GzipMode != gzipio.InMemory {
+		return fmt.Errorf("%w: codec %s/shuffle requires in-memory gzip mode", ErrOptions, o.EntropyCodec)
+	}
 	return nil
+}
+
+// entropyParams maps the options to one entropy-stage configuration.
+func (o Options) entropyParams() entropy.Params {
+	return entropy.Params{
+		Codec:      o.EntropyCodec,
+		Shuffle:    o.Shuffle,
+		Stride:     container.PackedWidth(),
+		GzipLevel:  o.GzipLevel,
+		GzipFormat: o.GzipFormat,
+		GzipMode:   o.GzipMode,
+		GzipBlock:  o.GzipBlock,
+		TmpDir:     o.TmpDir,
+		Workers:    o.Workers,
+		Observer:   o.observer(),
+	}
+}
+
+// legacyEntropy reports whether stage 4c writes the pre-PR-6 raw DEFLATE
+// stream (no envelope): the default codec with no pre-pass.
+func (o Options) legacyEntropy() bool {
+	return o.EntropyCodec == entropy.Gzip && !o.Shuffle
 }
 
 // Compress runs the full pipeline over the field. The input field is not
@@ -392,31 +440,43 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	res.FormattedBytes = len(formatted)
 	res.Timings.Format = time.Since(t0)
 
-	// Stage 4b/4c: DEFLATE (with optional temp-file emulation), sharded
-	// over blocks when GzipBlock is set.
-	var gz gzipio.Result
-	if opts.GzipBlock > 0 {
-		gz, err = gzipio.CompressParallel(formatted, opts.GzipLevel, opts.GzipFormat, gzipio.ParallelOptions{
-			BlockSize: opts.GzipBlock,
-			Workers:   opts.Workers,
-			Observer:  opts.observer(),
-		})
+	// Stage 4b/4c: the entropy coder. The default configuration (gzip, no
+	// shuffle) goes straight through gzipio and stays byte-identical to
+	// pre-PR-6 streams; any other selection is wrapped in the entropy
+	// envelope so decode paths stay self-describing.
+	if opts.legacyEntropy() {
+		var gz gzipio.Result
+		if opts.GzipBlock > 0 {
+			gz, err = gzipio.CompressParallel(formatted, opts.GzipLevel, opts.GzipFormat, gzipio.ParallelOptions{
+				BlockSize: opts.GzipBlock,
+				Workers:   opts.Workers,
+				Observer:  opts.observer(),
+			})
+		} else {
+			gz, err = gzipio.CompressFormat(formatted, opts.GzipLevel, opts.GzipMode, opts.TmpDir, opts.GzipFormat)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.TempWrite = gz.TempWrite
+		res.Timings.Gzip = gz.Gzip
+		res.Data = gz.Compressed
 	} else {
-		gz, err = gzipio.CompressFormat(formatted, opts.GzipLevel, opts.GzipMode, opts.TmpDir, opts.GzipFormat)
+		ent, err := entropy.Compress(formatted, opts.entropyParams())
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.Gzip = ent.CodeTime
+		res.Data = ent.Compressed
 	}
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.TempWrite = gz.TempWrite
-	res.Timings.Gzip = gz.Gzip
-	res.Data = gz.Compressed
-	res.CompressedBytes = len(gz.Compressed)
+	res.CompressedBytes = len(res.Data)
 	res.Timings.Total = time.Since(start)
 	res.Timings.CPUTotal = res.Timings.Total
 	if o := opts.observer(); o != nil {
 		recordStageSeconds(o, res.Timings)
 		if !opts.chunkInternal {
 			recordCompressOp(o, "single", res.RawBytes, res.CompressedBytes, res.Timings)
+			entropy.RecordSelection(o, opts.entropyParams().Label(), opts.VarName)
 		}
 	}
 	return res, nil
@@ -439,10 +499,11 @@ func Decompress(data []byte) (*grid.Field, error) {
 // bound (0 = GOMAXPROCS, 1 = serial). The reconstruction is identical for
 // every worker count.
 func decompressWorkers(data []byte, workers int) (*grid.Field, error) {
-	// Multi-member streams from GzipBlock compressions inflate members on
-	// the same worker bound; everything else falls through to the serial
-	// auto-detecting decoder inside.
-	formatted, err := gzipio.DecompressMembersParallel(data, workers)
+	// The entropy layer sniffs the envelope and dispatches to the right
+	// codec; legacy payloads (raw gzip/zlib, including multi-member
+	// GzipBlock streams) fall through to the DEFLATE decoders bit-exactly
+	// as before, inflating members on the same worker bound.
+	formatted, err := entropy.Decompress(data, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -558,8 +619,10 @@ func CompressGzipOnly(f *grid.Field, level int, mode gzipio.Mode, tmpDir string)
 }
 
 // DecompressGzipOnly inverts CompressGzipOnly given the original shape.
+// It also accepts entropy-enveloped payloads so callers that stored a
+// lossless rung through a non-default codec still restore.
 func DecompressGzipOnly(data []byte, shape ...int) (*grid.Field, error) {
-	raw, err := gzipio.Decompress(data)
+	raw, err := entropy.Decompress(data, 0)
 	if err != nil {
 		return nil, err
 	}

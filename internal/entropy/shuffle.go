@@ -1,0 +1,53 @@
+// shuffle.go implements the byte-shuffle pre-pass of the entropy stage.
+// The container's low band is a run of fixed-width little-endian values
+// (float64s today; PackedWidth pins the stride). Nearby climate samples
+// share sign, exponent, and high-mantissa bytes, so transposing the
+// stream into byte lanes — all byte-0s, then all byte-1s, … — turns
+// per-value similarity into long same-lane runs that the cheap LZ4-class
+// coder can match, the standard trick of production scientific
+// compressors (blosc, HDF5's shuffle filter; see PAPERS.md, Di et al.).
+package entropy
+
+// ShuffleBytes transposes src into stride byte lanes: output lane k
+// holds byte k of each stride-sized element, in element order. The tail
+// (len(src) % stride) is appended verbatim, so the transform is a
+// bijection for every input length and alignment. stride < 2 returns
+// src unchanged.
+func ShuffleBytes(src []byte, stride int) []byte {
+	if stride < 2 || len(src) < 2*stride {
+		out := make([]byte, len(src))
+		copy(out, src)
+		return out
+	}
+	n := len(src) / stride * stride
+	out := make([]byte, len(src))
+	elems := n / stride
+	for k := 0; k < stride; k++ {
+		lane := out[k*elems : (k+1)*elems]
+		for i := 0; i < elems; i++ {
+			lane[i] = src[i*stride+k]
+		}
+	}
+	copy(out[n:], src[n:])
+	return out
+}
+
+// UnshuffleBytes inverts ShuffleBytes for the same stride.
+func UnshuffleBytes(src []byte, stride int) []byte {
+	if stride < 2 || len(src) < 2*stride {
+		out := make([]byte, len(src))
+		copy(out, src)
+		return out
+	}
+	n := len(src) / stride * stride
+	out := make([]byte, len(src))
+	elems := n / stride
+	for k := 0; k < stride; k++ {
+		lane := src[k*elems : (k+1)*elems]
+		for i := 0; i < elems; i++ {
+			out[i*stride+k] = lane[i]
+		}
+	}
+	copy(out[n:], src[n:])
+	return out
+}

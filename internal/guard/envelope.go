@@ -196,3 +196,11 @@ func ParseAnnotation(payload []byte) (Annotation, error) {
 func IsEnveloped(payload []byte) bool {
 	return len(payload) >= 4 && binary.LittleEndian.Uint32(payload) == envMagic
 }
+
+// InnerPayload validates the envelope and returns the wrapped compressed
+// stream (aliasing the input) — inspect-style tooling uses it to sniff
+// the entropy framing under the guarantee record.
+func InnerPayload(payload []byte) ([]byte, error) {
+	_, inner, err := unwrap(payload)
+	return inner, err
+}

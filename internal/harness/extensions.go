@@ -232,6 +232,7 @@ var Runners = map[string]func(Config) (*Table, error){
 	"incremental": Incremental,
 	"datasets":    Datasets,
 	"guard":       GuardOverhead,
+	"entropy":     EntropyStage,
 }
 
 // RunnerIDs lists the experiment ids in canonical order.
@@ -239,4 +240,5 @@ var RunnerIDs = []string{
 	"tab1", "fig6", "fig7", "fig8", "fig8-all", "fig9", "fig10",
 	"ablate-gzip", "errbound", "fpc", "nbody", "levels", "cluster", "interval",
 	"perband", "threshold", "faults", "incremental", "datasets", "guard",
+	"entropy",
 }

@@ -38,6 +38,16 @@ type Config struct {
 	// Repeats is how many times timing measurements are repeated (the
 	// median is reported).
 	Repeats int
+	// EntropyCodec and EntropyShuffle carry the experiment CLI's
+	// -codec/-shuffle flags: when set, the entropy experiment measures
+	// that configuration as an extra row beside its fixed sweep
+	// ("" = no extra row).
+	EntropyCodec   string
+	EntropyShuffle bool
+	// Autotune carries the -autotune flag: the entropy experiment always
+	// reports the balanced-objective autotuner; this adds the throughput
+	// and ratio objectives.
+	Autotune bool
 }
 
 // Default returns the paper-faithful configuration. Running all figures at

@@ -1,0 +1,173 @@
+package tune
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/entropy"
+	"lossyckpt/internal/grid"
+	"lossyckpt/internal/obs"
+)
+
+// floatSample packs a smooth float64 signal, the shape checkpoint
+// variables have.
+func floatSample(n int) []byte {
+	out := make([]byte, 0, 8*n)
+	for i := 0; i < n; i++ {
+		u := math.Float64bits(300 + 20*math.Sin(float64(i)/150))
+		for k := 0; k < 8; k++ {
+			out = append(out, byte(u>>(8*k)))
+		}
+	}
+	return out
+}
+
+func TestDecideCachesPerVariable(t *testing.T) {
+	tn := New(Config{Observer: obs.NewRegistry()})
+	sample := floatSample(8192)
+	first := tn.Decide("temp", len(sample), sample)
+	for i := 0; i < 5; i++ {
+		if got := tn.Decide("temp", len(sample), sample); got != first {
+			t.Fatalf("cached decision changed on use %d: %v -> %v", i, first, got)
+		}
+	}
+	if _, ok := tn.Cached("temp"); !ok {
+		t.Fatal("no cached decision after Decide")
+	}
+	if _, ok := tn.Cached("pressure"); ok {
+		t.Fatal("unrelated variable has a cached decision")
+	}
+}
+
+func TestThroughputObjectivePicksLZ4(t *testing.T) {
+	// Compressible data where gzip wins on ratio but LZ4 wins on speed.
+	reg := obs.NewRegistry()
+	tn := New(Config{Objective: Throughput, Observer: reg})
+	sample := bytes.Repeat(floatSample(4096), 4)
+	s := tn.Decide("v", 64<<20, sample)
+	if s.Codec != entropy.LZ4 {
+		t.Fatalf("throughput objective picked %s, want lz4", s.Label())
+	}
+}
+
+func TestRatioObjectivePicksGzip(t *testing.T) {
+	tn := New(Config{Objective: Ratio, Observer: obs.NewRegistry()})
+	sample := floatSample(32768)
+	s := tn.Decide("v", len(sample), sample)
+	if s.Codec != entropy.Gzip {
+		t.Fatalf("ratio objective picked %s, want gzip", s.Label())
+	}
+}
+
+func TestReProbeAfterUses(t *testing.T) {
+	reg := obs.NewRegistry()
+	tn := New(Config{ReProbeEvery: 3, Observer: reg})
+	sample := floatSample(4096)
+	for i := 0; i < 7; i++ {
+		tn.Decide("v", len(sample), sample)
+	}
+	var refresh float64
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == MetricReProbes && m.Labels["reason"] == "refresh" {
+			refresh = m.Value
+		}
+	}
+	if refresh < 2 {
+		t.Fatalf("expected at least 2 refresh re-probes over 7 uses with ReProbeEvery=3, got %v", refresh)
+	}
+}
+
+func TestObserveDriftInvalidates(t *testing.T) {
+	reg := obs.NewRegistry()
+	tn := New(Config{Observer: reg})
+	sample := floatSample(8192)
+	tn.Decide("v", len(sample), sample)
+	if _, ok := tn.Cached("v"); !ok {
+		t.Fatal("no cached decision")
+	}
+	// Report a wildly slower encode than the probe predicted.
+	tn.Observe("v", len(sample), 3600)
+	if _, ok := tn.Cached("v"); ok {
+		t.Fatal("drifted decision still cached")
+	}
+	var drift float64
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == MetricReProbes && m.Labels["reason"] == "drift" {
+			drift = m.Value
+		}
+	}
+	if drift != 1 {
+		t.Fatalf("drift counter = %v, want 1", drift)
+	}
+}
+
+func TestProbeAndDecisionCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	tn := New(Config{Observer: reg})
+	sample := floatSample(4096)
+	tn.Decide("v", len(sample), sample)
+	probes, decisions := 0.0, 0.0
+	for _, m := range reg.Snapshot().Metrics {
+		switch m.Name {
+		case MetricProbes:
+			probes += m.Value
+		case MetricDecisions:
+			decisions += m.Value
+		}
+	}
+	if probes != 4 {
+		t.Fatalf("probe counter = %v, want 4 (one per candidate)", probes)
+	}
+	if decisions != 1 {
+		t.Fatalf("decision counter = %v, want 1", decisions)
+	}
+}
+
+func TestSettingApplyRoundTrips(t *testing.T) {
+	// A tuner-applied setting must produce a stream core can decompress,
+	// identical to the untuned reconstruction.
+	f := grid.MustNew(64, 32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 32; j++ {
+			f.Set(100+10*math.Sin(float64(i)/9)+0.01*rng.NormFloat64(), i, j)
+		}
+	}
+	tn := New(Config{Observer: obs.NewRegistry()})
+	raw := floatSample(2048)
+	s := tn.Decide("x", f.Bytes(), raw)
+	opts := s.Apply(core.DefaultOptions())
+	opts.VarName = "x"
+	res, err := core.Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.DecompressAnyParallel(res.Data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Compress(f, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Decompress(ref.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data() {
+		if g.Data()[i] != v {
+			t.Fatalf("tuned reconstruction differs from default at %d", i)
+		}
+	}
+}
+
+func TestEmptySampleFallsBack(t *testing.T) {
+	tn := New(Config{Observer: obs.NewRegistry()})
+	s := tn.Decide("v", 0, nil)
+	if s.Codec != entropy.Gzip || s.Shuffle {
+		t.Fatalf("empty sample decision = %v, want plain gzip default", s)
+	}
+}

@@ -10,8 +10,10 @@
 // are quantized (either every value, or — the paper's proposed method —
 // only the values inside spiked histogram partitions, letting outliers
 // pass through losslessly); quantized values are replaced by 1-byte codes
-// into a table of partition means; and the formatted output is
-// DEFLATE-compressed.
+// into a table of partition means; and the formatted output runs through
+// a pluggable entropy stage — DEFLATE by default, or a pure-Go LZ4-class
+// coder and an optional byte-shuffle pre-pass, picked per array by an
+// online autotuner when asked (Options.EntropyCodec/Shuffle, NewTuner).
 //
 // # Compressing a single array
 //
@@ -39,11 +41,13 @@ import (
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/core"
+	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
+	"lossyckpt/internal/tune"
 	"lossyckpt/internal/wavelet"
 )
 
@@ -152,9 +156,61 @@ func NewFPCCodec() Codec { return &ckpt.FPC{} }
 // NewRawCodec returns the no-compression codec (arrays stored verbatim).
 func NewRawCodec() Codec { return ckpt.None{} }
 
+// NewLZ4Codec returns the lossless LZ4+shuffle checkpoint codec: the
+// pure-Go LZ4-class coder over byte-shuffled float images, roughly an
+// order of magnitude faster than the DEFLATE baseline at a looser
+// ratio.
+func NewLZ4Codec() Codec { return ckpt.NewLZ4() }
+
 // CodecByName constructs a default-configured codec from its name:
-// "none", "gzip", "fpc", "lossy" or "guard".
+// "none", "gzip", "lz4", "fpc", "lossy" or "guard".
 func CodecByName(name string) (Codec, error) { return ckpt.CodecByName(name) }
+
+// --- Entropy stage & autotuner ---------------------------------------------
+
+// EntropyID identifies an entropy-stage codec (Options.EntropyCodec).
+type EntropyID = entropy.ID
+
+// Entropy-stage codec selectors.
+const (
+	// EntropyGzip is the DEFLATE stage the paper uses (the default).
+	EntropyGzip = entropy.Gzip
+	// EntropyLZ4 is the pure-Go LZ4-class coder: ~10× the DEFLATE
+	// throughput at a looser ratio.
+	EntropyLZ4 = entropy.LZ4
+)
+
+// ParseEntropyID maps a codec name ("gzip", "lz4") to its ID.
+func ParseEntropyID(name string) (EntropyID, error) { return entropy.ParseID(name) }
+
+// Tuner picks the entropy-stage configuration (codec, shuffle pre-pass,
+// DEFLATE block size) per variable online: it probes candidates on a
+// bounded sample, caches the decision, and re-probes on use count or
+// observed timing drift. Attach one to a Lossy or Guard codec via its
+// Tuner field, or apply decisions to Options directly with
+// Tuner.Decide(...).Apply(opts).
+type Tuner = tune.Tuner
+
+// TunerConfig parameterizes a Tuner; the zero value uses the balanced
+// objective with defaults throughout.
+type TunerConfig = tune.Config
+
+// TuneObjective is what the tuner optimizes for.
+type TuneObjective = tune.Objective
+
+// Tuner objectives.
+const (
+	// TuneBalanced charges coding time plus projected bytes against an
+	// assumed storage bandwidth (TunerConfig.DiskBytesPerSec).
+	TuneBalanced = tune.Balanced
+	// TuneThroughput minimizes coding time alone.
+	TuneThroughput = tune.Throughput
+	// TuneRatio minimizes compressed size alone.
+	TuneRatio = tune.Ratio
+)
+
+// NewTuner builds an online entropy autotuner.
+func NewTuner(cfg TunerConfig) *Tuner { return tune.New(cfg) }
 
 // --- Quality guard ----------------------------------------------------------
 
