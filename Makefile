@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke bench-parallel bench-obs bench-gzip bench-entropy bench-smoke bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-smoke bench-compare bench-compare-smoke
 
 check: fmt-check vet build race fuzz-smoke bench-compare-smoke
 
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ckpt -run='^Fuzz' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzDecodeManifest$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzOpenDir$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzDecodePointer$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/container -run='^Fuzz' -fuzz='^FuzzFromBytes$$' -fuzztime=$(FUZZTIME)
@@ -45,6 +46,14 @@ fuzz-smoke:
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzLZ4Decompress$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzDecompressAny$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzShuffle$$' -fuzztime=$(FUZZTIME)
+
+# crash-matrix-replicated runs the replication acceptance harnesses in
+# full and verbose: the single-store and object-backend kill-at-every-
+# write-boundary matrices, plus the N=3/W=2 matrix with a dead replica
+# at every crash point and a lying replica at rest. Zero torn states and
+# zero residual divergence or the target fails.
+crash-matrix-replicated:
+	$(GO) test ./internal/store -run '^TestCrashMatrix$$|^TestObjectCrashMatrix$$|^TestReplicatedCrashMatrix$$' -v -count=1
 
 # bench-parallel runs the parallel-engine benchmarks that feed
 # BENCH_parallel.json (workers sweep + allocation counts).

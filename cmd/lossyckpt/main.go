@@ -13,9 +13,9 @@
 //	lossyckpt decompress -in temp.lkc -out restored.grd [-workers 0]
 //	lossyckpt inspect -in temp.lkc
 //	lossyckpt diff -a temp.grd -b restored.grd
-//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-shuffle] [-autotune] [-step 0] [-workers 0] [-bound 0] [-rel-bound 0] [-psnr 0] [-guard-mode analytic]
-//	lossyckpt restore -dir ckpts -out outdir [-workers 0]
-//	lossyckpt fsck -dir ckpts [-decode] [-workers 0]
+//	lossyckpt save -dir ckpts -in a.grd[,b.grd...] [-keep 3] [-codec lossy] [-shuffle] [-autotune] [-step 0] [-workers 0] [-bound 0] [-rel-bound 0] [-psnr 0] [-guard-mode analytic] [-replicas 1] [-quorum 0] [-backend posix]
+//	lossyckpt restore -dir ckpts -out outdir [-workers 0] [-replicas 1] [-quorum 0] [-backend posix]
+//	lossyckpt fsck -dir ckpts [-decode] [-workers 0] [-replicas 1] [-quorum 0] [-backend posix]
 //
 // save and restore use the crash-safe generation store of package store:
 // save commits one checkpoint atomically (temp file → fsync → rename →
@@ -56,7 +56,17 @@
 // a full decode of every entry) and corrupt generations are moved to
 // quarantine/ — never deleted — with the manifest rebuilt if the newest
 // generation was the casualty. Exits non-zero when anything was
-// quarantined or missing.
+// quarantined, missing or divergent.
+//
+// save, restore and fsck share the store-topology flags: -backend picks
+// the commit protocol (posix rename, or object-store-style pointer swap
+// with no rename), and -replicas N spreads the store over N
+// subdirectories r0..r{N-1} with quorum semantics — save commits to at
+// least W replicas (-quorum, default majority), restore reads the newest
+// quorum-agreed generation with per-replica fallback and inline
+// read-repair of corrupt or missing copies, and fsck additionally heals
+// lagging replicas and reports residual divergence. -replicas 1 (the
+// default) keeps the original single-directory layout byte-identical.
 package main
 
 import (
@@ -424,6 +434,52 @@ func floatSample(data []float64, maxBytes int) []byte {
 	return buf
 }
 
+// storeFlags carries the store-topology flags shared by save, restore
+// and fsck: backend selection and N-way replication.
+type storeFlags struct {
+	replicas *int
+	quorum   *int
+	backend  *string
+}
+
+func addStoreFlags(fs *flag.FlagSet) storeFlags {
+	return storeFlags{
+		replicas: fs.Int("replicas", 1, "replicate the store across N subdirectories r0..r{N-1} with quorum commit/read"),
+		quorum:   fs.Int("quorum", 0, "write quorum W for -replicas N (0 = majority)"),
+		backend:  fs.String("backend", "posix", "store backend: posix (rename commit) or object (pointer-swap commit)"),
+	}
+}
+
+// open opens the store topology the flags describe under dir: a plain
+// single-root store for -replicas 1 (byte-identical to the pre-replication
+// layout), an N-way replicated store otherwise.
+func (sf storeFlags) open(dir string, opts store.Options) (store.Target, error) {
+	bk, err := store.ParseBackend(*sf.backend)
+	if err != nil {
+		return nil, err
+	}
+	opts.Backend = bk
+	n, w := *sf.replicas, *sf.quorum
+	if n < 1 {
+		return nil, fmt.Errorf("-replicas must be >= 1, got %d", n)
+	}
+	if w < 0 || w > n {
+		return nil, fmt.Errorf("-quorum %d out of range for %d replicas", w, n)
+	}
+	if n == 1 {
+		return store.Open(dir, opts)
+	}
+	return store.OpenReplicated(dir, store.ReplicaDirs(dir, n), w, opts)
+}
+
+// finish drains replication stragglers (replicas past quorum still
+// committing) before the process exits, and reports the topology.
+func storeFinish(st store.Target) {
+	if rs, ok := st.(*store.ReplicatedStore); ok {
+		rs.Wait()
+	}
+}
+
 func cmdSave(args []string) error {
 	fs := flag.NewFlagSet("save", flag.ContinueOnError)
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
@@ -439,6 +495,7 @@ func cmdSave(args []string) error {
 	relBound := fs.Float64("rel-bound", 0, "enforce this max relative (range-normalized) reconstruction error")
 	psnrFloor := fs.Float64("psnr", 0, "enforce this minimum PSNR in dB")
 	guardMode := fs.String("guard-mode", "analytic", "guard verification: analytic or decode (paranoid)")
+	sf := addStoreFlags(fs)
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -503,7 +560,7 @@ func cmdSave(args []string) error {
 			return err
 		}
 	}
-	st, err := store.Open(*dir, store.Options{Keep: *keep})
+	st, err := sf.open(*dir, store.Options{Keep: *keep})
 	if err != nil {
 		return err
 	}
@@ -511,6 +568,7 @@ func cmdSave(args []string) error {
 	if err != nil {
 		return err
 	}
+	storeFinish(st)
 	fmt.Printf("committed generation %d (step %d): %d arrays, %d -> %d bytes (cr %.2f%%)\n",
 		gen.Seq, *step, len(rep.Entries), rep.RawBytes, rep.CompressedBytes,
 		stats.CompressionRate(int(gen.Size), rep.RawBytes))
@@ -520,6 +578,10 @@ func cmdSave(args []string) error {
 		}
 	}
 	fmt.Printf("store %s retains %d generation(s), keep %d\n", st.Dir(), len(st.Generations()), *keep)
+	if rs, ok := st.(*store.ReplicatedStore); ok {
+		fmt.Printf("replicated %d-way (write quorum %d), backend %s\n",
+			rs.Replicas(), rs.Quorum(), *sf.backend)
+	}
 	return nil
 }
 
@@ -528,6 +590,7 @@ func cmdRestore(args []string) error {
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	out := fs.String("out", "", "output directory for restored .grd files (required)")
 	workers := fs.Int("workers", 0, "parallel decompression workers (0 = GOMAXPROCS, 1 = serial)")
+	sf := addStoreFlags(fs)
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -540,10 +603,11 @@ func cmdRestore(args []string) error {
 		return err
 	}
 	defer sess.finish()
-	st, err := store.Open(*dir, store.Options{})
+	st, err := sf.open(*dir, store.Options{})
 	if err != nil {
 		return err
 	}
+	defer storeFinish(st)
 	if st.Rebuilt() {
 		fmt.Fprintln(os.Stderr, "restore: manifest was missing or corrupt; index rebuilt from directory scan")
 	}
@@ -581,6 +645,7 @@ func cmdFsck(args []string) error {
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	decode := fs.Bool("decode", false, "fully decode every entry (paranoid; slow for large stores)")
 	workers := fs.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+	sf := addStoreFlags(fs)
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -593,10 +658,11 @@ func cmdFsck(args []string) error {
 		return err
 	}
 	defer sess.finish()
-	st, err := store.Open(*dir, store.Options{Keep: -1})
+	st, err := sf.open(*dir, store.Options{Keep: -1})
 	if err != nil {
 		return err
 	}
+	defer storeFinish(st)
 	if st.Rebuilt() {
 		fmt.Println("manifest was missing or corrupt; index rebuilt from directory scan")
 	}
@@ -613,6 +679,30 @@ func cmdFsck(args []string) error {
 	}
 	if rep.ManifestRebuilt {
 		fmt.Println("newest generation was quarantined; manifest rebuilt from surviving files")
+	}
+	for _, rs := range rep.Replicas {
+		if rs.Err != nil {
+			fmt.Printf("  replica %d: unavailable: %v\n", rs.Replica, rs.Err)
+			continue
+		}
+		if rs.Report != nil {
+			for _, q := range rs.Report.Quarantined {
+				fmt.Printf("  replica %d: generation %d corrupt (%s): moved to %s\n",
+					rs.Replica, q.Seq, q.Reason, q.Path)
+			}
+			for _, seq := range rs.Report.Missing {
+				fmt.Printf("  replica %d: generation %d missing\n", rs.Replica, seq)
+			}
+		}
+		if len(rs.Repaired) > 0 {
+			fmt.Printf("  replica %d: read-repair re-materialized generation(s) %v\n", rs.Replica, rs.Repaired)
+		}
+		if len(rs.Dropped) > 0 {
+			fmt.Printf("  replica %d: dropped obsolete generation(s) %v\n", rs.Replica, rs.Dropped)
+		}
+	}
+	if len(rep.Replicas) > 0 {
+		fmt.Printf("replica divergence after repair: %d generation(s)\n", rep.Divergent)
 	}
 	// Report the surviving entries' entropy framing and guarantees so an
 	// operator knows what a restore would promise.
@@ -632,7 +722,8 @@ func cmdFsck(args []string) error {
 		}
 	}
 	if !rep.Clean() {
-		return fmt.Errorf("fsck: %d generation(s) quarantined, %d missing", len(rep.Quarantined), len(rep.Missing))
+		return fmt.Errorf("fsck: %d generation(s) quarantined, %d missing, %d divergent",
+			len(rep.Quarantined), len(rep.Missing), rep.Divergent)
 	}
 	fmt.Println("store is clean")
 	return nil

@@ -24,9 +24,11 @@ import (
 var ErrStoreEmpty = errors.New("ckpt: no restorable generation in store")
 
 // CheckpointTo compresses the registered arrays and commits the framed
-// stream atomically as the store's next generation. The returned
-// Generation records the committed sequence number, size and CRC.
-func (m *Manager) CheckpointTo(st *store.Store, step int) (*Report, store.Generation, error) {
+// stream atomically as the store's next generation. st may be a plain
+// *store.Store or a *store.ReplicatedStore — the pipeline is
+// replication-agnostic. The returned Generation records the committed
+// sequence number, size and CRC.
+func (m *Manager) CheckpointTo(st store.Target, step int) (*Report, store.Generation, error) {
 	var rep *Report
 	gen, err := st.CommitFunc(step, func(w io.Writer) error {
 		var cerr error
@@ -64,7 +66,7 @@ type StoreRestore struct {
 // first, taking the first generation that yields at least one verified
 // array. Every failure is carried in the returned error if nothing at
 // all is restorable.
-func (m *Manager) RestoreLatest(st *store.Store) (*StoreRestore, error) {
+func (m *Manager) RestoreLatest(st store.Target) (*StoreRestore, error) {
 	gens := st.Generations()
 	var failures []error
 
@@ -168,7 +170,7 @@ type LoadedCheckpoint struct {
 // preferring a fully verified load, then falls back to frame-level
 // partial recovery. workers bounds lossy decode parallelism (0 =
 // GOMAXPROCS).
-func LoadLatest(st *store.Store, workers int) (*LoadedCheckpoint, error) {
+func LoadLatest(st store.Target, workers int) (*LoadedCheckpoint, error) {
 	gens := st.Generations()
 	var failures []error
 

@@ -204,7 +204,7 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 // next generation via CommitStream: compression, entropy coding and
 // store I/O overlap, and neither the manager nor the store buffers the
 // stream. The durability protocol is identical to CheckpointTo.
-func (m *Manager) CheckpointStreamTo(st *store.Store, step int) (*Report, store.Generation, error) {
+func (m *Manager) CheckpointStreamTo(st store.Target, step int) (*Report, store.Generation, error) {
 	var rep *Report
 	gen, err := st.CommitStream(step, func(w io.Writer) error {
 		var cerr error

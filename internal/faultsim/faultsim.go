@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"lossyckpt/internal/ckpt"
@@ -89,8 +91,17 @@ type Config struct {
 	// every rollback restores through its generation-by-generation
 	// fallback (ckpt.RestoreLatest) instead of an in-memory buffer. The
 	// store's fault-injecting FS can then exercise torn writes and
-	// crashes inside the failure simulation itself.
-	Store *store.Store
+	// crashes inside the failure simulation itself. Any store.Target
+	// works: point it at a *store.ReplicatedStore and every checkpoint
+	// becomes a quorum commit, every rollback a quorum read.
+	Store store.Target
+	// ReplicaLossEvery, when positive (requires a replicated Store),
+	// destroys the newest generation payload on one replica — rotating
+	// the victim — after every ReplicaLossEvery-th failure, modelling a
+	// node that loses its local checkpoint copy. Rollbacks must then
+	// succeed through the surviving quorum, and read-repair (or an
+	// in-run scrub) re-materializes the lost copy.
+	ReplicaLossEvery int
 	// Observer receives simulation telemetry (failure/rollback counters,
 	// virtual-time gauges) and is handed to the checkpoint manager the run
 	// creates, so checkpoint/restore spans and quality gauges land in the
@@ -155,6 +166,11 @@ type Result struct {
 	// (real-I/O mode with ScrubEvery set).
 	ScrubRuns       int
 	QuarantinedGens int
+	// ReplicaLosses counts replica payloads the run destroyed via
+	// Config.ReplicaLossEvery; ReplicaRepairs counts generations in-run
+	// scrubs re-materialized onto replicas (replicated mode only).
+	ReplicaLosses  int
+	ReplicaRepairs int
 }
 
 // OverheadPct returns the virtual-time overhead over the ideal run.
@@ -183,6 +199,14 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 		if err := mgr.Register(nf.Name, nf.Field); err != nil {
 			return nil, err
 		}
+	}
+	var repl *store.ReplicatedStore
+	if cfg.ReplicaLossEvery > 0 {
+		r, ok := cfg.Store.(*store.ReplicatedStore)
+		if !ok || r.Replicas() < 2 {
+			return nil, fmt.Errorf("%w: ReplicaLossEvery requires a replicated store with >=2 replicas", ErrConfig)
+		}
+		repl = r
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nextFailure := exponential(rng, cfg.MTBF)
@@ -227,6 +251,9 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 			}
 			res.ScrubRuns++
 			res.QuarantinedGens += len(srep.Quarantined)
+			for _, rs := range srep.Replicas {
+				res.ReplicaRepairs += len(rs.Repaired)
+			}
 		}
 		return nil
 	}
@@ -272,6 +299,24 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 			nextFailure = clock + exponential(rng, cfg.MTBF)
 			if !haveCkpt {
 				return nil, errors.New("faultsim: failure before any checkpoint")
+			}
+			if repl != nil && res.Failures%cfg.ReplicaLossEvery == 0 {
+				// A node loses its local checkpoint copy along with the
+				// failure: destroy the newest payload on a rotating victim.
+				// The manifest still lists it, so restore sees a missing
+				// file there and must fall through to the quorum.
+				victim := (res.Failures / cfg.ReplicaLossEvery) % repl.Replicas()
+				if st, rerr := repl.Replica(victim); rerr == nil && st != nil {
+					if g, ok := st.Latest(); ok {
+						if os.Remove(filepath.Join(st.Dir(), store.GenName(g.Seq))) == nil {
+							res.ReplicaLosses++
+							if obsr != nil {
+								obsr.Event("faultsim.replica_loss",
+									"replica", victim, "gen", g.Seq)
+							}
+						}
+					}
+				}
 			}
 			before := app.StepCount()
 			step, err := rollback()

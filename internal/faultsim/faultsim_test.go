@@ -341,3 +341,77 @@ func TestGuardLosslessFallbackCounted(t *testing.T) {
 		t.Errorf("all-lossless run still drifted: %+v", res.FinalError)
 	}
 }
+
+// TestReplicatedRunSurvivesReplicaLoss points the simulation at a 3-way
+// replicated store and destroys a rotating replica's newest checkpoint
+// copy with every injected failure. Rollbacks must be served by the
+// surviving quorum (bit-exact for a lossless codec), periodic scrubs
+// heal the losses, and the fleet converges to zero divergence.
+func TestReplicatedRunSurvivesReplicaLoss(t *testing.T) {
+	app, ref := climateApp(t)
+	root := t.TempDir()
+	rs, err := store.OpenReplicated(root, store.ReplicaDirs(root, 3), 2, store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(ckpt.None{})
+	cfg.Store = rs
+	cfg.ReplicaLossEvery = 1 // every failure also loses one replica's copy
+	cfg.ScrubEvery = 2
+	res, err := Run(app, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Wait()
+	if res.Failures == 0 {
+		t.Fatal("no failures injected")
+	}
+	if res.ReplicaLosses == 0 {
+		t.Fatal("no replica losses injected")
+	}
+	if res.FinalError.MaxPct != 0 {
+		t.Errorf("lossless quorum rollbacks changed the result: %v", res.FinalError)
+	}
+	// A final scrub converges the fleet; every retained generation must
+	// then be byte-identical on all three replicas.
+	rep, err := rs.Scrub(store.ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent != 0 {
+		t.Fatalf("residual divergence %d after final scrub: %+v", rep.Divergent, rep)
+	}
+	for _, g := range rs.Generations() {
+		var want []byte
+		for i := 0; i < 3; i++ {
+			data, err := os.ReadFile(filepath.Join(root, fmt.Sprintf("r%d", i), store.GenName(g.Seq)))
+			if err != nil {
+				t.Fatalf("replica %d gen %d: %v", i, g.Seq, err)
+			}
+			if want == nil {
+				want = data
+			} else if string(data) != string(want) {
+				t.Fatalf("replica %d gen %d differs after scrub", i, g.Seq)
+			}
+		}
+	}
+}
+
+// TestReplicaLossNeedsReplicatedStore rejects ReplicaLossEvery on a
+// plain (or absent) store.
+func TestReplicaLossNeedsReplicatedStore(t *testing.T) {
+	app, ref := climateApp(t)
+	cfg := baseConfig(ckpt.None{})
+	cfg.ReplicaLossEvery = 1
+	if _, err := Run(app, ref, cfg); err == nil {
+		t.Fatal("ReplicaLossEvery without a replicated store accepted")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	if _, err := Run(app, ref, cfg); err == nil {
+		t.Fatal("ReplicaLossEvery with a single-root store accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"lossyckpt/internal/obs"
 )
@@ -40,6 +41,10 @@ const (
 	// meaningful through CorruptAtRest (post-commit media decay); as an
 	// op-boundary fault it is ignored.
 	Truncate
+	// Latency delays the operation by Delay and then lets it succeed —
+	// a slow disk or replica, not a broken one. Combine with SetOpDelay
+	// for a blanket-slow replica instead of one slow operation.
+	Latency
 )
 
 // String names the fault kind (used as the kind label on the injected
@@ -56,6 +61,8 @@ func (k FaultKind) String() string {
 		return "bit_flip"
 	case Truncate:
 		return "truncate"
+	case Latency:
+		return "latency"
 	}
 	return fmt.Sprintf("kind_%d", int(k))
 }
@@ -74,6 +81,8 @@ type Fault struct {
 	// is clamped to the written buffer.
 	FlipByte int
 	FlipBit  uint
+	// Delay is how long a Latency fault stalls the operation.
+	Delay time.Duration
 }
 
 // transientErr marks injected errors as retryable.
@@ -106,6 +115,11 @@ type FaultFS struct {
 	crashed bool
 	journal []string
 	obsr    *obs.Registry
+	// opDelay stalls every counted operation — a blanket-slow replica.
+	opDelay time.Duration
+	// sleep is the latency clock, injectable so slow-replica tests can
+	// record delays instead of waiting them out; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
 // SetObserver routes injected-fault counts and events to r (nil falls
@@ -136,6 +150,39 @@ func (f *FaultFS) FailAt(op int, fault Fault) {
 	f.faults[op] = fault
 }
 
+// SetOpDelay stalls every subsequent counted operation by d — the
+// blanket slow replica. Zero turns it off.
+func (f *FaultFS) SetOpDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opDelay = d
+}
+
+// SetSleep injects the latency clock (nil restores time.Sleep), so
+// tests can observe slow-replica stalls without real wall time.
+func (f *FaultFS) SetSleep(fn func(time.Duration)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sleep = fn
+}
+
+// CrashNow kills the FS immediately, independent of the op schedule:
+// every subsequent operation returns ErrCrashed. The model for a
+// replica dying between operations (process kill, node loss).
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	f.journal = append(f.journal, fmt.Sprintf("op %d+: crash now", f.op))
+	if o := f.observerLocked(); o != nil {
+		o.Counter(MetricInjectedFaults, "kind", Crash.String()).Inc()
+		o.Event("faultfs.injected", "kind", Crash.String(), "op", f.op, "desc", "crash now")
+	}
+}
+
 // Ops returns the number of operations counted so far.
 func (f *FaultFS) Ops() int {
 	f.mu.Lock()
@@ -158,18 +205,33 @@ func (f *FaultFS) Journal() []string {
 }
 
 // step counts one operation and returns the fault scheduled for it, if
-// any. It returns ErrCrashed once the FS is dead.
+// any. It returns ErrCrashed once the FS is dead. Latency (per-fault or
+// blanket SetOpDelay) is served outside the lock so a slow replica
+// stalls only itself, never readers of the plan.
 func (f *FaultFS) step(desc string) (Fault, bool, error) {
+	fault, ok, delay, sleep, err := f.stepLocked(desc)
+	if err == nil && delay > 0 {
+		sleep(delay)
+	}
+	return fault, ok, err
+}
+
+func (f *FaultFS) stepLocked(desc string) (Fault, bool, time.Duration, func(time.Duration), error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	sleep := f.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	if f.crashed {
-		return Fault{}, false, ErrCrashed
+		return Fault{}, false, 0, sleep, ErrCrashed
 	}
 	f.op++
 	f.journal = append(f.journal, fmt.Sprintf("op %d: %s", f.op, desc))
+	delay := f.opDelay
 	fault, ok := f.faults[f.op]
 	if !ok {
-		return Fault{}, false, nil
+		return Fault{}, false, delay, sleep, nil
 	}
 	if o := f.observerLocked(); o != nil {
 		o.Counter(MetricInjectedFaults, "kind", fault.Kind.String()).Inc()
@@ -179,14 +241,16 @@ func (f *FaultFS) step(desc string) (Fault, bool, error) {
 	case ErrorOnce:
 		// Consume the fault so the retry succeeds.
 		delete(f.faults, f.op)
-		return fault, true, transientErr{fmt.Errorf("%w at op %d (%s)", ErrInjected, f.op, desc)}
+		return fault, true, 0, sleep, transientErr{fmt.Errorf("%w at op %d (%s)", ErrInjected, f.op, desc)}
 	case Crash:
 		f.crashed = true
-		return fault, true, fmt.Errorf("%w at op %d (%s)", ErrCrashed, f.op, desc)
+		return fault, true, 0, sleep, fmt.Errorf("%w at op %d (%s)", ErrCrashed, f.op, desc)
 	case TornWrite, BitFlip:
-		return fault, true, nil
+		return fault, true, delay, sleep, nil
+	case Latency:
+		return fault, true, delay + fault.Delay, sleep, nil
 	}
-	return Fault{}, false, nil
+	return Fault{}, false, delay, sleep, nil
 }
 
 // crash marks the FS dead (used by TornWrite after the partial write).

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openObject opens a store on the object backend with test-friendly
+// options.
+func openObject(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.Backend = BackendObject
+	if opts.Sleep == nil {
+		opts.Sleep = noSleep
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(object) %s: %v", dir, err)
+	}
+	return s
+}
+
+// TestObjectBackendRoundTrip: commits, reads, retention and reopen on
+// the flat-key pointer-swap layout.
+func TestObjectBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openObject(t, dir, Options{Keep: 2})
+	for i := 1; i <= 4; i++ {
+		if _, err := s.Commit(i*10, payload(i, 400*i)); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Seq != 3 || gens[1].Seq != 4 {
+		t.Fatalf("retention ring wrong: %+v", gens)
+	}
+	got, err := s.ReadGeneration(4)
+	if err != nil || !bytes.Equal(got, payload(4, 1600)) {
+		t.Fatalf("read gen 4: %v", err)
+	}
+
+	// No temp files, no rename: the layout is flat keys plus CURRENT.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPointer := false
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			t.Fatalf("object layout contains temp file %s", name)
+		}
+		if name == pointerName {
+			sawPointer = true
+		}
+	}
+	if !sawPointer {
+		t.Fatal("no CURRENT pointer record in object layout")
+	}
+
+	// Reopen: same state, no rebuild.
+	s2 := openObject(t, dir, Options{Keep: 2})
+	if s2.Rebuilt() {
+		t.Fatal("clean reopen rebuilt the manifest")
+	}
+	if got, err := s2.ReadGeneration(3); err != nil || !bytes.Equal(got, payload(3, 1200)) {
+		t.Fatalf("read gen 3 after reopen: %v", err)
+	}
+}
+
+// TestObjectBackendTornPointerRecovers: a torn CURRENT overwrite fails
+// the pointer CRC; recovery must adopt the newest decodable manifest
+// object, not lose the store.
+func TestObjectBackendTornPointerRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openObject(t, dir, Options{})
+	if _, err := s.Commit(1, payload(1, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(2, payload(2, 700)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the pointer at rest (torn in-place overwrite loses the tail).
+	ffs := NewFaultFS(OsFS{})
+	if err := ffs.CorruptAtRest(filepath.Join(dir, pointerName), Fault{Kind: Truncate, TornBytes: 9}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openObject(t, dir, Options{})
+	latest, ok := s2.Latest()
+	if !ok || latest.Seq != 2 {
+		t.Fatalf("latest after torn pointer = %+v ok=%v", latest, ok)
+	}
+	if got, err := s2.ReadGeneration(2); err != nil || !bytes.Equal(got, payload(2, 700)) {
+		t.Fatalf("gen 2 after torn pointer: %v", err)
+	}
+}
+
+// TestObjectBackendScrubQuarantine: scrub on the object backend parks
+// corrupt payloads under quarantine.-prefixed keys.
+func TestObjectBackendScrubQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := openObject(t, dir, Options{})
+	if _, err := s.Commit(1, payload(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(2, payload(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OsFS{})
+	if err := ffs.CorruptAtRest(filepath.Join(dir, genName(1)), Fault{Kind: BitFlip, FlipByte: 42}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub(ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Seq != 1 || rep.Quarantined[0].Reason != "crc" {
+		t.Fatalf("scrub report: %+v", rep)
+	}
+	if !strings.HasPrefix(rep.Quarantined[0].Path, objQuarantinePrefix) {
+		t.Fatalf("quarantine key %q lacks prefix", rep.Quarantined[0].Path)
+	}
+	if _, err := os.Stat(filepath.Join(dir, rep.Quarantined[0].Path)); err != nil {
+		t.Fatalf("quarantined object missing: %v", err)
+	}
+	if _, err := s.ReadGeneration(2); err != nil {
+		t.Fatalf("healthy gen lost by scrub: %v", err)
+	}
+}
+
+// TestObjectCrashMatrix is the kill-at-every-write-boundary harness for
+// the pointer-swap commit protocol: after a crash at any counted
+// operation of a commit, reopening must yield bit-exact either the
+// prior or the interrupted generation — the pointer CRC plus the
+// newest-decodable-manifest fallback make a torn swap recoverable.
+func TestObjectCrashMatrix(t *testing.T) {
+	old := payload(1, 3000)
+	new_ := payload(2, 3500)
+
+	baseline := t.TempDir()
+	s0 := openObject(t, baseline, Options{})
+	if _, err := s0.Commit(10, old); err != nil {
+		t.Fatal(err)
+	}
+
+	probeDir := copyDir(t, baseline)
+	probe := NewFaultFS(OsFS{})
+	sp := openObject(t, probeDir, Options{FS: probe})
+	preOps := probe.Ops()
+	if _, err := sp.Commit(20, new_); err != nil {
+		t.Fatal(err)
+	}
+	commitOps := probe.Ops() - preOps
+	if commitOps < 8 {
+		t.Fatalf("suspiciously few ops per object commit: %d (journal %v)", commitOps, probe.Journal())
+	}
+
+	crashes, recoveredOld, recoveredNew := 0, 0, 0
+	for k := 1; k <= commitOps; k++ {
+		for _, tear := range []bool{false, true} {
+			fault := Fault{Kind: Crash}
+			name := "crash"
+			if tear {
+				fault = Fault{Kind: TornWrite, TornBytes: 11}
+				name = "torn"
+			}
+			dir := copyDir(t, baseline)
+			ffs := NewFaultFS(OsFS{})
+			s := openObject(t, dir, Options{FS: ffs})
+			ffs.FailAt(ffs.Ops()+k, fault)
+			_, commitErr := s.Commit(20, new_)
+			if !ffs.Crashed() {
+				if commitErr != nil {
+					t.Fatalf("k=%d %s: no crash but commit failed: %v", k, name, commitErr)
+				}
+				continue
+			}
+			crashes++
+
+			s2 := openObject(t, dir, Options{})
+			latest, ok := s2.Latest()
+			if !ok {
+				t.Fatalf("k=%d %s: store lost all generations\njournal: %v", k, name, ffs.Journal())
+			}
+			got, err := s2.ReadGeneration(latest.Seq)
+			if err != nil {
+				t.Fatalf("k=%d %s: latest generation %d unreadable: %v\njournal: %v",
+					k, name, latest.Seq, err, ffs.Journal())
+			}
+			switch {
+			case bytes.Equal(got, old):
+				recoveredOld++
+			case bytes.Equal(got, new_):
+				recoveredNew++
+			default:
+				t.Fatalf("k=%d %s: recovered payload matches neither generation (%d bytes)\njournal: %v",
+					k, name, len(got), ffs.Journal())
+			}
+			if _, err := s2.ReadGeneration(1); err != nil {
+				t.Fatalf("k=%d %s: prior generation lost: %v", k, name, err)
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("harness injected no crashes")
+	}
+	if recoveredOld+recoveredNew != crashes {
+		t.Fatalf("accounting mismatch: crashes=%d old=%d new=%d", crashes, recoveredOld, recoveredNew)
+	}
+	t.Logf("object crash matrix: %d ops per commit, %d crash points, %d recovered prior, %d recovered new",
+		commitOps, crashes, recoveredOld, recoveredNew)
+}
+
+// TestParseBackend covers the CLI-facing name round trip.
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want BackendKind
+		err  bool
+	}{
+		{"", BackendPosix, false},
+		{"posix", BackendPosix, false},
+		{"object", BackendObject, false},
+		{"s3", 0, true},
+	} {
+		got, err := ParseBackend(tc.in)
+		if tc.err != (err != nil) || (!tc.err && got != tc.want) {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if BackendObject.String() != "object" || BackendPosix.String() != "posix" {
+		t.Fatal("BackendKind.String mismatch")
+	}
+}
+
+// TestPointerRejectsGarbage spot-checks the decoder paths the fuzzer
+// also walks, so failures are caught even in -run smoke mode.
+func TestPointerRejectsGarbage(t *testing.T) {
+	if _, err := DecodePointer(nil); !errors.Is(err, ErrPointer) {
+		t.Fatalf("nil: %v", err)
+	}
+	valid := EncodePointer(9)
+	if v, err := DecodePointer(valid); err != nil || v != 9 {
+		t.Fatalf("valid: %d %v", v, err)
+	}
+	for pos := 0; pos < len(valid); pos++ {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x01
+		if _, err := DecodePointer(mut); !errors.Is(err, ErrPointer) {
+			t.Fatalf("flip at %d accepted", pos)
+		}
+	}
+	if _, err := DecodePointer(valid[:10]); !errors.Is(err, ErrPointer) {
+		t.Fatal("short record accepted")
+	}
+}

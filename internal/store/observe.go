@@ -22,6 +22,17 @@ const (
 	MetricScrubRuns        = "lossyckpt_store_scrub_runs_total"
 	MetricScrubChecked     = "lossyckpt_store_scrub_checked_total"
 	MetricScrubQuarantined = "lossyckpt_store_scrub_quarantined_total"
+
+	// Replication metrics: per-replica commit outcomes (labeled
+	// replica=<index>, ok=<true|false>), read-repair events (labeled
+	// replica=<index>, reason=<missing|corrupt|divergent>), commits or
+	// restores that could not assemble a quorum, and a gauge of
+	// generations still differing across replicas after the last scrub
+	// or repair pass.
+	MetricReplicaCommits  = "lossyckpt_store_replica_commits_total"
+	MetricReadRepairs     = "lossyckpt_store_read_repairs_total"
+	MetricQuorumFailures  = "lossyckpt_store_quorum_failures_total"
+	MetricReplicaDiverged = "lossyckpt_store_replica_divergence"
 )
 
 // observer resolves the store's effective observer: the explicit one from

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The object backend has no rename, so its commit point cannot be a
+// file swap. Instead every manifest image is written as a fresh,
+// immutable, versioned object (manifest-%08d.mf) and a tiny fixed-size
+// pointer record (CURRENT) is overwritten in place to name the live
+// version. The pointer is the only mutable object in the layout; it is
+// small enough to be a single device write and carries a CRC so a torn
+// overwrite is detected and recovery falls back to scanning the
+// versioned manifest objects themselves.
+
+// ErrPointer indicates a structurally invalid or checksum-failing
+// manifest pointer record.
+var ErrPointer = errors.New("store: malformed manifest pointer")
+
+const (
+	// pointerName is the object key of the mutable pointer record.
+	pointerName = "CURRENT"
+	// pointerMagic spells "LKPT" little-endian.
+	pointerMagic   = 0x54504B4C
+	pointerVersion = 1
+	// pointerSize is the exact encoded size: magic, format version,
+	// manifest object version, CRC-32.
+	pointerSize = 4 + 2 + 8 + 4
+)
+
+// EncodePointer serializes a pointer record naming manifest object
+// version mv, with a trailing CRC-32 of everything before it.
+func EncodePointer(mv uint64) []byte {
+	out := make([]byte, pointerSize)
+	binary.LittleEndian.PutUint32(out[0:4], pointerMagic)
+	binary.LittleEndian.PutUint16(out[4:6], pointerVersion)
+	binary.LittleEndian.PutUint64(out[6:14], mv)
+	binary.LittleEndian.PutUint32(out[14:18], crc32.ChecksumIEEE(out[:14]))
+	return out
+}
+
+// DecodePointer parses and verifies a pointer record, returning the
+// manifest object version it names. Corrupt input returns ErrPointer,
+// never panics: the record is fixed-size, so any length mismatch, bad
+// magic, unsupported version or CRC failure is rejected.
+func DecodePointer(raw []byte) (uint64, error) {
+	if len(raw) != pointerSize {
+		return 0, fmt.Errorf("%w: %d bytes, want %d", ErrPointer, len(raw), pointerSize)
+	}
+	if crc32.ChecksumIEEE(raw[:14]) != binary.LittleEndian.Uint32(raw[14:18]) {
+		return 0, fmt.Errorf("%w: checksum mismatch", ErrPointer)
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != pointerMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrPointer)
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != pointerVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrPointer, v)
+	}
+	return binary.LittleEndian.Uint64(raw[6:14]), nil
+}

@@ -1,0 +1,816 @@
+// replicated.go layers N-way replication over the single-root Store.
+// A ReplicatedStore owns N replicas (each a complete Store on its own
+// backend root) and a write quorum W:
+//
+//   - Commit/CommitStream fan one payload out to every live replica
+//     under one coordinator-chosen sequence number and succeed once W
+//     replicas report byte-identical generation records; the call
+//     returns at quorum, so one slow replica does not gate the commit
+//     (its straggling write finishes in the background).
+//   - Reads serve the newest quorum-agreed generation: a record counts
+//     as agreed when at least R = N−W+1 replicas index the identical
+//     record, the standard overlap guarantee that any read quorum
+//     intersects every write quorum. Payload reads fall back across the
+//     record's holders until a copy verifies.
+//   - Read-repair re-materializes the winning copy onto replicas that
+//     are missing it, hold a divergent record, or fail verification —
+//     inline during reads, and wholesale during Scrub, which also
+//     drops retention stragglers and quarantines sub-quorum orphans so
+//     replicas converge byte-identical.
+//
+// A failed quorum write leaves partial state on the replicas that did
+// accept it; that state is sub-quorum, so reads never serve it, and the
+// next scrub parks it in quarantine.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"lossyckpt/internal/obs"
+)
+
+// ErrQuorum indicates an operation that could not assemble its quorum.
+var ErrQuorum = errors.New("store: quorum not reached")
+
+// replica is one member of a ReplicatedStore: an open Store, or the
+// error that kept it from opening.
+type replica struct {
+	dir string
+	st  *Store
+	err error
+	// tail is the completion signal of the replica's most recently
+	// enqueued commit (guarded by cmu). Commits chain on it so that
+	// stragglers from at-quorum early returns still apply in coordinator
+	// order — otherwise commit k+1 could reach a replica before its
+	// commit k did, and k would die there with ErrSeqConflict.
+	tail chan struct{}
+}
+
+// ReplicatedStore replicates a checkpoint store across N backend roots
+// with W-of-N quorum commits and read-repair. It implements Target, so
+// checkpoint pipelines use it exactly like a Store.
+type ReplicatedStore struct {
+	root     string
+	w        int
+	replicas []replica
+	opts     Options
+
+	// cmu serializes replicated operations (commit, read+repair, scrub)
+	// so the coordinator observes each replica set consistently. The
+	// replicas' own locks still serialize straggler writes that outlive
+	// an at-quorum early return.
+	cmu     sync.Mutex
+	lastSeq uint64
+	// wg tracks straggler goroutines from at-quorum early returns; Wait
+	// drains them.
+	wg sync.WaitGroup
+}
+
+// ReplicaDirs returns the conventional replica roots under root for an
+// N-way store: root/r0 … root/r{n-1}. n < 2 returns just root, keeping
+// the single-replica layout byte-identical to an unreplicated store.
+func ReplicaDirs(root string, n int) []string {
+	if n < 2 {
+		return []string{root}
+	}
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("r%d", i))
+	}
+	return dirs
+}
+
+// OpenReplicated opens an N-way replicated store over dirs with write
+// quorum w (0 means majority). opts configures every replica;
+// replicaFS, when non-empty, must have one FS per dir and overrides
+// opts.FS per replica — the hook for per-replica fault injection. A
+// replica that fails to open is carried as dead (commits skip it,
+// scrub reports it); only a store with zero openable replicas is an
+// error.
+func OpenReplicated(root string, dirs []string, w int, opts Options, replicaFS ...FS) (*ReplicatedStore, error) {
+	n := len(dirs)
+	if n == 0 {
+		return nil, errors.New("store: replicated store needs at least one replica")
+	}
+	if len(replicaFS) != 0 && len(replicaFS) != n {
+		return nil, fmt.Errorf("store: %d replica filesystems for %d replicas", len(replicaFS), n)
+	}
+	if w == 0 {
+		w = n/2 + 1
+	}
+	if w < 1 || w > n {
+		return nil, fmt.Errorf("store: write quorum %d out of range for %d replicas", w, n)
+	}
+	r := &ReplicatedStore{root: root, w: w, opts: opts.withDefaults()}
+	live := 0
+	for i, dir := range dirs {
+		ropts := opts
+		if len(replicaFS) == n && replicaFS[i] != nil {
+			ropts.FS = replicaFS[i]
+		}
+		st, err := Open(dir, ropts)
+		if err == nil {
+			live++
+		}
+		r.replicas = append(r.replicas, replica{dir: dir, st: st, err: err})
+		if err == nil {
+			r.lastSeq = maxU64(r.lastSeq, st.NextSeq()-1)
+		}
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("store: no replica of %s opened: %w", root, r.replicas[0].err)
+	}
+	return r, nil
+}
+
+// NewReplicated wraps already-open stores as one replicated store with
+// write quorum w (0 means majority) — the composition path for tests
+// and callers that manage replica lifecycles themselves.
+func NewReplicated(root string, stores []*Store, w int, opts Options) (*ReplicatedStore, error) {
+	n := len(stores)
+	if n == 0 {
+		return nil, errors.New("store: replicated store needs at least one replica")
+	}
+	if w == 0 {
+		w = n/2 + 1
+	}
+	if w < 1 || w > n {
+		return nil, fmt.Errorf("store: write quorum %d out of range for %d replicas", w, n)
+	}
+	r := &ReplicatedStore{root: root, w: w, opts: opts.withDefaults()}
+	for _, st := range stores {
+		r.replicas = append(r.replicas, replica{dir: st.Dir(), st: st})
+		r.lastSeq = maxU64(r.lastSeq, st.NextSeq()-1)
+	}
+	return r, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Dir returns the replicated store's common root.
+func (r *ReplicatedStore) Dir() string { return r.root }
+
+// Quorum returns the write quorum W.
+func (r *ReplicatedStore) Quorum() int { return r.w }
+
+// Replicas returns how many replicas the store spans (live or dead).
+func (r *ReplicatedStore) Replicas() int { return len(r.replicas) }
+
+// Replica returns replica i's Store (nil if it failed to open) and its
+// open error, the per-replica surface the fault harness inspects.
+func (r *ReplicatedStore) Replica(i int) (*Store, error) {
+	return r.replicas[i].st, r.replicas[i].err
+}
+
+// readQuorum is R = N−W+1: the holder count that guarantees overlap
+// with every successful write quorum.
+func (r *ReplicatedStore) readQuorum() int { return len(r.replicas) - r.w + 1 }
+
+// liveIdx returns the indexes of replicas that opened.
+func (r *ReplicatedStore) liveIdx() []int {
+	var live []int
+	for i := range r.replicas {
+		if r.replicas[i].st != nil {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// Rebuilt reports whether any live replica rebuilt its manifest at open.
+func (r *ReplicatedStore) Rebuilt() bool {
+	for _, rc := range r.replicas {
+		if rc.st != nil && rc.st.Rebuilt() {
+			return true
+		}
+	}
+	return false
+}
+
+// Wait drains straggler replica writes left behind by at-quorum early
+// returns — call before tearing down the replica roots.
+func (r *ReplicatedStore) Wait() { r.wg.Wait() }
+
+func (r *ReplicatedStore) observer() *obs.Registry {
+	if r.opts.Observer != nil {
+		return r.opts.Observer
+	}
+	return obs.Default()
+}
+
+// NextSeq returns the sequence number the next replicated commit will
+// use: ahead of every live replica and of every commit this coordinator
+// has already quorum-acknowledged.
+func (r *ReplicatedStore) NextSeq() uint64 {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	return r.nextSeqLocked()
+}
+
+func (r *ReplicatedStore) nextSeqLocked() uint64 {
+	seq := r.lastSeq + 1
+	for _, i := range r.liveIdx() {
+		seq = maxU64(seq, r.replicas[i].st.NextSeq())
+	}
+	return seq
+}
+
+type commitRes struct {
+	idx int
+	gen Generation
+	err error
+}
+
+// enqueueLocked runs fn on replica idx's serial commit chain: fn starts
+// only after every previously enqueued commit for that replica has
+// finished. Callers hold cmu, so chain order is coordinator order.
+func (r *ReplicatedStore) enqueueLocked(idx int, fn func()) {
+	rc := &r.replicas[idx]
+	prev := rc.tail
+	done := make(chan struct{})
+	rc.tail = done
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(done)
+		if prev != nil {
+			<-prev
+		}
+		fn()
+	}()
+}
+
+// Commit fans payload out to every live replica under one sequence
+// number and returns once W replicas hold byte-identical records.
+func (r *ReplicatedStore) Commit(step int, payload []byte) (Generation, error) {
+	if step < 0 {
+		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	live := r.liveIdx()
+	if len(live) < r.w {
+		return Generation{}, r.quorumFailure("commit", fmt.Errorf("%d live replicas < quorum %d", len(live), r.w))
+	}
+	seq := r.nextSeqLocked()
+	results := make(chan commitRes, len(live))
+	for _, idx := range live {
+		idx, st := idx, r.replicas[idx].st
+		r.enqueueLocked(idx, func() {
+			gen, err := st.CommitAt(seq, step, payload)
+			results <- commitRes{idx: idx, gen: gen, err: err}
+		})
+	}
+	return r.collectQuorumLocked("commit", seq, results, len(live))
+}
+
+// CommitFunc buffers write's output and replicates it as one generation.
+func (r *ReplicatedStore) CommitFunc(step int, write func(io.Writer) error) (Generation, error) {
+	var buf payloadBuffer
+	if err := write(&buf); err != nil {
+		return Generation{}, err
+	}
+	return r.Commit(step, buf.b)
+}
+
+// fanoutWriter tees a producer's stream into one pipe per replica. A
+// replica whose commit dies closes its pipe reader with the error, so
+// the next write to that branch fails and the branch is dropped — the
+// producer keeps streaming to the survivors and never blocks on a dead
+// replica. Only when every branch is dead does Write error out.
+type fanoutWriter struct {
+	pws  []*io.PipeWriter
+	dead []bool
+}
+
+func (f *fanoutWriter) Write(p []byte) (int, error) {
+	alive := 0
+	for i, pw := range f.pws {
+		if f.dead[i] {
+			continue
+		}
+		if _, err := pw.Write(p); err != nil {
+			f.dead[i] = true
+			continue
+		}
+		alive++
+	}
+	if alive == 0 {
+		return 0, errors.New("store: replicated stream: every replica failed")
+	}
+	return len(p), nil
+}
+
+// CommitStream streams write's output to every live replica at once
+// (one synchronous pipe per replica — the stream paces at the slowest
+// live branch) and succeeds once W replicas hold identical records.
+func (r *ReplicatedStore) CommitStream(step int, write func(io.Writer) error) (Generation, error) {
+	if step < 0 {
+		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	live := r.liveIdx()
+	if len(live) < r.w {
+		return Generation{}, r.quorumFailure("commit", fmt.Errorf("%d live replicas < quorum %d", len(live), r.w))
+	}
+	seq := r.nextSeqLocked()
+	results := make(chan commitRes, len(live))
+	pws := make([]*io.PipeWriter, len(live))
+	for i, idx := range live {
+		pr, pw := io.Pipe()
+		pws[i] = pw
+		idx, st := idx, r.replicas[idx].st
+		r.enqueueLocked(idx, func() {
+			gen, err := st.CommitStreamAt(seq, step, func(w io.Writer) error {
+				_, cerr := io.Copy(w, pr)
+				return cerr
+			})
+			// Release the producer: a failed branch propagates its error
+			// to the next fanout write instead of blocking it.
+			pr.CloseWithError(err)
+			results <- commitRes{idx: idx, gen: gen, err: err}
+		})
+	}
+
+	f := &fanoutWriter{pws: pws, dead: make([]bool, len(pws))}
+	werr := write(f)
+	for _, pw := range pws {
+		if werr != nil {
+			pw.CloseWithError(werr)
+		} else {
+			pw.Close()
+		}
+	}
+	if werr != nil {
+		for range live {
+			<-results
+		}
+		return Generation{}, fmt.Errorf("store: replicated commit gen %d: stream: %w", seq, werr)
+	}
+	return r.collectQuorumLocked("commit", seq, results, len(live))
+}
+
+// collectQuorumLocked gathers per-replica commit results until W of
+// them agree on one record (success, returned immediately — stragglers
+// drain in the background) or too many have failed for W agreement to
+// remain possible.
+func (r *ReplicatedStore) collectQuorumLocked(op string, seq uint64, results <-chan commitRes, total int) (Generation, error) {
+	o := r.observer()
+	counts := make(map[Generation]int)
+	received, failed := 0, 0
+	var firstErr error
+	record := func(res commitRes) (Generation, bool) {
+		received++
+		if o != nil {
+			o.Counter(MetricReplicaCommits,
+				"replica", strconv.Itoa(res.idx),
+				"ok", strconv.FormatBool(res.err == nil)).Inc()
+		}
+		if res.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d: %w", res.idx, res.err)
+			}
+			if o != nil {
+				o.Event("store.replica_commit_failed", "replica", res.idx, "seq", seq, "err", res.err.Error())
+			}
+			return Generation{}, false
+		}
+		counts[res.gen]++
+		return res.gen, counts[res.gen] >= r.w
+	}
+	for received < total {
+		gen, quorum := record(<-results)
+		if quorum {
+			if len(counts) > 1 && o != nil {
+				o.Event("store.replica_commit_divergent", "seq", seq, "records", len(counts))
+			}
+			r.lastSeq = seq
+			// Drain stragglers off-path so their metrics still land.
+			if rest := total - received; rest > 0 {
+				r.wg.Add(1)
+				go func(rest int) {
+					defer r.wg.Done()
+					for i := 0; i < rest; i++ {
+						record(<-results)
+					}
+				}(rest)
+			}
+			return gen, nil
+		}
+		if total-failed < r.w {
+			break
+		}
+	}
+	// Quorum unreachable; drain whatever is still in flight.
+	if rest := total - received; rest > 0 {
+		r.wg.Add(1)
+		go func(rest int) {
+			defer r.wg.Done()
+			for i := 0; i < rest; i++ {
+				record(<-results)
+			}
+		}(rest)
+	}
+	if firstErr == nil {
+		firstErr = errors.New("replicas disagree on the committed record")
+	}
+	return Generation{}, r.quorumFailure(op, fmt.Errorf("gen %d: %w", seq, firstErr))
+}
+
+func (r *ReplicatedStore) quorumFailure(op string, cause error) error {
+	if o := r.observer(); o != nil {
+		o.Counter(MetricQuorumFailures, "op", op).Inc()
+		o.Event("store.quorum_failure", "op", op, "err", cause.Error())
+	}
+	return fmt.Errorf("%w: %s: %v", ErrQuorum, op, cause)
+}
+
+// Generations returns the newest quorum-agreed view: records at least
+// R = N−W+1 live replicas hold identically, oldest first. When nothing
+// reaches R (a degraded store), it falls back to the union view — for
+// each sequence number, the record the most replicas hold — so restore
+// can still mine whatever survives.
+func (r *ReplicatedStore) Generations() []Generation {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	return r.generationsLocked()
+}
+
+func (r *ReplicatedStore) generationsLocked() []Generation {
+	agreed, union := r.viewsLocked()
+	view := agreed
+	if len(view) == 0 {
+		view = union
+	}
+	gens := make([]Generation, 0, len(view))
+	for _, g := range view {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Seq < gens[j].Seq })
+	return gens
+}
+
+// viewsLocked computes both membership views in one pass: the
+// quorum-agreed records (holder count ≥ R) and the best-effort union
+// (per seq, the record with the most holders).
+func (r *ReplicatedStore) viewsLocked() (agreed, union map[uint64]Generation) {
+	counts := make(map[Generation]int)
+	for _, i := range r.liveIdx() {
+		for _, g := range r.replicas[i].st.Generations() {
+			counts[g]++
+		}
+	}
+	agreed = make(map[uint64]Generation)
+	union = make(map[uint64]Generation)
+	best := make(map[uint64]int)
+	rq := r.readQuorum()
+	for g, n := range counts {
+		if n > best[g.Seq] || (n == best[g.Seq] && betterRecord(g, union[g.Seq])) {
+			best[g.Seq] = n
+			union[g.Seq] = g
+		}
+		if n >= rq {
+			if cur, ok := agreed[g.Seq]; !ok || n > counts[cur] || (n == counts[cur] && betterRecord(g, cur)) {
+				agreed[g.Seq] = g
+			}
+		}
+	}
+	return agreed, union
+}
+
+// betterRecord is the deterministic tie-break between two equally held
+// records for one sequence number.
+func betterRecord(a, b Generation) bool {
+	if a.Size != b.Size {
+		return a.Size > b.Size
+	}
+	return a.CRC > b.CRC
+}
+
+// Latest returns the newest quorum-agreed generation, if any.
+func (r *ReplicatedStore) Latest() (Generation, bool) {
+	gens := r.Generations()
+	if len(gens) == 0 {
+		return Generation{}, false
+	}
+	return gens[len(gens)-1], true
+}
+
+// ReadGeneration returns generation seq's payload from the first
+// replica whose copy verifies, repairing the others; no verifiable copy
+// anywhere is ErrCorrupt.
+func (r *ReplicatedStore) ReadGeneration(seq uint64) ([]byte, error) {
+	data, ok, err := r.ReadGenerationRaw(seq)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: generation %d fails verification on every replica", ErrCorrupt, seq)
+	}
+	return data, nil
+}
+
+// ReadGenerationRaw reads generation seq with per-replica fallback and
+// inline read-repair: candidate records are tried in holder-count order,
+// each holder's payload verified against the record, and the first
+// verified copy wins. Replicas missing the generation, holding a
+// divergent record, or failing verification receive the winning copy
+// before the read returns. With no verified copy anywhere the longest
+// raw payload comes back with verified=false (frame-level salvage), and
+// nothing is repaired.
+func (r *ReplicatedStore) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err error) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	o := r.observer()
+	live := r.liveIdx()
+
+	holders := make(map[Generation][]int)
+	var missing []int
+	for _, idx := range live {
+		if g, ok := r.replicas[idx].st.Record(seq); ok {
+			holders[g] = append(holders[g], idx)
+		} else {
+			missing = append(missing, idx)
+		}
+	}
+	if len(holders) == 0 {
+		return nil, false, fmt.Errorf("%w: generation %d on any replica", ErrNoGeneration, seq)
+	}
+	candidates := make([]Generation, 0, len(holders))
+	for g := range holders {
+		candidates = append(candidates, g)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if len(holders[candidates[i]]) != len(holders[candidates[j]]) {
+			return len(holders[candidates[i]]) > len(holders[candidates[j]])
+		}
+		return betterRecord(candidates[i], candidates[j])
+	})
+
+	bad := make(map[int]bool) // replicas whose copy failed to verify
+	var winner *Generation
+	var winData []byte
+search:
+	for _, cand := range candidates {
+		for _, idx := range holders[cand] {
+			d, ok, rerr := r.replicas[idx].st.ReadGenerationRaw(seq)
+			if rerr == nil && ok {
+				g := cand
+				winner, winData = &g, d
+				break search
+			}
+			bad[idx] = true
+			if o != nil {
+				reason := "corrupt"
+				if rerr != nil {
+					reason = rerr.Error()
+				}
+				o.Event("store.replica_read_failed", "replica", idx, "seq", seq, "reason", reason)
+			}
+		}
+	}
+	if winner == nil {
+		// Salvage path: no verified copy anywhere. Return the longest raw
+		// bytes so frame-level partial recovery can mine them.
+		var best []byte
+		for _, cand := range candidates {
+			for _, idx := range holders[cand] {
+				if d, _, rerr := r.replicas[idx].st.ReadGenerationRaw(seq); rerr == nil && len(d) > len(best) {
+					best = d
+				}
+			}
+		}
+		if best == nil {
+			return nil, false, fmt.Errorf("%w: generation %d unreadable on every replica", ErrCorrupt, seq)
+		}
+		return best, false, nil
+	}
+
+	// Read-repair: push the winning copy onto every live replica that
+	// lacks it, holds a different record, or failed verification.
+	winnerHolders := make(map[int]bool)
+	for _, idx := range holders[*winner] {
+		winnerHolders[idx] = true
+	}
+	for _, idx := range live {
+		reason := ""
+		switch {
+		case bad[idx]:
+			reason = "corrupt"
+		case !winnerHolders[idx]:
+			reason = "missing"
+			if _, ok := r.replicas[idx].st.Record(seq); ok {
+				reason = "divergent"
+			}
+		}
+		if reason == "" {
+			continue
+		}
+		if perr := r.replicas[idx].st.PutGeneration(*winner, winData); perr != nil {
+			if o != nil {
+				o.Event("store.read_repair_failed", "replica", idx, "seq", seq, "err", perr.Error())
+			}
+			continue
+		}
+		if o != nil {
+			o.Counter(MetricReadRepairs, "replica", strconv.Itoa(idx), "reason", reason).Inc()
+			o.Event("store.read_repair", "replica", idx, "seq", seq, "reason", reason)
+		}
+	}
+	return winData, true, nil
+}
+
+// Scrub audits every replica and then converges them: each live replica
+// runs its local scrub (quarantining corrupt payloads), the
+// quorum-agreed membership is recomputed, agreed generations are
+// re-materialized onto replicas missing or diverging from them, and
+// sub-quorum leftovers are dropped (older than the agreed ring —
+// retention lag) or quarantined (newer or conflicting — e.g. the debris
+// of a failed quorum write). When no generation is quorum-agreed the
+// convergence phase is skipped entirely rather than destroy last
+// surviving copies. The report aggregates per-replica results and the
+// residual divergence, which also feeds the divergence gauge.
+func (r *ReplicatedStore) Scrub(opts ScrubOptions) (*ScrubReport, error) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	o := r.observer()
+	rep := &ScrubReport{Replicas: make([]ReplicaScrub, len(r.replicas))}
+
+	for i := range r.replicas {
+		rs := &rep.Replicas[i]
+		rs.Replica = i
+		rc := &r.replicas[i]
+		if rc.st == nil {
+			rs.Err = rc.err
+			continue
+		}
+		lrep, lerr := rc.st.Scrub(opts)
+		rs.Report, rs.Err = lrep, lerr
+		if lrep != nil {
+			rep.Checked += lrep.Checked
+			rep.Quarantined = append(rep.Quarantined, lrep.Quarantined...)
+			rep.Missing = append(rep.Missing, lrep.Missing...)
+			rep.ManifestRebuilt = rep.ManifestRebuilt || lrep.ManifestRebuilt
+		}
+	}
+
+	agreed, _ := r.viewsLocked()
+	if len(agreed) > 0 {
+		oldest := ^uint64(0)
+		for seq := range agreed {
+			if seq < oldest {
+				oldest = seq
+			}
+		}
+		for _, idx := range r.liveIdx() {
+			st := r.replicas[idx].st
+			rs := &rep.Replicas[idx]
+			local := make(map[uint64]Generation)
+			for _, g := range st.Generations() {
+				local[g.Seq] = g
+			}
+			// Heal: every agreed generation must exist here, byte-identical.
+			for seq, want := range agreed {
+				if have, ok := local[seq]; ok && have == want {
+					continue
+				}
+				reason := "missing"
+				if _, ok := local[seq]; ok {
+					reason = "divergent"
+				}
+				data := r.readAgreedLocked(want)
+				if data == nil {
+					if o != nil {
+						o.Event("store.scrub_repair_unreadable", "replica", idx, "seq", seq)
+					}
+					continue
+				}
+				if perr := st.PutGeneration(want, data); perr != nil {
+					if o != nil {
+						o.Event("store.scrub_repair_failed", "replica", idx, "seq", seq, "err", perr.Error())
+					}
+					continue
+				}
+				rs.Repaired = append(rs.Repaired, seq)
+				if o != nil {
+					o.Counter(MetricReadRepairs, "replica", strconv.Itoa(idx), "reason", reason).Inc()
+					o.Event("store.scrub_repair", "replica", idx, "seq", seq, "reason", reason)
+				}
+			}
+			// Converge: local generations outside the agreed set are
+			// retention lag (older than a full agreed ring, meaning the
+			// quorum deliberately pruned them — drop) or sub-quorum
+			// debris (park in quarantine, never destroy). An agreed ring
+			// below retention capacity proves nothing was pruned, so
+			// older orphans are quarantined too, not destroyed.
+			ringFull := r.opts.Keep > 0 && len(agreed) >= r.opts.Keep
+			for seq := range local {
+				if _, ok := agreed[seq]; ok {
+					continue
+				}
+				if seq < oldest && ringFull {
+					if derr := st.Drop(seq); derr == nil {
+						rs.Dropped = append(rs.Dropped, seq)
+					}
+					continue
+				}
+				if qpath, qerr := st.Quarantine(seq); qerr == nil {
+					rep.Quarantined = append(rep.Quarantined, Quarantined{Seq: seq, Reason: "divergent", Path: qpath})
+					if o != nil {
+						o.Counter(MetricScrubQuarantined, "reason", "divergent").Inc()
+						o.Event("store.scrub_quarantined", "replica", idx, "seq", seq, "reason", "divergent")
+					}
+				}
+			}
+			sort.Slice(rs.Repaired, func(a, b int) bool { return rs.Repaired[a] < rs.Repaired[b] })
+			sort.Slice(rs.Dropped, func(a, b int) bool { return rs.Dropped[a] < rs.Dropped[b] })
+		}
+	}
+
+	rep.Divergent = r.divergenceLocked()
+	if o != nil {
+		o.Gauge(MetricReplicaDiverged).Set(float64(rep.Divergent))
+	}
+	return rep, nil
+}
+
+// readAgreedLocked returns a verified copy of an agreed generation from
+// any live replica holding exactly that record.
+func (r *ReplicatedStore) readAgreedLocked(want Generation) []byte {
+	for _, idx := range r.liveIdx() {
+		if g, ok := r.replicas[idx].st.Record(want.Seq); !ok || g != want {
+			continue
+		}
+		if d, ok, err := r.replicas[idx].st.ReadGenerationRaw(want.Seq); err == nil && ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// Divergence counts generations the live replicas still disagree on —
+// missing on some live replica or recorded differently.
+func (r *ReplicatedStore) Divergence() int {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	return r.divergenceLocked()
+}
+
+func (r *ReplicatedStore) divergenceLocked() int {
+	live := r.liveIdx()
+	perSeq := make(map[uint64]map[Generation]int)
+	for _, idx := range live {
+		for _, g := range r.replicas[idx].st.Generations() {
+			if perSeq[g.Seq] == nil {
+				perSeq[g.Seq] = make(map[Generation]int)
+			}
+			perSeq[g.Seq][g]++
+		}
+	}
+	divergent := 0
+	for _, recs := range perSeq {
+		uniform := len(recs) == 1
+		for _, n := range recs {
+			if n != len(live) {
+				uniform = false
+			}
+		}
+		if !uniform {
+			divergent++
+		}
+	}
+	return divergent
+}
+
+// StartScrubber runs the replicated Scrub every interval until the
+// returned stop function is called.
+func (r *ReplicatedStore) StartScrubber(interval time.Duration, opts ScrubOptions) (stop func()) {
+	return r.StartScrubberCtx(context.Background(), interval, opts)
+}
+
+// StartScrubberCtx is StartScrubber with context cancellation; an
+// in-flight pass drains before stop or cancellation returns control.
+func (r *ReplicatedStore) StartScrubberCtx(ctx context.Context, interval time.Duration, opts ScrubOptions) (stop func()) {
+	return startScrubLoop(ctx, interval, func() {
+		if _, err := r.Scrub(opts); err != nil {
+			if o := r.observer(); o != nil {
+				o.Event("store.scrub_error", "dir", r.root, "err", err.Error())
+			}
+		}
+	})
+}

@@ -1,26 +1,26 @@
 // scrub.go audits generations already on disk. Commit-time durability
-// (temp+fsync+rename) protects against crashes, not against media decay
-// after the commit: a bit that rots in a retained generation is invisible
-// until restore needs exactly that generation. Scrub re-reads every
-// retained generation, re-verifies its size and CRC against the manifest
-// (plus an optional content-level verifier, e.g. ckpt.StoreVerifier),
-// and moves anything corrupt into quarantine/ — never deleting, so a
-// human or a forensic tool can still salvage frames from it. When the
-// newest generation is the casualty the manifest is rebuilt from the
-// surviving files, keeping NextSeq monotonic so quarantined sequence
-// numbers are never reissued.
+// (temp+fsync+rename, or pointer swap on the object backend) protects
+// against crashes, not against media decay after the commit: a bit that
+// rots in a retained generation is invisible until restore needs exactly
+// that generation. Scrub re-reads every retained generation, re-verifies
+// its size and CRC against the manifest (plus an optional content-level
+// verifier, e.g. ckpt.StoreVerifier), and moves anything corrupt into
+// quarantine — never deleting, so a human or a forensic tool can still
+// salvage frames from it. When the newest generation is the casualty the
+// manifest is rebuilt from the surviving files, keeping NextSeq monotonic
+// so quarantined sequence numbers are never reissued.
 package store
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
-	"path/filepath"
 	"sync"
 	"time"
 )
 
-// QuarantineDir is the subdirectory (under the store root) that corrupt
-// generation files are moved into.
+// QuarantineDir is the subdirectory (under the store root) that the
+// posix backend moves corrupt generation files into.
 const QuarantineDir = "quarantine"
 
 // ScrubOptions configures one scrub pass.
@@ -35,18 +35,36 @@ type ScrubOptions struct {
 // Quarantined records one generation a scrub removed from the index.
 type Quarantined struct {
 	Seq uint64
-	// Reason is why: "size", "crc" (manifest mismatch), or "verify"
-	// (ScrubOptions.Verify rejected the content).
+	// Reason is why: "size", "crc" (manifest mismatch), "verify"
+	// (ScrubOptions.Verify rejected the content), or "divergent"
+	// (replicated scrub: record disagrees with the quorum).
 	Reason string
 	// Path is where the file now lives, relative to the store root.
 	Path string
+}
+
+// ReplicaScrub is one replica's slice of a replicated scrub pass.
+type ReplicaScrub struct {
+	// Replica is the replica index (position in the ReplicatedStore).
+	Replica int
+	// Report is the replica's local scrub result; nil when the replica
+	// could not be scrubbed at all.
+	Report *ScrubReport
+	// Err is the replica-local infrastructure failure, if any.
+	Err error
+	// Repaired lists generations read-repair re-materialized onto this
+	// replica during the convergence phase.
+	Repaired []uint64
+	// Dropped lists obsolete generations removed from this replica
+	// because the quorum has pruned past them.
+	Dropped []uint64
 }
 
 // ScrubReport summarizes one scrub pass.
 type ScrubReport struct {
 	// Checked counts generations examined.
 	Checked int
-	// Quarantined lists generations moved to quarantine/.
+	// Quarantined lists generations moved to quarantine.
 	Quarantined []Quarantined
 	// Missing lists indexed generations whose file has vanished: nothing
 	// to quarantine, they are just dropped from the index.
@@ -54,17 +72,34 @@ type ScrubReport struct {
 	// ManifestRebuilt is true when the newest generation was dropped and
 	// the manifest was rebuilt from the surviving files.
 	ManifestRebuilt bool
+	// Replicas, on a replicated scrub, holds each replica's local pass
+	// plus what the convergence phase did to it; nil on a plain Store.
+	Replicas []ReplicaScrub
+	// Divergent counts generations that still differ across replicas
+	// after repair — the residual the divergence gauge reports.
+	Divergent int
 }
 
 // Clean reports whether the pass found nothing wrong.
 func (r *ScrubReport) Clean() bool {
-	return len(r.Quarantined) == 0 && len(r.Missing) == 0
+	if len(r.Quarantined) != 0 || len(r.Missing) != 0 || r.Divergent != 0 {
+		return false
+	}
+	for _, rs := range r.Replicas {
+		if rs.Err != nil || len(rs.Repaired) != 0 || len(rs.Dropped) != 0 {
+			return false
+		}
+		if rs.Report != nil && !rs.Report.Clean() {
+			return false
+		}
+	}
+	return true
 }
 
 // Scrub audits every retained generation and quarantines corrupt ones.
 // It holds the store lock for the whole pass (including Verify calls),
 // so commits block behind it; size the scrub interval accordingly. The
-// error covers infrastructure failures (unreadable directory, a rename
+// error covers infrastructure failures (unreadable directory, a move
 // into quarantine failing) — corrupt generations are not errors, they
 // are the report.
 func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
@@ -80,7 +115,7 @@ func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
 	dropped := false
 	for _, g := range gens {
 		rep.Checked++
-		data, err := s.readFile(filepath.Join(s.dir, genName(g.Seq)))
+		data, err := s.b.ReadPayload(g.Seq)
 		if err != nil {
 			// File vanished (or is unreadable): there is nothing on disk
 			// to preserve, so just drop it from the index.
@@ -109,7 +144,7 @@ func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
 			survivors = append(survivors, g)
 			continue
 		}
-		qpath, err := s.quarantineLocked(g.Seq)
+		qpath, err := s.b.Quarantine(g.Seq)
 		if err != nil {
 			return rep, fmt.Errorf("store: quarantining gen %d: %w", g.Seq, err)
 		}
@@ -157,34 +192,37 @@ func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
 	return rep, nil
 }
 
-// quarantineLocked moves one generation file into quarantine/, never
-// overwriting an earlier resident: collisions get a .1, .2, ... suffix.
-// Returns the destination path relative to the store root. Callers hold
-// s.mu.
-func (s *Store) quarantineLocked(seq uint64) (string, error) {
-	qdir := filepath.Join(s.dir, QuarantineDir)
-	if err := s.fs.MkdirAll(qdir); err != nil {
-		return "", err
-	}
-	taken := make(map[string]bool)
-	if names, err := s.fs.ReadDir(qdir); err == nil {
-		for _, n := range names {
-			taken[n] = true
+// Quarantine moves one generation's payload out of the visible namespace
+// without destroying it and drops its manifest record — the exported
+// surface the replicated scrubber uses to park divergent copies.
+func (s *Store) Quarantine(seq uint64) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens := s.generationsLocked()
+	kept := gens[:0]
+	found := false
+	for _, g := range gens {
+		if g.Seq == seq {
+			found = true
+			continue
 		}
+		kept = append(kept, g)
 	}
-	base := genName(seq)
-	name := base
-	for i := 1; taken[name]; i++ {
-		name = fmt.Sprintf("%s.%d", base, i)
+	if !found {
+		return "", fmt.Errorf("%w: generation %d", ErrNoGeneration, seq)
 	}
-	if err := s.fs.Rename(filepath.Join(s.dir, base), filepath.Join(qdir, name)); err != nil {
-		return "", err
+	qpath, err := s.b.Quarantine(seq)
+	if err != nil {
+		return "", fmt.Errorf("store: quarantining gen %d: %w", seq, err)
 	}
-	// Make the move durable: the file left one directory and entered
-	// another.
-	s.fs.SyncDir(qdir)
-	s.fs.SyncDir(s.dir)
-	return filepath.Join(QuarantineDir, name), nil
+	// NextSeq is already past the quarantined number, so dropping the
+	// record cannot reissue it.
+	m := manifest{NextSeq: s.man.NextSeq, Gens: append([]Generation(nil), kept...)}
+	if err := s.writeManifest(m); err != nil {
+		return qpath, fmt.Errorf("store: quarantine gen %d: manifest: %w", seq, err)
+	}
+	s.man = m
+	return qpath, nil
 }
 
 // StartScrubber runs Scrub every interval until the returned stop
@@ -192,6 +230,33 @@ func (s *Store) quarantineLocked(seq uint64) (string, error) {
 // observer and do not stop the loop. stop is idempotent and waits for an
 // in-flight pass to finish.
 func (s *Store) StartScrubber(interval time.Duration, opts ScrubOptions) (stop func()) {
+	return startScrubLoop(context.Background(), interval, func() {
+		if _, err := s.Scrub(opts); err != nil {
+			if o := s.observer(); o != nil {
+				o.Event("store.scrub_error", "dir", s.dir, "err", err.Error())
+			}
+		}
+	})
+}
+
+// StartScrubberCtx is StartScrubber for daemon-style callers: the loop
+// also exits when ctx is cancelled, draining an in-flight pass first.
+// The returned stop remains usable (idempotent, waits for drain) and is
+// equivalent to cancelling ctx.
+func (s *Store) StartScrubberCtx(ctx context.Context, interval time.Duration, opts ScrubOptions) (stop func()) {
+	return startScrubLoop(ctx, interval, func() {
+		if _, err := s.Scrub(opts); err != nil {
+			if o := s.observer(); o != nil {
+				o.Event("store.scrub_error", "dir", s.dir, "err", err.Error())
+			}
+		}
+	})
+}
+
+// startScrubLoop is the shared scrubber engine: tick until stopped or
+// ctx cancelled, never overlapping passes, drain the in-flight pass
+// before stop/cancel returns control.
+func startScrubLoop(ctx context.Context, interval time.Duration, pass func()) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -203,20 +268,25 @@ func (s *Store) StartScrubber(interval time.Duration, opts ScrubOptions) (stop f
 			select {
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			case <-t.C:
-				if _, err := s.Scrub(opts); err != nil {
-					if o := s.observer(); o != nil {
-						o.Event("store.scrub_error", "dir", s.dir, "err", err.Error())
-					}
+				// A tick and a cancellation can be ready together; never
+				// start a fresh pass after cancellation.
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				default:
 				}
+				pass()
 			}
 		}
 	}()
 	var once sync.Once
 	return func() {
-		once.Do(func() {
-			close(done)
-			wg.Wait()
-		})
+		once.Do(func() { close(done) })
+		wg.Wait()
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"path/filepath"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +22,9 @@ var (
 	ErrCorrupt = errors.New("store: generation corrupt")
 	// ErrNoGeneration indicates the store holds no (matching) generation.
 	ErrNoGeneration = errors.New("store: no generation available")
+	// ErrSeqConflict indicates a CommitAt/PutGeneration sequence number
+	// the store cannot accept (already allocated or indexed).
+	ErrSeqConflict = errors.New("store: sequence conflict")
 )
 
 const (
@@ -42,6 +45,9 @@ type Options struct {
 	Keep int
 	// FS is the filesystem implementation; nil means OsFS.
 	FS FS
+	// Backend selects the storage layout and commit protocol (default
+	// BackendPosix — the rename-as-commit directory backend).
+	Backend BackendKind
 	// Retries bounds transient-error retries per operation (0 means 4).
 	Retries int
 	// BackoffBase and BackoffCap shape the capped exponential backoff
@@ -51,6 +57,12 @@ type Options struct {
 	// Sleep is the backoff clock, injectable for tests; nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Jitter is the backoff randomness source, returning values in
+	// [0,1): each retry sleeps backoff/2 + jitter·backoff/2, so N
+	// replicas retrying a shared fault spread out instead of thundering
+	// in lockstep. nil means a process-wide seeded source; inject a
+	// deterministic func for reproducible tests.
+	Jitter func() float64
 	// Observer receives store telemetry (commit spans, retry and backoff
 	// counters, rescan/sweep events — see observe.go for the names). nil
 	// falls back to the process default registry, itself a no-op unless
@@ -77,17 +89,34 @@ func (o Options) withDefaults() Options {
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
+	if o.Jitter == nil {
+		o.Jitter = defaultJitter
+	}
 	return o
 }
 
+// defaultJitter is the process-wide backoff randomness source, locked
+// because replicas of one Replicated store retry concurrently.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultJitter() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
 // Store is a crash-safe multi-generation checkpoint store rooted at one
-// directory. A mutex serializes commits, reads and scrubs, so one Store
-// may be shared by goroutines in a process (an interval scrubber runs
-// alongside commits); it is still not safe for multiple processes — the
+// directory (or object-store namespace — see Backend). A mutex
+// serializes commits, reads and scrubs, so one Store may be shared by
+// goroutines in a process (an interval scrubber runs alongside
+// commits); it is still not safe for multiple processes — the
 // durability guarantees are about crashes, not concurrent writers.
 type Store struct {
 	dir  string
-	fs   FS
+	b    Backend
 	opts Options
 
 	mu  sync.Mutex // guards man and all directory mutations
@@ -102,12 +131,18 @@ type Store struct {
 // leftover temp files from interrupted commits are swept.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	s := &Store{dir: dir, fs: opts.FS, opts: opts}
-	if err := s.retry("mkdir", func() error { return s.fs.MkdirAll(dir) }); err != nil {
+	s := &Store{dir: dir, opts: opts}
+	switch opts.Backend {
+	case BackendObject:
+		s.b = newObjectBackend(dir, opts.FS, s.retry)
+	default:
+		s.b = newPosixBackend(dir, opts.FS, s.retry)
+	}
+	if err := s.b.Init(); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 
-	raw, err := s.readFile(filepath.Join(dir, manifestName))
+	raw, err := s.b.ReadManifest()
 	if err == nil {
 		if gens, next, derr := DecodeManifest(raw); derr == nil {
 			s.man = manifest{NextSeq: next, Gens: gens}
@@ -127,12 +162,15 @@ func Open(dir string, opts Options) (*Store, error) {
 			o.Event("store.manifest_rebuilt", "dir", dir, "generations", len(s.man.Gens))
 		}
 	}
-	s.sweepTemp()
+	s.sweep()
 	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Backend returns the storage backend kind this store runs on.
+func (s *Store) Backend() BackendKind { return s.b.Kind() }
 
 // Rebuilt reports whether Open had to reconstruct the manifest from a
 // directory scan (i.e. the manifest was missing or corrupt).
@@ -156,10 +194,30 @@ func (s *Store) Latest() (Generation, bool) {
 	return s.man.latest()
 }
 
+// NextSeq returns the next sequence number this store would allocate —
+// the coordination input for replicated commits.
+func (s *Store) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeqLocked()
+}
+
+func (s *Store) nextSeqLocked() uint64 {
+	if s.man.NextSeq == 0 {
+		return 1 // sequence numbers are 1-based so "no generation" is unambiguous
+	}
+	return s.man.NextSeq
+}
+
 // genName returns the file name of a generation.
 func genName(seq uint64) string {
 	return fmt.Sprintf("%s%08d%s", genPrefix, seq, genSuffix)
 }
+
+// GenName returns the file name generation seq is stored under, relative
+// to a store's root — the hook external tooling (faultsim's replica-loss
+// injector, forensics) uses to address a generation payload directly.
+func GenName(seq uint64) string { return genName(seq) }
 
 // parseGenName inverts genName.
 func parseGenName(name string) (uint64, bool) {
@@ -174,10 +232,11 @@ func parseGenName(name string) (uint64, bool) {
 	return seq, true
 }
 
-// Commit atomically adds payload as the next generation: temp file →
-// fsync → rename into the generation slot → directory fsync → manifest
-// update (same protocol) → retention pruning. On any error the store's
-// previous latest generation is still intact and indexed.
+// Commit atomically adds payload as the next generation: payload made
+// durable through the backend's protocol (temp file → fsync → rename
+// for posix; durable PUT for object) → manifest update (the commit
+// point) → retention pruning. On any error the store's previous latest
+// generation is still intact and indexed.
 func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
@@ -193,39 +252,66 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 			}
 		}()
 	}
-	seq := s.man.NextSeq
-	if seq == 0 {
-		seq = 1 // sequence numbers are 1-based so "no generation" is unambiguous
-	}
-	final := filepath.Join(s.dir, genName(seq))
-	tmp := final + tmpSuffix
-
-	if err := s.writePayload(tmp, payload); err != nil {
-		return Generation{}, err
-	}
-	return s.finishCommit(seq, step, uint64(len(payload)), crc32.ChecksumIEEE(payload), tmp, final)
+	return s.commitAtLocked(s.nextSeqLocked(), step, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
 }
 
-// finishCommit is the shared commit point of Commit and CommitStream: the
-// temp file is fully written and synced; rename it into the generation
-// slot, fsync the directory, update the manifest and prune the retention
-// ring. The caller holds s.mu.
-func (s *Store) finishCommit(seq uint64, step int, size uint64, crc uint32, tmp, final string) (Generation, error) {
-	if err := s.retry("rename", func() error { return s.fs.Rename(tmp, final) }); err != nil {
-		s.fs.Remove(tmp)
-		return Generation{}, fmt.Errorf("store: commit gen %d: rename: %w", seq, err)
+// CommitAt commits payload under a caller-chosen sequence number — the
+// replicated-commit entry point, where a coordinator assigns one seq
+// across N replicas. seq must be at least the store's NextSeq (a lower
+// seq means this replica has already seen newer state: ErrSeqConflict).
+func (s *Store) CommitAt(seq uint64, step int, payload []byte) (gen Generation, err error) {
+	return s.CommitStreamAt(seq, step, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+}
+
+// countingWriter accumulates the size and CRC of everything written
+// through it, so the manifest record is identical whether the payload
+// was buffered or streamed.
+type countingWriter struct {
+	w   io.Writer
+	n   uint64
+	crc uint32
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+		c.n += uint64(n)
 	}
-	if err := s.retry("syncdir", func() error { return s.fs.SyncDir(s.dir) }); err != nil {
-		return Generation{}, fmt.Errorf("store: commit gen %d: sync dir: %w", seq, err)
+	return n, err
+}
+
+// commitAtLocked is the shared commit core: stream the payload through
+// the backend's PayloadWriter, publish it, then make the manifest
+// update — the commit point — and prune the retention ring. The caller
+// holds s.mu and has validated seq.
+func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error) (Generation, error) {
+	pw, err := s.b.BeginPayload(seq)
+	if err != nil {
+		return Generation{}, err
+	}
+	cw := &countingWriter{w: pw}
+	if err := feed(cw); err != nil {
+		pw.Abort()
+		return Generation{}, fmt.Errorf("store: commit gen %d: stream: %w", seq, err)
+	}
+	if err := pw.Commit(); err != nil {
+		return Generation{}, fmt.Errorf("store: commit gen %d: %w", seq, err)
 	}
 
 	gen := Generation{
 		Seq:  seq,
 		Step: uint64(step),
-		Size: size,
-		CRC:  crc,
+		Size: cw.n,
+		CRC:  cw.crc,
 	}
-	// The manifest rename is the commit point: before it, the store
+	// The manifest update is the commit point: before it, the store
 	// still indexes the previous latest; after it, the new generation is
 	// the latest-good.
 	next := manifest{NextSeq: seq + 1, Gens: append(s.generationsLocked(), gen)}
@@ -243,7 +329,7 @@ func (s *Store) finishCommit(seq uint64, step int, size uint64, crc uint32, tmp,
 	// Prune outside the ring, best effort: a leftover file is garbage,
 	// not corruption, and the next Open sweeps unindexed generations too.
 	for _, g := range dropped {
-		s.fs.Remove(filepath.Join(s.dir, genName(g.Seq)))
+		s.b.RemovePayload(g.Seq)
 	}
 	if o := s.observer(); o != nil && len(dropped) > 0 {
 		o.Counter(MetricPrunedGens).Add(float64(len(dropped)))
@@ -266,6 +352,88 @@ type payloadBuffer struct{ b []byte }
 func (p *payloadBuffer) Write(q []byte) (int, error) {
 	p.b = append(p.b, q...)
 	return len(q), nil
+}
+
+// PutGeneration installs an externally known generation record plus its
+// payload — the read-repair primitive: a replica that missed or
+// corrupted gen receives the quorum-agreed copy. The payload must match
+// the record's size and CRC. An existing record for the same sequence
+// number is replaced (the caller is authoritative); NextSeq only ever
+// moves forward.
+func (s *Store) PutGeneration(gen Generation, payload []byte) error {
+	if uint64(len(payload)) != gen.Size || crc32.ChecksumIEEE(payload) != gen.CRC {
+		return fmt.Errorf("%w: put gen %d: payload does not match record", ErrCorrupt, gen.Seq)
+	}
+	if gen.Seq == 0 {
+		return fmt.Errorf("%w: put gen 0", ErrSeqConflict)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	pw, err := s.b.BeginPayload(gen.Seq)
+	if err != nil {
+		return err
+	}
+	if _, err := pw.Write(payload); err != nil {
+		pw.Abort()
+		return err
+	}
+	if err := pw.Commit(); err != nil {
+		return fmt.Errorf("store: put gen %d: %w", gen.Seq, err)
+	}
+
+	gens := s.generationsLocked()
+	replaced := false
+	for i := range gens {
+		if gens[i].Seq == gen.Seq {
+			gens[i] = gen
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		gens = append(gens, gen)
+		sort.Slice(gens, func(i, j int) bool { return gens[i].Seq < gens[j].Seq })
+	}
+	next := s.man.NextSeq
+	if gen.Seq+1 > next {
+		next = gen.Seq + 1
+	}
+	m := manifest{NextSeq: next, Gens: gens}
+	if err := s.writeManifest(m); err != nil {
+		return fmt.Errorf("store: put gen %d: manifest: %w", gen.Seq, err)
+	}
+	s.man = m
+	return nil
+}
+
+// Drop removes a generation's payload and manifest record — retention
+// cleanup for replicas holding generations their peers have pruned.
+// Unlike Quarantine it destroys the payload; use it only for
+// generations the caller knows are obsolete.
+func (s *Store) Drop(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens := s.generationsLocked()
+	kept := gens[:0]
+	found := false
+	for _, g := range gens {
+		if g.Seq == seq {
+			found = true
+			continue
+		}
+		kept = append(kept, g)
+	}
+	if !found {
+		return fmt.Errorf("%w: generation %d", ErrNoGeneration, seq)
+	}
+	m := manifest{NextSeq: s.man.NextSeq, Gens: append([]Generation(nil), kept...)}
+	if err := s.writeManifest(m); err != nil {
+		return fmt.Errorf("store: drop gen %d: manifest: %w", seq, err)
+	}
+	s.man = m
+	s.b.RemovePayload(seq)
+	return nil
 }
 
 // ReadGeneration returns the payload of generation seq after verifying
@@ -297,7 +465,7 @@ func (s *Store) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err e
 	if gen == nil {
 		return nil, false, fmt.Errorf("%w: generation %d", ErrNoGeneration, seq)
 	}
-	data, err = s.readFile(filepath.Join(s.dir, genName(seq)))
+	data, err = s.b.ReadPayload(seq)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: read gen %d: %w", seq, err)
 	}
@@ -311,66 +479,21 @@ func (s *Store) ReadGenerationRaw(seq uint64) (data []byte, verified bool, err e
 	return data, verified, nil
 }
 
-// writePayload writes data to path in bounded chunks with fsync before
-// close, retrying transient failures per operation.
-func (s *Store) writePayload(path string, data []byte) error {
-	var f File
-	if err := s.retry("create", func() (err error) {
-		f, err = s.fs.Create(path)
-		return err
-	}); err != nil {
-		return fmt.Errorf("store: create %s: %w", path, err)
-	}
-	cleanup := func() {
-		f.Close()
-		s.fs.Remove(path)
-	}
-	for off := 0; off < len(data); off += commitChunk {
-		end := off + commitChunk
-		if end > len(data) {
-			end = len(data)
-		}
-		chunk := data[off:end]
-		if err := s.retry("write", func() error {
-			_, werr := f.Write(chunk)
-			return werr
-		}); err != nil {
-			cleanup()
-			return fmt.Errorf("store: write %s: %w", path, err)
+// Record returns the manifest record for generation seq, if indexed.
+func (s *Store) Record(seq uint64) (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.man.Gens {
+		if g.Seq == seq {
+			return g, true
 		}
 	}
-	if err := s.retry("sync", func() error { return f.Sync() }); err != nil {
-		cleanup()
-		return fmt.Errorf("store: sync %s: %w", path, err)
-	}
-	if err := s.retry("close", func() error { return f.Close() }); err != nil {
-		s.fs.Remove(path)
-		return fmt.Errorf("store: close %s: %w", path, err)
-	}
-	return nil
+	return Generation{}, false
 }
 
-// writeManifest persists m via temp+fsync+rename+dirsync.
+// writeManifest persists m through the backend's atomic protocol.
 func (s *Store) writeManifest(m manifest) error {
-	path := filepath.Join(s.dir, manifestName)
-	if err := s.writePayload(path+tmpSuffix, m.encode()); err != nil {
-		return err
-	}
-	if err := s.retry("rename", func() error { return s.fs.Rename(path+tmpSuffix, path) }); err != nil {
-		s.fs.Remove(path + tmpSuffix)
-		return err
-	}
-	return s.retry("syncdir", func() error { return s.fs.SyncDir(s.dir) })
-}
-
-// readFile slurps one file through the FS.
-func (s *Store) readFile(path string) ([]byte, error) {
-	f, err := s.fs.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return io.ReadAll(f)
+	return s.b.WriteManifest(m.encode())
 }
 
 // rescan rebuilds the manifest by scanning generation files: the
@@ -382,26 +505,32 @@ func (s *Store) readFile(path string) ([]byte, error) {
 // newest generation left the directory (quarantine) cannot reuse its
 // sequence number against a file still sitting in quarantine/.
 func (s *Store) rescan(minNext uint64) error {
-	names, err := s.fs.ReadDir(s.dir)
+	seqs, err := s.b.ListPayloads()
 	if err != nil {
 		return err
 	}
+	prior := make(map[uint64]Generation, len(s.man.Gens))
+	for _, g := range s.man.Gens {
+		prior[g.Seq] = g
+	}
 	var gens []Generation
 	var maxSeq uint64
-	for _, name := range names {
-		seq, ok := parseGenName(name)
-		if !ok {
-			continue
-		}
-		data, err := s.readFile(filepath.Join(s.dir, name))
+	for _, seq := range seqs {
+		data, err := s.b.ReadPayload(seq)
 		if err != nil {
 			continue // unreadable generation: skip, don't fail recovery
 		}
-		gens = append(gens, Generation{
+		g := Generation{
 			Seq:  seq,
 			Size: uint64(len(data)),
 			CRC:  crc32.ChecksumIEEE(data),
-		})
+		}
+		// The payload bytes carry no step number; when the old index
+		// still matches the file, keep its step instead of zeroing it.
+		if p, ok := prior[seq]; ok && p.Size == g.Size && p.CRC == g.CRC {
+			g.Step = p.Step
+		}
+		gens = append(gens, g)
 		if seq > maxSeq {
 			maxSeq = seq
 		}
@@ -418,31 +547,14 @@ func (s *Store) rescan(minNext uint64) error {
 	return nil
 }
 
-// sweepTemp removes leftover temp files from interrupted commits and
-// generation files no longer in the manifest (pruned but not removed,
-// or renamed but never indexed because the crash hit before the
-// manifest update).
-func (s *Store) sweepTemp() {
-	names, err := s.fs.ReadDir(s.dir)
-	if err != nil {
-		return
-	}
+// sweep removes commit litter through the backend (temp files, orphan
+// manifest versions, payloads no longer indexed).
+func (s *Store) sweep() {
 	indexed := make(map[uint64]bool, len(s.man.Gens))
 	for _, g := range s.man.Gens {
 		indexed[g.Seq] = true
 	}
-	swept := 0
-	for _, name := range names {
-		if strings.HasSuffix(name, tmpSuffix) {
-			s.fs.Remove(filepath.Join(s.dir, name))
-			swept++
-			continue
-		}
-		if seq, ok := parseGenName(name); ok && !indexed[seq] {
-			s.fs.Remove(filepath.Join(s.dir, name))
-			swept++
-		}
-	}
+	swept := s.b.Sweep(indexed)
 	if o := s.observer(); o != nil && swept > 0 {
 		o.Counter(MetricSweptFiles).Add(float64(swept))
 		o.Event("store.sweep", "dir", s.dir, "removed", swept)
@@ -451,6 +563,8 @@ func (s *Store) sweepTemp() {
 
 // retry runs fn, retrying transient errors with capped exponential
 // backoff; permanent errors and exhausted budgets return immediately.
+// Each sleep is jittered into [backoff/2, backoff) so replicas
+// retrying a shared fault de-synchronize instead of thundering.
 func (s *Store) retry(op string, fn func() error) error {
 	backoff := s.opts.BackoffBase
 	var err error
@@ -459,11 +573,16 @@ func (s *Store) retry(op string, fn func() error) error {
 		if err == nil || !IsTransient(err) || attempt >= s.opts.Retries {
 			return err
 		}
+		half := backoff / 2
+		sleep := half + time.Duration(s.opts.Jitter()*float64(half))
+		if sleep <= 0 {
+			sleep = backoff
+		}
 		if o := s.observer(); o != nil {
 			o.Counter(MetricRetries, "op", op).Inc()
-			o.Counter(MetricBackoffSeconds).Add(backoff.Seconds())
+			o.Counter(MetricBackoffSeconds).Add(sleep.Seconds())
 		}
-		s.opts.Sleep(backoff)
+		s.opts.Sleep(sleep)
 		backoff *= 2
 		if backoff > s.opts.BackoffCap {
 			backoff = s.opts.BackoffCap

@@ -2,174 +2,67 @@ package store
 
 import (
 	"fmt"
-	"hash"
-	"hash/crc32"
 	"io"
-	"path/filepath"
 )
 
 // stream.go adds the streaming half of the commit protocol. Commit and
 // CommitFunc need the whole payload in memory before the store sees its
 // first byte; CommitStream hands the producer an io.Writer that feeds the
-// generation's temp file directly, so a pipeline like
+// backend's PayloadWriter directly, so a pipeline like
 // core.CompressChunkedTo overlaps compression with store I/O and the
 // store-side memory bound drops to one commitChunk buffer. The durability
-// protocol is unchanged: the temp file is synced, renamed into the
-// generation slot, the directory fsynced, and only then does the manifest
-// index the new generation — a producer failure mid-stream leaves a temp
-// file the next Open sweeps.
+// protocol is unchanged per backend: a producer failure mid-stream aborts
+// the payload and the previous latest generation stays indexed.
 
 // CommitStream commits the bytes write produces as the next generation
 // without buffering them. write's io.Writer batches into commitChunk-sized
 // retried writes; the generation's size and CRC accumulate incrementally
 // as bytes pass through, so the manifest record is identical to what
 // Commit would have written for the same bytes. An error from write (or a
-// failed store write underneath it) aborts the commit: the temp file is
-// removed and the previous latest generation stays indexed.
+// failed store write underneath it) aborts the commit: the partial payload
+// is removed and the previous latest generation stays indexed.
 func (s *Store) CommitStream(step int, write func(io.Writer) error) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var streamed uint64
 	if o := s.observer(); o != nil {
 		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", "streamed")
 		defer func() {
 			sp.EndErr(err)
 			if err == nil {
-				o.Counter(MetricCommitBytes).Add(float64(streamed))
+				o.Counter(MetricCommitBytes).Add(float64(gen.Size))
 			}
 		}()
 	}
-	seq := s.man.NextSeq
+	return s.commitAtLocked(s.nextSeqLocked(), step, write)
+}
+
+// CommitStreamAt is CommitStream with a caller-chosen sequence number —
+// the streaming entry point for replicated commits, where a coordinator
+// assigns one seq across N replicas. seq below the store's NextSeq means
+// this replica has already seen newer state: ErrSeqConflict.
+func (s *Store) CommitStreamAt(seq uint64, step int, write func(io.Writer) error) (gen Generation, err error) {
+	if step < 0 {
+		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
 	if seq == 0 {
-		seq = 1 // sequence numbers are 1-based so "no generation" is unambiguous
+		return Generation{}, fmt.Errorf("%w: sequence numbers are 1-based", ErrSeqConflict)
 	}
-	final := filepath.Join(s.dir, genName(seq))
-	tmp := final + tmpSuffix
-
-	cw, err := s.newCommitWriter(tmp)
-	if err != nil {
-		return Generation{}, err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.nextSeqLocked() {
+		return Generation{}, fmt.Errorf("%w: commit at %d but store is at %d", ErrSeqConflict, seq, s.nextSeqLocked())
 	}
-	if err := write(cw); err != nil {
-		cw.abort()
-		return Generation{}, fmt.Errorf("store: commit gen %d: stream: %w", seq, err)
-	}
-	if err := cw.finish(); err != nil {
-		return Generation{}, err
-	}
-	streamed = cw.n
-	return s.finishCommit(seq, step, cw.n, cw.crc.Sum32(), tmp, final)
-}
-
-// commitWriter streams a generation payload into its temp file: writes
-// batch into one commitChunk buffer (the same write granularity and retry
-// policy as writePayload), and size plus CRC-32 accumulate as bytes pass
-// through. After the first failure every Write returns the same error and
-// the temp file is already gone.
-type commitWriter struct {
-	s    *Store
-	f    File
-	path string
-	buf  []byte
-	n    uint64
-	crc  hash.Hash32
-	err  error
-}
-
-func (s *Store) newCommitWriter(path string) (*commitWriter, error) {
-	var f File
-	if err := s.retry("create", func() (err error) {
-		f, err = s.fs.Create(path)
-		return err
-	}); err != nil {
-		return nil, fmt.Errorf("store: create %s: %w", path, err)
-	}
-	return &commitWriter{
-		s:    s,
-		f:    f,
-		path: path,
-		buf:  make([]byte, 0, commitChunk),
-		crc:  crc32.NewIEEE(),
-	}, nil
-}
-
-// Write implements io.Writer.
-func (w *commitWriter) Write(p []byte) (int, error) {
-	if w.err != nil {
-		return 0, w.err
-	}
-	w.crc.Write(p)
-	w.n += uint64(len(p))
-	for rest := p; len(rest) > 0; {
-		take := commitChunk - len(w.buf)
-		if take > len(rest) {
-			take = len(rest)
-		}
-		w.buf = append(w.buf, rest[:take]...)
-		rest = rest[take:]
-		if len(w.buf) == commitChunk {
-			if err := w.flush(); err != nil {
-				return 0, err
+	if o := s.observer(); o != nil {
+		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", "streamed")
+		defer func() {
+			sp.EndErr(err)
+			if err == nil {
+				o.Counter(MetricCommitBytes).Add(float64(gen.Size))
 			}
-		}
+		}()
 	}
-	return len(p), nil
-}
-
-// flush writes the buffered chunk through the store's retry policy.
-func (w *commitWriter) flush() error {
-	if len(w.buf) == 0 {
-		return nil
-	}
-	chunk := w.buf
-	if err := w.s.retry("write", func() error {
-		_, werr := w.f.Write(chunk)
-		return werr
-	}); err != nil {
-		w.fail()
-		w.err = fmt.Errorf("store: write %s: %w", w.path, err)
-		return w.err
-	}
-	w.buf = w.buf[:0]
-	return nil
-}
-
-// finish flushes the tail, fsyncs and closes the temp file — the same
-// sync-before-close protocol writePayload follows.
-func (w *commitWriter) finish() error {
-	if w.err != nil {
-		return w.err
-	}
-	if err := w.flush(); err != nil {
-		return err
-	}
-	if err := w.s.retry("sync", func() error { return w.f.Sync() }); err != nil {
-		w.fail()
-		w.err = fmt.Errorf("store: sync %s: %w", w.path, err)
-		return w.err
-	}
-	if err := w.s.retry("close", func() error { return w.f.Close() }); err != nil {
-		w.s.fs.Remove(w.path)
-		w.err = fmt.Errorf("store: close %s: %w", w.path, err)
-		return w.err
-	}
-	w.err = fmt.Errorf("store: commit writer for %s already finished", w.path)
-	return nil
-}
-
-// abort discards the temp file after a producer error.
-func (w *commitWriter) abort() {
-	if w.err != nil {
-		return // already failed and cleaned up
-	}
-	w.fail()
-	w.err = fmt.Errorf("store: commit writer for %s aborted", w.path)
-}
-
-func (w *commitWriter) fail() {
-	w.f.Close()
-	w.s.fs.Remove(w.path)
+	return s.commitAtLocked(seq, step, write)
 }

@@ -1,0 +1,52 @@
+package store
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// Target is the checkpoint-store surface consumers (ckpt, faultsim, the
+// CLI) program against: commit, read-back, audit. Both *Store (one
+// root) and *ReplicatedStore (N roots with quorum semantics) implement
+// it, so a checkpoint pipeline is replication-agnostic — pointing it at
+// a replicated target changes durability, not code.
+type Target interface {
+	// Dir returns the target's root path (the common root for a
+	// replicated target).
+	Dir() string
+	// Rebuilt reports whether opening had to reconstruct any manifest
+	// from a directory scan.
+	Rebuilt() bool
+	// Generations returns the retained generations, oldest first (the
+	// newest quorum-agreed view for a replicated target).
+	Generations() []Generation
+	// Latest returns the newest generation, if any.
+	Latest() (Generation, bool)
+	// NextSeq returns the next sequence number a commit would use.
+	NextSeq() uint64
+	// Commit adds payload as the next generation.
+	Commit(step int, payload []byte) (Generation, error)
+	// CommitFunc buffers write's output and commits it as one generation.
+	CommitFunc(step int, write func(io.Writer) error) (Generation, error)
+	// CommitStream commits the bytes write produces without buffering
+	// them.
+	CommitStream(step int, write func(io.Writer) error) (Generation, error)
+	// ReadGeneration returns generation seq's payload, verified.
+	ReadGeneration(seq uint64) ([]byte, error)
+	// ReadGenerationRaw returns generation seq's bytes plus whether they
+	// verify against the (quorum-agreed) record.
+	ReadGenerationRaw(seq uint64) (data []byte, verified bool, err error)
+	// Scrub audits every retained generation (and, replicated, heals
+	// lagging replicas).
+	Scrub(opts ScrubOptions) (*ScrubReport, error)
+	// StartScrubber runs Scrub every interval until stop is called.
+	StartScrubber(interval time.Duration, opts ScrubOptions) (stop func())
+	// StartScrubberCtx is StartScrubber with context cancellation.
+	StartScrubberCtx(ctx context.Context, interval time.Duration, opts ScrubOptions) (stop func())
+}
+
+var (
+	_ Target = (*Store)(nil)
+	_ Target = (*ReplicatedStore)(nil)
+)
