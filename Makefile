@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-smoke bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-qa bench-smoke bench-compare bench-compare-smoke
 
 check: fmt-check vet build race fuzz-smoke bench-compare-smoke
 
@@ -76,6 +76,21 @@ bench-gzip:
 # pre-pass, and the autotuned vs gzip-only end-to-end pipeline).
 bench-entropy:
 	$(GO) test -run xxx -bench 'Entropy' -benchtime 3x .
+
+# bench-qa smokes the quality-analytics and flight-recorder loop: a heat
+# workload quality report (markdown + JSON with rate-distortion table),
+# a journaled save/restore round trip, and the journal post-mortem — all
+# written under results/qa/ (CI uploads the directory as an artifact).
+bench-qa:
+	$(GO) build -o results/qa/lossyckpt ./cmd/lossyckpt
+	results/qa/lossyckpt report -workload heat -steps 40 -out results/qa
+	results/qa/lossyckpt gen -out results/qa/t.grd -shape 64x32x2 -steps 10
+	results/qa/lossyckpt save -dir results/qa/ckpts -in results/qa/t.grd \
+		-codec lossy -autotune -journal results/qa/run.jsonl
+	results/qa/lossyckpt restore -dir results/qa/ckpts -out results/qa/restored \
+		-journal results/qa/run.jsonl
+	results/qa/lossyckpt report -journal results/qa/run.jsonl -out results/qa
+	$(GO) test -run xxx -bench 'ChunkedParallelJournal' -benchtime 1x .
 
 # bench-smoke executes every benchmark once — CI's guard that the bench
 # code itself keeps compiling and running.

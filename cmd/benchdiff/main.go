@@ -1,18 +1,22 @@
-// Command benchdiff compares two BENCH_*.json files and fails on
-// wall-clock regressions. It walks both documents recursively, collects
+// Command benchdiff compares BENCH_*.json files and fails on
+// wall-clock regressions. It walks each document recursively, collects
 // every numeric "ns_per_op" leaf under its slash-joined path (so the
 // nested benchmarks{name:{variant:{ns_per_op}}} shape of this repo's
 // BENCH files needs no schema), and reports the percentage change of
-// each series present in both files.
+// each series present in both files of a pair.
 //
 // Usage:
 //
-//	benchdiff old.json new.json              # fail on >15% slowdown
+//	benchdiff old.json new.json                    # fail on >15% slowdown
 //	benchdiff -threshold 10 old.json new.json
+//	benchdiff a-old.json a-new.json b-old.json b-new.json   # several pairs
+//	benchdiff -md summary.md old.json new.json     # also write a markdown table
 //
-// The exit status is non-zero when any common series slowed down by more
-// than the threshold, making the tool usable as a CI gate; series present
-// in only one file are listed but never fail the run.
+// Arguments are consumed as consecutive (old, new) pairs, so one
+// invocation can gate several benchmark suites. The exit status is
+// non-zero when any common series of any pair slowed down by more than
+// the threshold, making the tool usable as a CI gate; series present in
+// only one file are listed but never fail the run.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -34,64 +39,129 @@ func main() {
 	os.Exit(code)
 }
 
-// run executes the comparison and returns the process exit code: 0 when
+// row is one compared series of one pair, kept for the markdown table.
+type row struct {
+	pair, series string
+	oldV, newV   float64
+	pct          float64
+	regressed    bool
+}
+
+// run executes the comparisons and returns the process exit code: 0 when
 // no common series regressed past the threshold, 1 otherwise. Errors are
-// reserved for unusable input (bad flags, unreadable or invalid JSON).
+// reserved for unusable input (bad flags, odd argument counts,
+// unreadable or invalid JSON).
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(out)
 	threshold := fs.Float64("threshold", 15, "fail when ns_per_op grows by more than this percentage")
 	metric := fs.String("metric", "ns_per_op", "leaf key holding the compared value")
+	mdPath := fs.String("md", "", "also write a markdown summary table to this file")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	if fs.NArg() != 2 {
-		return 0, fmt.Errorf("want exactly two files, got %d (usage: benchdiff old.json new.json)", fs.NArg())
-	}
-	old, err := loadMetrics(fs.Arg(0), *metric)
-	if err != nil {
-		return 0, err
-	}
-	cur, err := loadMetrics(fs.Arg(1), *metric)
-	if err != nil {
-		return 0, err
+	if fs.NArg() < 2 || fs.NArg()%2 != 0 {
+		return 0, fmt.Errorf("want one or more old/new file pairs, got %d args (usage: benchdiff old.json new.json [old2.json new2.json ...])", fs.NArg())
 	}
 
-	var paths []string
-	for p := range old {
-		if _, ok := cur[p]; ok {
-			paths = append(paths, p)
+	var rows []row
+	failed, compared := 0, 0
+	for i := 0; i < fs.NArg(); i += 2 {
+		oldPath, newPath := fs.Arg(i), fs.Arg(i+1)
+		old, err := loadMetrics(oldPath, *metric)
+		if err != nil {
+			return 0, err
 		}
-	}
-	sort.Strings(paths)
+		cur, err := loadMetrics(newPath, *metric)
+		if err != nil {
+			return 0, err
+		}
+		pair := pairLabel(oldPath, newPath)
 
-	failed := 0
-	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "benchmark\told %s\tnew %s\tdelta\t\n", *metric, *metric)
-	for _, p := range paths {
-		o, n := old[p], cur[p]
-		var pct float64
-		if o != 0 {
-			pct = (n - o) / o * 100
+		var paths []string
+		for p := range old {
+			if _, ok := cur[p]; ok {
+				paths = append(paths, p)
+			}
 		}
-		mark := ""
-		if pct > *threshold {
-			mark = "  REGRESSION"
-			failed++
+		sort.Strings(paths)
+		compared += len(paths)
+
+		if fs.NArg() > 2 {
+			fmt.Fprintf(out, "== %s vs %s ==\n", oldPath, newPath)
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", p, o, n, pct, mark)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "benchmark\told %s\tnew %s\tdelta\t\n", *metric, *metric)
+		for _, p := range paths {
+			o, n := old[p], cur[p]
+			var pct float64
+			if o != 0 {
+				pct = (n - o) / o * 100
+			}
+			mark := ""
+			reg := pct > *threshold
+			if reg {
+				mark = "  REGRESSION"
+				failed++
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", p, o, n, pct, mark)
+			rows = append(rows, row{pair: pair, series: p, oldV: o, newV: n, pct: pct, regressed: reg})
+		}
+		if err := tw.Flush(); err != nil {
+			return 0, err
+		}
+		reportOrphans(out, old, cur, oldPath)
+		reportOrphans(out, cur, old, newPath)
 	}
-	if err := tw.Flush(); err != nil {
-		return 0, err
+
+	if *mdPath != "" {
+		if err := writeMarkdown(*mdPath, *metric, *threshold, rows); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "markdown summary written to %s\n", *mdPath)
 	}
-	reportOrphans(out, old, cur, fs.Arg(0))
-	reportOrphans(out, cur, old, fs.Arg(1))
 	if failed > 0 {
 		fmt.Fprintf(out, "FAIL: %d series regressed by more than %.1f%%\n", failed, *threshold)
 		return 1, nil
 	}
-	fmt.Fprintf(out, "ok: %d series compared, none regressed by more than %.1f%%\n", len(paths), *threshold)
+	fmt.Fprintf(out, "ok: %d series compared, none regressed by more than %.1f%%\n", compared, *threshold)
 	return 0, nil
+}
+
+// pairLabel compresses an old/new path pair into one short label for
+// the markdown table.
+func pairLabel(oldPath, newPath string) string {
+	o, n := baseName(oldPath), baseName(newPath)
+	if o == n {
+		return o
+	}
+	return o + "→" + n
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	return strings.TrimSuffix(p, ".json")
+}
+
+// writeMarkdown renders every compared series of every pair as one
+// markdown table, regressions flagged in their own column.
+func writeMarkdown(path, metric string, threshold float64, rows []row) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Benchmark comparison\n\n")
+	fmt.Fprintf(&b, "Threshold: +%.1f%% on `%s`.\n\n", threshold, metric)
+	fmt.Fprintf(&b, "| pair | benchmark | old | new | delta | status |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		status := "ok"
+		if r.regressed {
+			status = "**REGRESSION**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %+.1f%% | %s |\n",
+			r.pair, r.series, r.oldV, r.newV, r.pct, status)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // loadMetrics parses one BENCH file into path → value for every numeric

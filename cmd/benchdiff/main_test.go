@@ -159,3 +159,67 @@ func TestRealBenchFileSelfDiff(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiPairCompares: consecutive (old, new) pairs gate in one run;
+// a regression in any pair fails the whole invocation.
+func TestMultiPairCompares(t *testing.T) {
+	slow := strings.ReplaceAll(baseDoc, "1000", "2000")
+	a1 := writeJSON(t, "a-old.json", baseDoc)
+	a2 := writeJSON(t, "a-new.json", baseDoc)
+	b1 := writeJSON(t, "b-old.json", baseDoc)
+	b2 := writeJSON(t, "b-new.json", slow)
+
+	var out bytes.Buffer
+	code, err := run([]string{a1, a2, b1, b2}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (second pair regressed)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION marker:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{a1, a2, b1, b1}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean pairs: code %d err %v\n%s", code, err, out.String())
+	}
+}
+
+// TestOddArgsRejected: a dangling file without its pair is a usage error.
+func TestOddArgsRejected(t *testing.T) {
+	p := writeJSON(t, "x.json", baseDoc)
+	if _, err := run([]string{p, p, p}, &bytes.Buffer{}); err == nil {
+		t.Fatal("three files accepted; want pair-count error")
+	}
+}
+
+// TestMarkdownSummary: -md writes a table covering every compared
+// series of every pair, with regressions flagged.
+func TestMarkdownSummary(t *testing.T) {
+	slow := strings.ReplaceAll(baseDoc, "1000", "9000")
+	a := writeJSON(t, "old.json", baseDoc)
+	b := writeJSON(t, "new.json", slow)
+	md := filepath.Join(t.TempDir(), "summary.md")
+
+	var out bytes.Buffer
+	code, err := run([]string{"-md", md, a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"| pair |", "**REGRESSION**", "benchmarks/BenchmarkA", "ok"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	codec := fs.String("codec", "", "entropy codec for the entropy experiment's extra row: gzip or lz4 (\"\" = none)")
 	shuffle := fs.Bool("shuffle", false, "byte-shuffle pre-pass for the entropy experiment's extra row")
 	autotune := fs.Bool("autotune", false, "add the throughput/ratio autotuner objectives to the entropy experiment")
+	reportDir := fs.String("report-dir", "", "write full per-workload quality reports (markdown + JSON) into this directory (qa, guard and entropy experiments)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /metrics.json, /summary and /debug/pprof on this address while experiments run")
 	obsOut := fs.String("obs-out", "", "write the final metrics snapshot (JSON) to this file")
 	obsSummary := fs.Bool("obs-summary", false, "print the end-of-run metric summary table")
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.EntropyShuffle = *shuffle
 	cfg.Autotune = *autotune
+	cfg.ReportDir = *reportDir
 
 	var ids []string
 	if *runIDs == "all" {

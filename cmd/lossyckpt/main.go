@@ -104,7 +104,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore|fsck> [flags]")
+		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore|fsck|report> [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -123,6 +123,8 @@ func run(args []string) error {
 		return cmdRestore(args[1:])
 	case "fsck":
 		return cmdFsck(args[1:])
+	case "report":
+		return cmdReport(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 	"lossyckpt/internal/store"
 )
 
@@ -24,6 +25,7 @@ type obsFlags struct {
 	obsOut      *string
 	summary     *bool
 	hold        *time.Duration
+	journalPath *string
 }
 
 // addObsFlags registers the shared observability flags on fs.
@@ -33,6 +35,7 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		obsOut:      fs.String("obs-out", "", "write the final metrics snapshot (JSON) to this file"),
 		summary:     fs.Bool("obs-summary", false, "print the end-of-run metric summary table"),
 		hold:        fs.Duration("metrics-hold", 0, "keep the -metrics listener up this long after the command finishes (for scraping short runs)"),
+		journalPath: fs.String("journal", "", "append flight-recorder wide events (JSONL) to this file for the duration of the run"),
 	}
 }
 
@@ -42,11 +45,13 @@ var metricsAddrHook func(addr string)
 
 // obsSession is one subcommand's observability scope.
 type obsSession struct {
-	reg  *obs.Registry
-	prev *obs.Registry
-	srv  *obs.Server
-	of   *obsFlags
-	done bool
+	reg   *obs.Registry
+	prev  *obs.Registry
+	srv   *obs.Server
+	jrnl  *journal.Journal
+	jprev *journal.Journal
+	of    *obsFlags
+	done  bool
 }
 
 // startObs begins an observability session. With none of the flags set
@@ -54,6 +59,14 @@ type obsSession struct {
 // checks already on the hot paths).
 func startObs(of *obsFlags) (*obsSession, error) {
 	s := &obsSession{of: of}
+	if *of.journalPath != "" {
+		j, err := journal.Open(*of.journalPath, journal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		s.jrnl = j
+		s.jprev = journal.SetDefault(j)
+	}
 	if *of.metricsAddr == "" && *of.obsOut == "" && !*of.summary {
 		return s, nil
 	}
@@ -79,10 +92,21 @@ func startObs(of *obsFlags) (*obsSession, error) {
 // previous default registry. Safe to call more than once; designed to be
 // deferred so metrics also surface when the command fails.
 func (s *obsSession) finish() {
-	if s == nil || s.reg == nil || s.done {
+	if s == nil || s.done {
 		return
 	}
 	s.done = true
+	if s.jrnl != nil {
+		journal.SetDefault(s.jprev)
+		if err := s.jrnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "journal: wide events appended to %s\n", s.jrnl.Path())
+		}
+	}
+	if s.reg == nil {
+		return
+	}
 	if s.srv != nil && *s.of.hold > 0 {
 		time.Sleep(*s.of.hold)
 	}

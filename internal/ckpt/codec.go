@@ -42,6 +42,17 @@ type Encoded struct {
 	// Guarantee is the quality annotation established for the entry (guard
 	// codec only; nil otherwise).
 	Guarantee *guard.Annotation
+	// EntropyLabel is the entropy-stage configuration actually used
+	// ("gzip", "lz4+shuffle", …) — for the lossy codec this reflects the
+	// tuner's per-variable pick. Empty for codecs without the stage.
+	EntropyLabel string
+	// Divisions is the quantization division count used (lossy pipeline
+	// only; 0 otherwise).
+	Divisions int
+	// ChunkTimings is the per-chunk phase breakdown under the chunked
+	// lossy paths, in chunk order — the waterfall the flight-recorder
+	// journal attaches to checkpoint wide events. Nil otherwise.
+	ChunkTimings []core.Timings
 }
 
 // Codec turns fields into bytes and back. Implementations must be safe for
@@ -351,7 +362,7 @@ func (c *Lossy) EncodeNamed(name string, f *grid.Field) (*Encoded, error) {
 		if err != nil {
 			return nil, err
 		}
-		enc = &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}
+		enc = &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings, ChunkTimings: res.PerChunk}
 	} else {
 		res, err := core.Compress(f, opts)
 		if err != nil {
@@ -359,8 +370,16 @@ func (c *Lossy) EncodeNamed(name string, f *grid.Field) (*Encoded, error) {
 		}
 		enc = &Encoded{Payload: res.Data, RawBytes: res.RawBytes, Timings: res.Timings}
 	}
+	c.annotate(enc, opts)
 	c.feedback(name, enc)
 	return enc, nil
+}
+
+// annotate records the resolved pipeline decisions on the accounting —
+// what the journal's wide events report per entry.
+func (c *Lossy) annotate(enc *Encoded, opts core.Options) {
+	enc.EntropyLabel = entropy.Params{Codec: opts.EntropyCodec, Shuffle: opts.Shuffle}.Label()
+	enc.Divisions = opts.Divisions
 }
 
 // EncodeTo implements StreamEncoder. With ChunkExtent set this is the
@@ -384,7 +403,7 @@ func (c *Lossy) EncodeNamedTo(w io.Writer, name string, f *grid.Field) (*Encoded
 		if err != nil {
 			return nil, err
 		}
-		enc = &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}
+		enc = &Encoded{RawBytes: res.RawBytes, Timings: res.Timings, ChunkTimings: res.PerChunk}
 	} else {
 		res, err := core.Compress(f, opts)
 		if err != nil {
@@ -395,6 +414,7 @@ func (c *Lossy) EncodeNamedTo(w io.Writer, name string, f *grid.Field) (*Encoded
 		}
 		enc = &Encoded{RawBytes: res.RawBytes, Timings: res.Timings}
 	}
+	c.annotate(enc, opts)
 	c.feedback(name, enc)
 	return enc, nil
 }

@@ -1,0 +1,119 @@
+// journal.go wires the manager into the flight recorder: every
+// checkpoint and restore becomes one wide event carrying the per-entry
+// stage waterfall (transform → quantize → entropy; per-chunk under the
+// chunked paths), the codec/shuffle/divisions each entry actually
+// used, and the guard ladder rung it shipped at. The store layer adds
+// its own commit/vote child events under the same operation ID.
+package ckpt
+
+import (
+	"lossyckpt/internal/core"
+	"lossyckpt/internal/obs/journal"
+)
+
+// SetJournal routes the manager's flight-recorder events to j. Nil
+// disables recording for this manager; without a call the process
+// default journal applies (itself a no-op unless installed).
+func (m *Manager) SetJournal(j *journal.Journal) {
+	m.jrnl = j
+	m.jrnlSet = true
+}
+
+// journal resolves the manager's effective flight recorder.
+func (m *Manager) journal() *journal.Journal {
+	if m.jrnlSet {
+		return m.jrnl
+	}
+	return journal.Default()
+}
+
+// opFor returns the wide event an operation should fill: the one a
+// wrapping store-level call already opened (owned=false), or a fresh
+// root op (owned=true — the caller must End it).
+func (m *Manager) opFor(name string, attrs ...string) (op *journal.Op, owned bool) {
+	if m.curOp != nil {
+		return m.curOp, false
+	}
+	return m.journal().Begin(name, attrs...), true
+}
+
+// stagesOf flattens a timing breakdown into the journal's waterfall
+// map, skipping zero-valued phases.
+func stagesOf(t core.Timings) map[string]float64 {
+	out := map[string]float64{}
+	put := func(k string, d float64) {
+		if d > 0 {
+			out[k] = d
+		}
+	}
+	put("transform", t.Wavelet.Seconds())
+	put("quantize", t.Quantize.Seconds())
+	put("encode", t.Encode.Seconds())
+	put("format", t.Format.Seconds())
+	put("temp_write", t.TempWrite.Seconds())
+	put("entropy", t.Gzip.Seconds())
+	put("total", t.Total.Seconds())
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// fillCheckpoint folds a finished checkpoint into the wide event:
+// aggregate waterfall, byte totals, and one entry per variable with
+// its own stage breakdown, per-chunk timings, and codec decisions.
+func (m *Manager) fillCheckpoint(op *journal.Op, rep *Report, encoded []*Encoded) {
+	if op == nil || rep == nil {
+		return
+	}
+	op.Set("codec", rep.Codec)
+	op.SetStep(rep.Step)
+	op.SetBytes(int64(rep.RawBytes), int64(rep.CompressedBytes))
+	agg := rep.AggregateTimings()
+	op.Stage("transform", agg.Wavelet)
+	op.Stage("quantize", agg.Quantize)
+	op.Stage("encode", agg.Encode)
+	op.Stage("format", agg.Format)
+	op.Stage("entropy", agg.Gzip)
+	for i, e := range rep.Entries {
+		je := journal.Entry{
+			Var:      e.Name,
+			BytesIn:  e.RawBytes,
+			BytesOut: e.CompressedBytes,
+			Stages:   stagesOf(e.Timings),
+		}
+		if i < len(encoded) && encoded[i] != nil {
+			enc := encoded[i]
+			je.Codec = enc.EntropyLabel
+			je.Divisions = enc.Divisions
+			for _, ct := range enc.ChunkTimings {
+				je.Chunks = append(je.Chunks, stagesOf(ct))
+			}
+		}
+		if g := e.Guarantee; g != nil {
+			je.Guard = g.Mode.String()
+			je.Escalations = g.Escalations
+		}
+		op.Entry(je)
+	}
+}
+
+// fillRestore folds a finished restore into the wide event.
+func fillRestore(op *journal.Op, rep *Report, skipped []string) {
+	if op == nil || rep == nil {
+		return
+	}
+	op.Set("codec", rep.Codec)
+	op.SetStep(rep.Step)
+	op.SetBytes(int64(rep.CompressedBytes), int64(rep.RawBytes))
+	for _, e := range rep.Entries {
+		je := journal.Entry{Var: e.Name, BytesIn: e.CompressedBytes, BytesOut: e.RawBytes}
+		if g := e.Guarantee; g != nil {
+			je.Guard = g.Mode.String()
+		}
+		op.Entry(je)
+	}
+	for _, name := range skipped {
+		op.Entry(journal.Entry{Var: name, Guard: "skipped"})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 )
 
 // Errors returned by the manager.
@@ -62,6 +63,15 @@ type Manager struct {
 	// quality enables per-variable reconstruction-quality gauges for
 	// lossy codecs (opt-in: it costs a decode round-trip per entry).
 	quality bool
+	// jrnl receives flight-recorder wide events (see journal.go); only
+	// consulted when jrnlSet, otherwise the process default applies.
+	jrnl    *journal.Journal
+	jrnlSet bool
+	// curOp is the wide event a wrapping operation (CheckpointTo,
+	// RestoreLatest) already opened: the inner Checkpoint/Restore call
+	// enriches it instead of opening its own. A Manager is documented
+	// as not safe for concurrent use, so a plain field suffices.
+	curOp *journal.Op
 }
 
 // NewManager returns a manager using the given codec. workers bounds the
@@ -184,6 +194,15 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 			sp.EndErr(err)
 			if err == nil {
 				m.recordCheckpoint(o, rep, encoded)
+			}
+		}()
+	}
+	if op, owned := m.opFor("ckpt.checkpoint", "codec", m.codec.Name(), "mode", "buffered"); op != nil {
+		op.SetStep(step)
+		defer func() {
+			m.fillCheckpoint(op, rep, encoded)
+			if owned {
+				op.End(err)
 			}
 		}()
 	}
@@ -432,6 +451,14 @@ func (m *Manager) Restore(r io.Reader) (rep *Report, err error) {
 		sp := o.StartSpan(MetricRestoreSpan, "codec", m.codec.Name(), "mode", "full")
 		defer func() { sp.EndErr(err) }()
 	}
+	if op, owned := m.opFor("ckpt.restore", "codec", m.codec.Name(), "mode", "full"); op != nil {
+		defer func() {
+			fillRestore(op, rep, nil)
+			if owned {
+				op.End(err)
+			}
+		}()
+	}
 	br := newByteReader(r)
 	hdr, err := readStreamHeader(br)
 	if err != nil {
@@ -477,6 +504,14 @@ func (m *Manager) RestorePartial(r io.Reader) (rep *Report, skipped []string, er
 			sp.EndErr(err)
 			if err == nil {
 				m.recordRestore(o, rep, skipped, true)
+			}
+		}()
+	}
+	if op, owned := m.opFor("ckpt.restore", "codec", m.codec.Name(), "mode", "partial"); op != nil {
+		defer func() {
+			fillRestore(op, rep, skipped)
+			if owned {
+				op.End(err)
 			}
 		}()
 	}

@@ -16,6 +16,7 @@ import (
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 	"lossyckpt/internal/store"
 )
 
@@ -28,9 +29,21 @@ var ErrStoreEmpty = errors.New("ckpt: no restorable generation in store")
 // *store.Store or a *store.ReplicatedStore — the pipeline is
 // replication-agnostic. The returned Generation records the committed
 // sequence number, size and CRC.
-func (m *Manager) CheckpointTo(st store.Target, step int) (*Report, store.Generation, error) {
-	var rep *Report
-	gen, err := st.CommitFunc(step, func(w io.Writer) error {
+func (m *Manager) CheckpointTo(st store.Target, step int) (rep *Report, gen store.Generation, err error) {
+	// Open the checkpoint wide event here so the store's commit and vote
+	// records become children of the same operation; the inner
+	// Checkpoint call enriches it (see journal.go).
+	op := m.journal().Begin("ckpt.checkpoint", "codec", m.codec.Name(), "mode", "buffered")
+	if op != nil {
+		op.SetStep(step)
+		m.curOp = op
+		defer func() {
+			m.curOp = nil
+			op.SetSeq(gen.Seq)
+			op.End(err)
+		}()
+	}
+	gen, err = st.CommitFunc(step, func(w io.Writer) error {
 		var cerr error
 		rep, cerr = m.Checkpoint(w, step)
 		return cerr
@@ -66,11 +79,26 @@ type StoreRestore struct {
 // first, taking the first generation that yields at least one verified
 // array. Every failure is carried in the returned error if nothing at
 // all is restorable.
-func (m *Manager) RestoreLatest(st store.Target) (*StoreRestore, error) {
+func (m *Manager) RestoreLatest(st store.Target) (sr *StoreRestore, err error) {
 	gens := st.Generations()
 	var failures []error
 
 	o := m.observer()
+	op := m.journal().Begin("ckpt.restore_latest", "codec", m.codec.Name())
+	if op != nil {
+		m.curOp = op
+		defer func() {
+			m.curOp = nil
+			if sr != nil {
+				op.SetSeq(sr.Generation)
+				op.SetStep(sr.Step)
+				if sr.Partial {
+					op.Set("partial", "true")
+				}
+			}
+			op.End(err)
+		}()
+	}
 
 	// Pass 1: full restore, newest generation first.
 	for i := len(gens) - 1; i >= 0; i-- {
@@ -78,18 +106,18 @@ func (m *Manager) RestoreLatest(st store.Target) (*StoreRestore, error) {
 		data, verified, err := st.ReadGenerationRaw(g.Seq)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
-			recordFallback(o, g.Seq, "read_error")
+			m.recordFallback(o, g.Seq, "read_error")
 			continue
 		}
 		if !verified {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, store.ErrCorrupt))
-			recordFallback(o, g.Seq, "unverified")
+			m.recordFallback(o, g.Seq, "unverified")
 			continue
 		}
 		rep, err := m.Restore(bytes.NewReader(data))
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d: %w", g.Seq, err))
-			recordFallback(o, g.Seq, "restore_error")
+			m.recordFallback(o, g.Seq, "restore_error")
 			continue
 		}
 		return &StoreRestore{
@@ -126,7 +154,8 @@ func (m *Manager) RestoreLatest(st store.Target) (*StoreRestore, error) {
 
 // recordFallback counts one generation the restore walk had to skip,
 // labeled with why, and leaves a trace event naming the generation.
-func recordFallback(o *obs.Registry, seq uint64, reason string) {
+func (m *Manager) recordFallback(o *obs.Registry, seq uint64, reason string) {
+	m.journal().Note("ckpt.store_fallback", "gen", fmt.Sprint(seq), "reason", reason)
 	if o == nil {
 		return
 	}
@@ -170,7 +199,25 @@ type LoadedCheckpoint struct {
 // preferring a fully verified load, then falls back to frame-level
 // partial recovery. workers bounds lossy decode parallelism (0 =
 // GOMAXPROCS).
-func LoadLatest(st store.Target, workers int) (*LoadedCheckpoint, error) {
+func LoadLatest(st store.Target, workers int) (lc *LoadedCheckpoint, err error) {
+	op := journal.Default().Begin("ckpt.restore", "mode", "load_latest")
+	defer func() {
+		if op == nil {
+			return
+		}
+		if lc != nil {
+			op.SetStep(lc.Step)
+			op.SetSeq(lc.Generation)
+			op.Set("codec", lc.Codec)
+			for _, lf := range lc.Fields {
+				op.Entry(journal.Entry{Var: lf.Name})
+			}
+			if lc.SkippedFrames > 0 {
+				op.Set("skipped_frames", fmt.Sprint(lc.SkippedFrames))
+			}
+		}
+		op.End(err)
+	}()
 	gens := st.Generations()
 	var failures []error
 

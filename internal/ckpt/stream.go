@@ -127,6 +127,16 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 			}
 		}()
 	}
+	jop, jowned := m.opFor("ckpt.checkpoint", "codec", m.codec.Name(), "mode", "stream")
+	if jop != nil {
+		jop.SetStep(step)
+		defer func() {
+			m.fillCheckpoint(jop, rep, encoded)
+			if jowned {
+				jop.End(err)
+			}
+		}()
+	}
 
 	cw := &countingWriter{w: w}
 	var hdrBuf bytes.Buffer
@@ -194,6 +204,9 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 		})
 		rep.RawBytes += enc.RawBytes
 		rep.CompressedBytes += int(sw.n)
+		// Breadcrumb for kill-mid-checkpoint replay: the furthest entry
+		// written and the stream bytes produced so far.
+		jop.Progress("entry:"+name, int64(cw.n))
 	}
 	rep.FileBytes = cw.n
 	rep.Wall = time.Since(start)
@@ -204,9 +217,20 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 // next generation via CommitStream: compression, entropy coding and
 // store I/O overlap, and neither the manager nor the store buffers the
 // stream. The durability protocol is identical to CheckpointTo.
-func (m *Manager) CheckpointStreamTo(st store.Target, step int) (*Report, store.Generation, error) {
-	var rep *Report
-	gen, err := st.CommitStream(step, func(w io.Writer) error {
+func (m *Manager) CheckpointStreamTo(st store.Target, step int) (rep *Report, gen store.Generation, err error) {
+	// Like CheckpointTo: own the wide event so store commit/vote records
+	// join the same operation; CheckpointStream enriches it.
+	op := m.journal().Begin("ckpt.checkpoint", "codec", m.codec.Name(), "mode", "stream")
+	if op != nil {
+		op.SetStep(step)
+		m.curOp = op
+		defer func() {
+			m.curOp = nil
+			op.SetSeq(gen.Seq)
+			op.End(err)
+		}()
+	}
+	gen, err = st.CommitStream(step, func(w io.Writer) error {
 		var cerr error
 		rep, cerr = m.CheckpointStream(w, step)
 		return cerr

@@ -80,6 +80,11 @@ type ChunkedResult struct {
 	// worst quantization error across every slab, usable the same way as
 	// the single-array field.
 	MaxCoeffError float64
+	// PerChunk holds each chunk's own phase breakdown in chunk order —
+	// the per-chunk waterfall the flight-recorder journal attaches to
+	// checkpoint wide events. Identical across the serial, parallel and
+	// streaming paths (chunks are folded in deterministic order).
+	PerChunk []Timings
 }
 
 // CompressionRatePct returns cr (Eq. 5) in percent, framing included.
@@ -120,6 +125,7 @@ func (r *ChunkedResult) addChunk(cres *Result) {
 	r.Timings.TempWrite += cres.Timings.TempWrite
 	r.Timings.Gzip += cres.Timings.Gzip
 	r.Timings.CPUTotal += cres.Timings.Total
+	r.PerChunk = append(r.PerChunk, cres.Timings)
 	if cres.MaxCoeffError > r.MaxCoeffError {
 		r.MaxCoeffError = cres.MaxCoeffError
 	}

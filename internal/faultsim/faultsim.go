@@ -26,12 +26,14 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"lossyckpt/internal/ckpt"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/guard"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/store"
 )
@@ -314,6 +316,9 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 								obsr.Event("faultsim.replica_loss",
 									"replica", victim, "gen", g.Seq)
 							}
+							journal.Default().Note("faultsim.replica_loss",
+								"replica", strconv.Itoa(victim),
+								"gen", strconv.FormatUint(g.Seq, 10))
 						}
 					}
 				}
@@ -333,6 +338,10 @@ func Run(app, reference App, cfg Config) (*Result, error) {
 				obsr.Event("faultsim.failure",
 					"at_step", before, "rolled_back_to", step, "virtual_clock", clock.String())
 			}
+			journal.Default().Note("faultsim.failure",
+				"at_step", strconv.Itoa(before),
+				"rolled_back_to", strconv.Itoa(step),
+				"virtual_clock", clock.String())
 		}
 		app.Step()
 		clock += cfg.StepCost

@@ -26,6 +26,7 @@ import (
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 	"lossyckpt/internal/quant"
 	"lossyckpt/internal/stats"
 	"lossyckpt/internal/wavelet"
@@ -542,6 +543,7 @@ func (p Policy) backoff(violations int) {
 func escalate(o *obs.Registry, name, step, why string) {
 	o.Counter(MetricEscalations, "step", step).Inc()
 	o.Event("guard.escalate", "var", name, "step", step, "why", why)
+	journal.Default().Note("guard.escalate", "var", name, "step", step, "why", why)
 }
 
 func record(o *obs.Registry, name string, ann Annotation) {

@@ -233,6 +233,7 @@ var Runners = map[string]func(Config) (*Table, error){
 	"datasets":    Datasets,
 	"guard":       GuardOverhead,
 	"entropy":     EntropyStage,
+	"qa":          QualityAnalytics,
 }
 
 // RunnerIDs lists the experiment ids in canonical order.
@@ -240,5 +241,5 @@ var RunnerIDs = []string{
 	"tab1", "fig6", "fig7", "fig8", "fig8-all", "fig9", "fig10",
 	"ablate-gzip", "errbound", "fpc", "nbody", "levels", "cluster", "interval",
 	"perband", "threshold", "faults", "incremental", "datasets", "guard",
-	"entropy",
+	"entropy", "qa",
 }

@@ -112,6 +112,7 @@ func GuardOverhead(cfg Config) (*Table, error) {
 		"analytic verification bounds error from quantization tables (cheap, conservative); decode re-expands and measures (costly, exact)",
 		"tight policies escalate the ladder (more divisions -> simple method -> lossless bands -> gzip), trading compression for the guarantee",
 		"every row's achieved figures are enforced: a violated bound degrades to bit-exact gzip rather than shipping out of spec")
+	attachQualityReport(cfg, t, "climate", "x13-guard-quality")
 	return t, nil
 }
 

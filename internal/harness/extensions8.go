@@ -160,5 +160,6 @@ func EntropyStage(cfg Config) (*Table, error) {
 		"the entropy stage consumes the formatted container (stage 4); MB/s is formatted bytes over stage time",
 		"the stage is lossless, so reconstruction error is identical across rows — only time and size move",
 		"autotune probes the candidates on a 256 KiB sample and applies the winner; -autotune adds the throughput/ratio objectives, -codec/-shuffle add a fixed extra row")
+	attachQualityReport(cfg, t, "climate", "x14-entropy-quality")
 	return t, nil
 }

@@ -48,6 +48,11 @@ type Config struct {
 	// reports the balanced-objective autotuner; this adds the throughput
 	// and ratio objectives.
 	Autotune bool
+	// ReportDir, when set, makes quality-aware experiments (qa, guard,
+	// entropy) write their full per-workload quality reports
+	// (markdown + JSON: error histograms, spectra, rate-distortion
+	// curves) into this directory.
+	ReportDir string
 }
 
 // Default returns the paper-faithful configuration. Running all figures at

@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -32,6 +36,14 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.WriteSummary(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = writeBuildInfo(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -47,9 +59,50 @@ func (r *Registry) Handler() http.Handler {
 		fmt.Fprintln(w, "  /metrics       Prometheus text format")
 		fmt.Fprintln(w, "  /metrics.json  JSON snapshot (metrics + events)")
 		fmt.Fprintln(w, "  /summary       human summary table")
+		fmt.Fprintln(w, "  /healthz       liveness probe")
+		fmt.Fprintln(w, "  /buildinfo     build and runtime facts (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
 	})
 	return mux
+}
+
+// writeBuildInfo renders a small JSON document of build and runtime
+// facts: module version and VCS stamp when the binary carries them,
+// plus Go version, GOMAXPROCS and coarse memory counters.
+func writeBuildInfo(w io.Writer) error {
+	type buildInfo struct {
+		GoVersion  string            `json:"go_version"`
+		Path       string            `json:"path,omitempty"`
+		Version    string            `json:"version,omitempty"`
+		Settings   map[string]string `json:"settings,omitempty"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumGC      uint32            `json:"num_gc"`
+		HeapBytes  uint64            `json:"heap_bytes"`
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	bi := buildInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumGC:      ms.NumGC,
+		HeapBytes:  ms.HeapAlloc,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		bi.Path = info.Main.Path
+		bi.Version = info.Main.Version
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified", "GOARCH", "GOOS":
+				if bi.Settings == nil {
+					bi.Settings = map[string]string{}
+				}
+				bi.Settings[s.Key] = s.Value
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bi)
 }
 
 // Server is a running metrics listener.

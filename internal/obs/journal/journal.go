@@ -1,0 +1,528 @@
+// Package journal is the flight recorder: every significant operation
+// (checkpoint, restore, store commit, quorum vote, read-repair, scrub,
+// tune probe, guard escalation) emits one structured wide event to an
+// append-only JSONL file, so a single failed or slow operation can be
+// replayed after the fact from the journal alone — no debugger, no
+// re-run. The journal is bounded (size-based rotation over a small
+// ring of files) and deliberately boring: encoding/json, O_APPEND
+// writes, one mutex. A nil *Journal is a valid no-op recorder, exactly
+// like a nil *obs.Registry, so call sites never branch on "is the
+// flight recorder on".
+//
+// Records carry an operation ID and the ID of the operation that was
+// active when they began, so a checkpoint's store commit, its replica
+// votes, and any guard escalations raised while encoding all join
+// under one trace. Parent attribution uses a process-wide "active
+// operation" register: exact for the sequential CLI and faultsim
+// paths, best-effort when independent operations genuinely overlap.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lossyckpt/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxBytes       = 4 << 20   // rotate the active file beyond 4 MiB
+	DefaultMaxFiles       = 4         // active file + 3 rotated predecessors
+	DefaultMaxRecordBytes = 256 << 10 // drop single records larger than this
+)
+
+// Options configures a Journal. The zero value is usable.
+type Options struct {
+	// MaxBytes rotates the active file once it exceeds this size.
+	MaxBytes int64
+	// MaxFiles bounds the rotation ring: the active file plus
+	// MaxFiles-1 rotated predecessors (path.1 newest … path.N oldest).
+	MaxFiles int
+	// MaxRecordBytes drops any single encoded record larger than this
+	// (counted on Observer) instead of letting one degenerate event
+	// blow the ring.
+	MaxRecordBytes int
+	// Observer receives journal health metrics (records written,
+	// rotations, drops). Nil means obs.Default().
+	Observer *obs.Registry
+}
+
+// Metric names the journal emits on its observer.
+const (
+	MetricRecords        = "lossyckpt_journal_records_total"
+	MetricBytes          = "lossyckpt_journal_bytes_total"
+	MetricRotations      = "lossyckpt_journal_rotations_total"
+	MetricDroppedRecords = "lossyckpt_journal_dropped_records_total"
+	MetricWriteErrors    = "lossyckpt_journal_write_errors_total"
+)
+
+// Vote records one replica's outcome inside a quorum commit.
+type Vote struct {
+	Replica string `json:"replica"`
+	OK      bool   `json:"ok"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Entry is the per-variable slice of a checkpoint/restore wide event:
+// the stage waterfall, codec decisions, and guard outcome for one
+// array.
+type Entry struct {
+	Var         string             `json:"var"`
+	BytesIn     int                `json:"bytes_in,omitempty"`
+	BytesOut    int                `json:"bytes_out,omitempty"`
+	Codec       string             `json:"codec,omitempty"`
+	Shuffle     bool               `json:"shuffle,omitempty"`
+	Divisions   int                `json:"divisions,omitempty"`
+	Guard       string             `json:"guard,omitempty"`
+	Escalations int                `json:"escalations,omitempty"`
+	Stages      map[string]float64 `json:"stages,omitempty"`
+	// Chunks carries the per-chunk stage waterfall under the chunked
+	// streaming path, in chunk order.
+	Chunks []map[string]float64 `json:"chunks,omitempty"`
+}
+
+// Record is one wide event. Phase distinguishes the slim "begin"
+// marker written when an operation starts (the evidence a killed
+// process leaves behind), optional "progress" markers, and the full
+// "end" event carrying the whole waterfall.
+type Record struct {
+	Time     time.Time          `json:"ts"`
+	ID       string             `json:"id"`
+	Parent   string             `json:"parent,omitempty"`
+	Op       string             `json:"op"`
+	Phase    string             `json:"phase"` // begin | progress | end | note
+	Step     int                `json:"step,omitempty"`
+	Seq      uint64             `json:"seq,omitempty"`
+	Stage    string             `json:"stage,omitempty"`
+	Err      string             `json:"err,omitempty"`
+	Seconds  float64            `json:"seconds,omitempty"`
+	BytesIn  int64              `json:"bytes_in,omitempty"`
+	BytesOut int64              `json:"bytes_out,omitempty"`
+	Stages   map[string]float64 `json:"stages,omitempty"`
+	Entries  []Entry            `json:"entries,omitempty"`
+	Votes    []Vote             `json:"votes,omitempty"`
+	Attrs    map[string]string  `json:"attrs,omitempty"`
+}
+
+// Journal appends wide events to a JSONL file with size-based
+// rotation. All methods are safe for concurrent use and safe on a nil
+// receiver (no-op).
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+	opt  Options
+	seq  atomic.Uint64
+
+	// active is the ID of the most recent root operation still open —
+	// the parent new operations and notes attach to. Best-effort under
+	// concurrency (see package comment).
+	active atomic.Pointer[string]
+}
+
+// Open creates (or appends to) the journal at path. The directory must
+// exist.
+func Open(path string, opt Options) (*Journal, error) {
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = DefaultMaxBytes
+	}
+	if opt.MaxFiles <= 0 {
+		opt.MaxFiles = DefaultMaxFiles
+	}
+	if opt.MaxRecordBytes <= 0 {
+		opt.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: stat: %w", err)
+	}
+	return &Journal{f: f, path: path, size: st.Size(), opt: opt}, nil
+}
+
+// Path returns the active journal file path ("" on nil).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close flushes and closes the active file. The journal must not be
+// used afterwards.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// observer resolves the configured registry or the process default.
+func (j *Journal) observer() *obs.Registry {
+	if j.opt.Observer != nil {
+		return j.opt.Observer
+	}
+	return obs.Default()
+}
+
+// nextID mints a process-unique operation ID.
+func (j *Journal) nextID() string {
+	return fmt.Sprintf("op-%d-%d", os.Getpid(), j.seq.Add(1))
+}
+
+// append encodes and writes one record, rotating first if the active
+// file is over budget. Drops (never blocks or fails the caller) on
+// encode errors or oversized records.
+func (j *Journal) append(rec *Record) {
+	if j == nil {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	b, err := json.Marshal(rec)
+	if err != nil || len(b)+1 > j.opt.MaxRecordBytes {
+		j.observer().Counter(MetricDroppedRecords).Inc()
+		return
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if j.size+int64(len(b)) > j.opt.MaxBytes && j.size > 0 {
+		j.rotateLocked()
+	}
+	n, err := j.f.Write(b)
+	j.size += int64(n)
+	o := j.observer()
+	if err != nil {
+		o.Counter(MetricWriteErrors).Inc()
+		return
+	}
+	o.Counter(MetricRecords).Inc()
+	o.Counter(MetricBytes).Add(float64(n))
+}
+
+// rotateLocked shifts path → path.1 → … → path.(MaxFiles-1), dropping
+// the oldest, and reopens a fresh active file. Errors are swallowed
+// (the recorder must never take down the recorded).
+func (j *Journal) rotateLocked() {
+	j.f.Close()
+	for i := j.opt.MaxFiles - 1; i >= 1; i-- {
+		from := j.path
+		if i > 1 {
+			from = fmt.Sprintf("%s.%d", j.path, i-1)
+		}
+		to := fmt.Sprintf("%s.%d", j.path, i)
+		if i == j.opt.MaxFiles-1 {
+			os.Remove(to)
+		}
+		os.Rename(from, to)
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.f = nil
+		j.observer().Counter(MetricWriteErrors).Inc()
+		return
+	}
+	j.f = f
+	j.size = 0
+	j.observer().Counter(MetricRotations).Inc()
+}
+
+// Files returns the journal file set oldest-first: rotated
+// predecessors then the active file. Nil-safe.
+func (j *Journal) Files() []string {
+	if j == nil {
+		return nil
+	}
+	return RotatedSet(j.path, j.opt.MaxFiles)
+}
+
+// RotatedSet lists the existing files of a rotation ring oldest-first
+// for a given base path and ring size (0 means DefaultMaxFiles).
+func RotatedSet(path string, maxFiles int) []string {
+	if maxFiles <= 0 {
+		maxFiles = DefaultMaxFiles
+	}
+	var out []string
+	for i := maxFiles - 1; i >= 1; i-- {
+		p := fmt.Sprintf("%s.%d", path, i)
+		if _, err := os.Stat(p); err == nil {
+			out = append(out, p)
+		}
+	}
+	if _, err := os.Stat(path); err == nil {
+		out = append(out, path)
+	}
+	return out
+}
+
+// Op is an in-flight operation accumulating one wide event. Created by
+// Begin, finished by End. Safe on a nil receiver and for concurrent
+// mutation (replica vote outcomes arrive from worker goroutines);
+// mutations after End are dropped.
+type Op struct {
+	j     *Journal
+	mu    sync.Mutex
+	rec   Record
+	start time.Time
+	root  bool
+	done  bool
+}
+
+// Begin opens an operation: a slim begin record is written immediately
+// (the evidence a kill leaves behind), and the returned Op accumulates
+// the waterfall until End. attrs are alternating key/value strings.
+func (j *Journal) Begin(op string, attrs ...string) *Op {
+	if j == nil {
+		return nil
+	}
+	id := j.nextID()
+	var parent string
+	root := j.active.CompareAndSwap(nil, &id)
+	if !root {
+		if p := j.active.Load(); p != nil {
+			parent = *p
+		}
+	}
+	o := &Op{
+		j:     j,
+		start: time.Now(),
+		root:  root,
+		rec: Record{
+			ID:     id,
+			Parent: parent,
+			Op:     op,
+			Attrs:  attrMap(attrs),
+		},
+	}
+	j.append(&Record{
+		ID:     id,
+		Parent: parent,
+		Op:     op,
+		Phase:  "begin",
+		Attrs:  o.rec.Attrs,
+	})
+	return o
+}
+
+// ID returns the operation ID ("" on nil).
+func (o *Op) ID() string {
+	if o == nil {
+		return ""
+	}
+	return o.rec.ID
+}
+
+// Set adds or overwrites string attributes on the final record.
+func (o *Op) Set(attrs ...string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.rec.Attrs == nil {
+		o.rec.Attrs = map[string]string{}
+	}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		o.rec.Attrs[attrs[i]] = attrs[i+1]
+	}
+}
+
+// SetStep records the application step the operation acts on.
+func (o *Op) SetStep(step int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rec.Step = step
+	o.mu.Unlock()
+}
+
+// SetSeq records the store generation sequence.
+func (o *Op) SetSeq(seq uint64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rec.Seq = seq
+	o.mu.Unlock()
+}
+
+// SetBytes records the operation's input/output byte totals.
+func (o *Op) SetBytes(in, out int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rec.BytesIn = in
+	o.rec.BytesOut = out
+	o.mu.Unlock()
+}
+
+// Stage records one stage's duration in the operation waterfall.
+func (o *Op) Stage(name string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.rec.Stages == nil {
+		o.rec.Stages = map[string]float64{}
+	}
+	o.rec.Stages[name] += d.Seconds()
+}
+
+// Entry appends one per-variable entry to the wide event.
+func (o *Op) Entry(e Entry) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rec.Entries = append(o.rec.Entries, e)
+	o.mu.Unlock()
+}
+
+// Vote appends one replica vote outcome to the wide event.
+func (o *Op) Vote(replica string, ok bool, err error) {
+	if o == nil {
+		return
+	}
+	v := Vote{Replica: replica, OK: ok}
+	if err != nil {
+		v.Err = err.Error()
+	}
+	o.mu.Lock()
+	o.rec.Votes = append(o.rec.Votes, v)
+	o.mu.Unlock()
+}
+
+// Progress writes an immediate slim record marking the furthest stage
+// reached and bytes handled so far — the breadcrumb trail a
+// kill-mid-operation replay walks.
+func (o *Op) Progress(stage string, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.j.append(&Record{
+		ID:       o.rec.ID,
+		Parent:   o.rec.Parent,
+		Op:       o.rec.Op,
+		Phase:    "progress",
+		Stage:    stage,
+		BytesOut: bytes,
+	})
+}
+
+// End finishes the operation: the full wide event is written with
+// total duration and the error, if any, and the active-operation
+// register is released if this Op held it.
+func (o *Op) End(err error) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.done {
+		o.mu.Unlock()
+		return
+	}
+	o.done = true
+	rec := o.rec
+	o.mu.Unlock()
+	rec.Phase = "end"
+	rec.Seconds = time.Since(o.start).Seconds()
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if o.root {
+		// While this Op held the register no other Begin could replace
+		// it (they only CAS from nil), so an unconditional clear is
+		// safe.
+		o.j.active.Store(nil)
+	}
+	o.j.append(&rec)
+}
+
+// Note writes one self-contained wide event (begin+end collapsed) for
+// single-shot facts: a guard escalation, a tune decision, a read
+// repair. It inherits the active operation as parent.
+func (j *Journal) Note(op string, attrs ...string) {
+	if j == nil {
+		return
+	}
+	var parent string
+	if p := j.active.Load(); p != nil {
+		parent = *p
+	}
+	j.append(&Record{
+		ID:     j.nextID(),
+		Parent: parent,
+		Op:     op,
+		Phase:  "note",
+		Attrs:  attrMap(attrs),
+	})
+}
+
+// attrMap folds alternating key/value strings into a map.
+func attrMap(attrs []string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs)/2)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		m[attrs[i]] = attrs[i+1]
+	}
+	return m
+}
+
+// defaultJournal is the process-wide recorder, mirroring obs.Default:
+// install once in main, record everywhere without plumbing.
+var defaultJournal atomic.Pointer[Journal]
+
+// Default returns the process-wide journal, or nil (a valid no-op
+// recorder) when none is installed.
+func Default() *Journal { return defaultJournal.Load() }
+
+// SetDefault installs j as the process-wide journal and returns the
+// previous one. SetDefault(nil) disables default recording.
+func SetDefault(j *Journal) *Journal { return defaultJournal.Swap(j) }
+
+// OpenDefault opens a journal at path (creating parent directories)
+// and installs it as the process default. Convenience for CLIs.
+func OpenDefault(path string, opt Options) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: mkdir: %w", err)
+		}
+	}
+	j, err := Open(path, opt)
+	if err != nil {
+		return nil, err
+	}
+	SetDefault(j)
+	return j, nil
+}
+
+// Note records a one-shot event on the process default journal — a
+// no-op when none is installed.
+func Note(op string, attrs ...string) { Default().Note(op, attrs...) }

@@ -1,0 +1,421 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, opt Options) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Open(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, path
+}
+
+// TestBeginEndRoundTrip: one op's begin/end pair replays into a single
+// complete root with its attributes, stages, and bytes intact.
+func TestBeginEndRoundTrip(t *testing.T) {
+	j, path := openTest(t, Options{})
+	op := j.Begin("ckpt.checkpoint", "codec", "lossy")
+	op.SetStep(7)
+	op.SetBytes(1000, 250)
+	op.Stage("transform", 3*time.Millisecond)
+	op.Stage("transform", 2*time.Millisecond) // accumulates
+	op.Entry(Entry{Var: "temp", BytesIn: 1000, BytesOut: 250, Codec: "lz4+shuffle", Divisions: 128})
+	op.End(nil)
+
+	recs, torn, err := ReadFile(path)
+	if err != nil || torn {
+		t.Fatalf("read: err=%v torn=%v", err, torn)
+	}
+	roots := Replay(recs)
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	r := roots[0]
+	if !r.Complete || r.Err != "" || r.Step != 7 || r.BytesIn != 1000 || r.BytesOut != 250 {
+		t.Fatalf("bad root state: %+v", r)
+	}
+	if got := r.Stages["transform"]; got < 0.004 || got > 0.006 {
+		t.Fatalf("transform stage = %v, want ~0.005", got)
+	}
+	if len(r.Entries) != 1 || r.Entries[0].Codec != "lz4+shuffle" {
+		t.Fatalf("entries: %+v", r.Entries)
+	}
+}
+
+// TestParentPropagation: ops begun while a root is active become its
+// children in the replayed tree; notes attach the same way.
+func TestParentPropagation(t *testing.T) {
+	j, path := openTest(t, Options{})
+	root := j.Begin("ckpt.checkpoint")
+	child := j.Begin("store.commit")
+	child.Vote("0", true, nil)
+	child.Vote("1", false, errors.New("disk gone"))
+	child.End(nil)
+	Note("tune.decision", "codec", "gzip")
+	_ = j // Note goes through Default; use the journal's own helper instead
+	j.Note("guard.escalate", "var", "temp", "why", "bound violated")
+	root.End(nil)
+
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := Replay(recs)
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (children should nest)", len(roots))
+	}
+	r := roots[0]
+	if len(r.Children) != 1 || r.Children[0].Op != "store.commit" {
+		t.Fatalf("children: %+v", r.Children)
+	}
+	votes := r.Children[0].Votes
+	if len(votes) != 2 || votes[0].OK != true || votes[1].OK != false || votes[1].Err == "" {
+		t.Fatalf("votes: %+v", votes)
+	}
+	if len(r.Notes) != 1 || r.Notes[0].Op != "guard.escalate" {
+		t.Fatalf("notes: %+v", r.Notes)
+	}
+	// After the root ends, new ops are roots again.
+	j.Begin("ckpt.restore").End(nil)
+	recs, _, _ = ReadFile(path)
+	if got := len(Replay(recs)); got != 2 {
+		t.Fatalf("roots after second op = %d, want 2", got)
+	}
+}
+
+// TestIncompleteOpSurvivesKill: an op begun but never ended — the
+// kill-mid-checkpoint shape — replays as incomplete, carrying the last
+// Progress breadcrumb (stage reached, bytes committed).
+func TestIncompleteOpSurvivesKill(t *testing.T) {
+	j, path := openTest(t, Options{})
+	op := j.Begin("ckpt.checkpoint", "mode", "stream")
+	op.Progress("entry:temperature", 4096)
+	op.Progress("payload_streamed", 9000)
+	// no End: simulated kill
+
+	recs, torn, err := ReadFile(path)
+	if err != nil || torn {
+		t.Fatalf("read: err=%v torn=%v", err, torn)
+	}
+	roots := Replay(recs)
+	if len(roots) != 1 || roots[0].Complete {
+		t.Fatalf("want one incomplete root, got %+v", roots)
+	}
+	if roots[0].LastStage != "payload_streamed" || roots[0].LastBytes != 9000 {
+		t.Fatalf("last breadcrumb: stage=%q bytes=%d", roots[0].LastStage, roots[0].LastBytes)
+	}
+	inc := Incomplete(roots)
+	if len(inc) != 1 || inc[0].Op != "ckpt.checkpoint" {
+		t.Fatalf("incomplete: %+v", inc)
+	}
+}
+
+// TestTornTailRecovered: a truncated final line must not poison replay —
+// the reader drops it and reports torn=true.
+func TestTornTailRecovered(t *testing.T) {
+	j, path := openTest(t, Options{})
+	j.Begin("ckpt.checkpoint").End(nil)
+	j.Begin("ckpt.restore").End(nil)
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-JSON.
+	torn := data[:len(data)-15]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, wasTorn, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if !wasTorn {
+		t.Fatal("torn=false for a truncated final line")
+	}
+	roots := Replay(recs)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (checkpoint complete, restore's end lost)", len(roots))
+	}
+	if !roots[0].Complete {
+		t.Fatal("first op lost despite living before the tear")
+	}
+}
+
+// TestCorruptMiddleRejected: a malformed line with records after it is
+// real corruption, not a torn tail.
+func TestCorruptMiddleRejected(t *testing.T) {
+	j, path := openTest(t, Options{})
+	j.Begin("a").End(nil)
+	j.Close()
+
+	data, _ := os.ReadFile(path)
+	bad := []byte("{broken\n")
+	mixed := append(bad, data...)
+	if err := os.WriteFile(path, mixed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// TestRotation: exceeding MaxBytes rotates path → path.1 → …, keeping
+// at most MaxFiles rotated generations, and ReadAll stitches them back
+// oldest-first.
+func TestRotation(t *testing.T) {
+	j, path := openTest(t, Options{MaxBytes: 2048, MaxFiles: 3})
+	for i := 0; i < 200; i++ {
+		op := j.Begin("ckpt.checkpoint", "round", fmt.Sprint(i))
+		op.SetStep(i)
+		op.End(nil)
+	}
+	j.Close()
+
+	rotated := RotatedSet(path, DefaultMaxFiles+2)
+	if len(rotated) < 2 {
+		t.Fatalf("no rotation happened: %v", rotated)
+	}
+	for _, p := range rotated {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("rotated file %s: %v", p, err)
+		}
+		if fi.Size() > 2048+int64(DefaultMaxRecordBytes) {
+			t.Fatalf("%s is %d bytes, far over the cap", p, fi.Size())
+		}
+	}
+	if extra := filepath.Join(path + ".4"); fileExists(extra) {
+		t.Fatalf("%s exists; MaxFiles=3 not enforced", extra)
+	}
+
+	recs, _, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 10 {
+		t.Fatalf("ReadAll returned %d records", len(recs))
+	}
+	// Steps must be non-decreasing across the stitched files.
+	last := -1
+	for _, r := range recs {
+		if r.Phase != "end" {
+			continue
+		}
+		if r.Step < last {
+			t.Fatalf("records out of order: step %d after %d", r.Step, last)
+		}
+		last = r.Step
+	}
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// TestOversizedRecordDropped: a record bigger than MaxRecordBytes is
+// dropped rather than written or fatal.
+func TestOversizedRecordDropped(t *testing.T) {
+	j, path := openTest(t, Options{MaxRecordBytes: 512})
+	op := j.Begin("ckpt.checkpoint")
+	op.Set("blob", strings.Repeat("x", 4096))
+	op.End(nil)
+	j.Begin("ckpt.restore").End(nil)
+
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Phase == "end" && r.Op == "ckpt.checkpoint" {
+			t.Fatal("oversized end record was written")
+		}
+	}
+	// The journal stays usable.
+	found := false
+	for _, r := range recs {
+		if r.Op == "ckpt.restore" && r.Phase == "end" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("journal unusable after oversized drop")
+	}
+}
+
+// TestNilSafety: a nil journal and its nil ops are inert no-ops.
+func TestNilSafety(t *testing.T) {
+	var j *Journal
+	op := j.Begin("anything")
+	op.Set("k", "v")
+	op.SetBytes(1, 2)
+	op.Stage("s", time.Second)
+	op.Entry(Entry{Var: "x"})
+	op.Vote("0", true, nil)
+	op.Progress("p", 3)
+	op.End(errors.New("ignored"))
+	j.Note("note")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentVotesAfterEnd: straggler goroutines voting after End —
+// the replicated store's quorum drain shape — must not race or corrupt
+// the record. Run under -race.
+func TestConcurrentVotesAfterEnd(t *testing.T) {
+	j, path := openTest(t, Options{})
+	op := j.Begin("store.quorum_commit")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op.Vote(fmt.Sprint(i), i%2 == 0, nil)
+			op.Stage("replica", time.Millisecond)
+		}(i)
+		if i == 3 {
+			op.End(nil) // quorum reached early; stragglers keep calling
+		}
+	}
+	wg.Wait()
+	op.End(errors.New("second End must be a no-op"))
+
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := 0
+	for _, r := range recs {
+		if r.Phase == "end" {
+			ends++
+			if r.Err != "" {
+				t.Fatalf("second End overwrote the first: %+v", r)
+			}
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("end records = %d, want 1", ends)
+	}
+}
+
+// TestConcurrentOps: many goroutines journaling distinct ops at once is
+// safe and loses nothing. Run under -race.
+func TestConcurrentOps(t *testing.T) {
+	j, path := openTest(t, Options{MaxBytes: 1 << 20})
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op := j.Begin("ckpt.checkpoint", "worker", fmt.Sprint(i))
+			op.SetStep(i)
+			op.Stage("transform", time.Microsecond)
+			op.End(nil)
+		}(i)
+	}
+	wg.Wait()
+
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := 0
+	for _, r := range recs {
+		if r.Phase == "end" {
+			ends++
+		}
+	}
+	if ends != n {
+		t.Fatalf("end records = %d, want %d", ends, n)
+	}
+}
+
+// TestDefaultJournal: OpenDefault installs the process default and
+// SetDefault(nil) uninstalls it; a nil default is a no-op for Note.
+func TestDefaultJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d", "run.jsonl")
+	j, err := OpenDefault(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		SetDefault(nil)
+		j.Close()
+	}()
+	if Default() != j {
+		t.Fatal("OpenDefault did not install the default")
+	}
+	Note("tune.decision", "codec", "lz4")
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != "tune.decision" {
+		t.Fatalf("records: %+v", recs)
+	}
+	SetDefault(nil)
+	Note("dropped") // must not panic with no default installed
+}
+
+// TestSummarize: the journal summary counts ops, escalations, repairs,
+// codec decisions and failed votes, and renders them as markdown.
+func TestSummarize(t *testing.T) {
+	j, path := openTest(t, Options{})
+	root := j.Begin("ckpt.checkpoint")
+	root.Entry(Entry{Var: "t", Codec: "gzip", Escalations: 2})
+	q := j.Begin("store.quorum_commit")
+	q.Vote("0", true, nil)
+	q.Vote("1", false, errors.New("x"))
+	q.End(nil)
+	j.Note("store.read_repair", "replica", "1", "reason", "corrupt")
+	j.Note("tune.decision", "codec", "lz4", "shuffle", "true")
+	root.End(nil)
+	j.Begin("ckpt.restore") // left incomplete
+
+	recs, torn, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(recs, torn, 5)
+	if sum.Escalations != 2 {
+		t.Errorf("escalations = %d, want 2", sum.Escalations)
+	}
+	if sum.Repairs != 1 {
+		t.Errorf("repairs = %d, want 1", sum.Repairs)
+	}
+	if sum.FailedVotes != 1 {
+		t.Errorf("failed votes = %d, want 1", sum.FailedVotes)
+	}
+	if sum.Codecs["gzip"] != 1 || sum.Codecs["lz4+shuffle"] != 1 {
+		t.Errorf("codecs: %+v", sum.Codecs)
+	}
+	if len(sum.Incomplete) != 1 {
+		t.Errorf("incomplete: %+v", sum.Incomplete)
+	}
+	var b strings.Builder
+	if err := sum.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ckpt.checkpoint", "lz4+shuffle", "Slowest"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// reader.go replays a journal: torn-tail-tolerant JSONL decoding over
+// the rotation ring, plus per-operation state reconstruction so a
+// kill-mid-checkpoint run can be analyzed from the journal alone.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReadFile decodes one JSONL journal file. A torn final line — the
+// signature of a process killed mid-append — is dropped and reported
+// via torn, never an error: a crash must not poison replay of the
+// records before it. A malformed line anywhere else is a real error.
+func ReadFile(path string) (recs []Record, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	var pendingErr error
+	pendingLine := -1
+	for line := 1; sc.Scan(); line++ {
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad line followed by more data is corruption, not a torn
+			// tail.
+			return nil, false, fmt.Errorf("journal: %s:%d: %w", path, pendingLine, pendingErr)
+		}
+		var r Record
+		if err := json.Unmarshal(b, &r); err != nil {
+			pendingErr = err
+			pendingLine = line
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	if pendingErr != nil {
+		torn = true
+	}
+	return recs, torn, nil
+}
+
+// ReadAll decodes a whole rotation ring oldest-first. Only the active
+// (last) file may legitimately have a torn tail; rotated files were
+// closed cleanly, so a torn rotated file is still tolerated but
+// flagged.
+func ReadAll(path string) (recs []Record, torn bool, err error) {
+	files := RotatedSet(path, 0)
+	if len(files) == 0 {
+		return nil, false, fmt.Errorf("journal: no files at %s", path)
+	}
+	for _, p := range files {
+		r, t, err := ReadFile(p)
+		if err != nil {
+			return nil, false, err
+		}
+		recs = append(recs, r...)
+		torn = torn || t
+	}
+	return recs, torn, nil
+}
+
+// OpState is one operation reconstructed from its begin / progress /
+// end records — the unit of post-mortem replay.
+type OpState struct {
+	ID       string
+	Parent   string
+	Op       string
+	Step     int
+	Seq      uint64
+	Complete bool // an end record was found
+	Err      string
+	Seconds  float64
+	// LastStage is the furthest stage a progress record reached; for
+	// complete ops the stage waterfall in Stages supersedes it.
+	LastStage string
+	// LastBytes is the byte watermark of the latest progress record.
+	LastBytes int64
+	BytesIn   int64
+	BytesOut  int64
+	Stages    map[string]float64
+	Entries   []Entry
+	Votes     []Vote
+	Attrs     map[string]string
+	Children  []*OpState
+	Notes     []Record
+}
+
+// Replay folds a record stream into per-operation state, linking
+// children and notes to their parents. The returned slice holds the
+// root operations (no parent, or parent unseen) in first-appearance
+// order.
+func Replay(recs []Record) []*OpState {
+	byID := map[string]*OpState{}
+	var order []string
+	get := func(r *Record) *OpState {
+		st, ok := byID[r.ID]
+		if !ok {
+			st = &OpState{ID: r.ID, Parent: r.Parent, Op: r.Op}
+			byID[r.ID] = st
+			order = append(order, r.ID)
+		}
+		return st
+	}
+	for i := range recs {
+		r := &recs[i]
+		switch r.Phase {
+		case "begin":
+			st := get(r)
+			if st.Attrs == nil {
+				st.Attrs = r.Attrs
+			}
+		case "progress":
+			st := get(r)
+			st.LastStage = r.Stage
+			if r.BytesOut > st.LastBytes {
+				st.LastBytes = r.BytesOut
+			}
+		case "end":
+			st := get(r)
+			st.Complete = true
+			st.Err = r.Err
+			st.Seconds = r.Seconds
+			st.Step = r.Step
+			st.Seq = r.Seq
+			st.BytesIn = r.BytesIn
+			st.BytesOut = r.BytesOut
+			st.Stages = r.Stages
+			st.Entries = r.Entries
+			st.Votes = r.Votes
+			if r.Attrs != nil {
+				if st.Attrs == nil {
+					st.Attrs = map[string]string{}
+				}
+				for k, v := range r.Attrs {
+					st.Attrs[k] = v
+				}
+			}
+		case "note":
+			if r.Parent != "" {
+				if p, ok := byID[r.Parent]; ok {
+					p.Notes = append(p.Notes, *r)
+					continue
+				}
+			}
+			// Orphan note: surface it as its own root.
+			st := get(r)
+			st.Complete = true
+			st.Attrs = r.Attrs
+		}
+	}
+	var roots []*OpState
+	for _, id := range order {
+		st := byID[id]
+		if st.Parent != "" {
+			if p, ok := byID[st.Parent]; ok {
+				p.Children = append(p.Children, st)
+				continue
+			}
+		}
+		roots = append(roots, st)
+	}
+	return roots
+}
+
+// Incomplete returns the operations in the tree (roots and all
+// descendants) that never wrote an end record — the ones a kill
+// interrupted — sorted by ID for stable output.
+func Incomplete(roots []*OpState) []*OpState {
+	var out []*OpState
+	var walk func(st *OpState)
+	walk = func(st *OpState) {
+		if !st.Complete {
+			out = append(out, st)
+		}
+		for _, c := range st.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -36,6 +36,12 @@ type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
 	help    map[string]string
+	// perName counts distinct label sets per metric name so one
+	// unbounded label value (a per-variable gauge fed hostile names)
+	// cannot grow the registry without limit. seriesCap 0 means
+	// DefaultSeriesCap.
+	perName   map[string]int
+	seriesCap int
 
 	events eventRing
 	start  time.Time
@@ -46,6 +52,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		metrics: make(map[string]*metric),
 		help:    make(map[string]string),
+		perName: make(map[string]int),
 		events:  eventRing{cap: DefaultEventCap},
 		start:   time.Now(),
 	}
@@ -88,6 +95,16 @@ func (k metricKind) String() string {
 	}
 	return "unknown"
 }
+
+// DefaultSeriesCap bounds distinct label sets per metric name unless
+// overridden with SetSeriesCap: enough for every real workload here
+// (per-variable gauges over a few dozen variables), small enough that a
+// label fed from unbounded input cannot exhaust memory.
+const DefaultSeriesCap = 1024
+
+// MetricDroppedSeries counts series registrations refused by the
+// cardinality cap, labeled metric=<name>.
+const MetricDroppedSeries = "obs_dropped_series_total"
 
 // metric is one registered time series: a name, its label pairs and the
 // atomic cells the instruments mutate. Counters and gauges share the
@@ -192,6 +209,14 @@ func (r *Registry) lookup(name string, labels []string, kind metricKind, bounds 
 		}
 		return m
 	}
+	cap := r.seriesCap
+	if cap <= 0 {
+		cap = DefaultSeriesCap
+	}
+	if name != MetricDroppedSeries && r.perName[name] >= cap {
+		r.dropSeriesLocked(name)
+		return nil // instruments on a nil metric are no-ops
+	}
 	m = &metric{
 		name:   name,
 		labels: append([]string(nil), labels...),
@@ -202,7 +227,37 @@ func (r *Registry) lookup(name string, labels []string, kind metricKind, bounds 
 		m.buckets = make([]atomic.Uint64, len(bounds)+1)
 	}
 	r.metrics[k] = m
+	r.perName[name]++
 	return m
+}
+
+// SetSeriesCap bounds the number of distinct label sets any one metric
+// name may register (0 restores DefaultSeriesCap). Existing series are
+// kept; new ones beyond the cap become no-ops and are counted in
+// MetricDroppedSeries.
+func (r *Registry) SetSeriesCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seriesCap = n
+	r.mu.Unlock()
+}
+
+// dropSeriesLocked counts one refused series registration. It creates
+// the drop counter inline because r.mu is already held.
+func (r *Registry) dropSeriesLocked(name string) {
+	k := key(MetricDroppedSeries, []string{"metric", name})
+	m := r.metrics[k]
+	if m == nil {
+		m = &metric{
+			name:   MetricDroppedSeries,
+			labels: []string{"metric", name},
+			kind:   kindCounter,
+		}
+		r.metrics[k] = m
+	}
+	addFloat(&m.bits, 1)
 }
 
 // SetHelp registers the HELP text emitted for a metric name in the

@@ -1,0 +1,205 @@
+// report.go renders assessments and rate-distortion curves as a
+// self-contained markdown + JSON report — the artifact the harness
+// attaches per workload and the CLI's `report` subcommand emits.
+package qa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// VarRD is the rate-distortion curve for one variable.
+type VarRD struct {
+	Var    string    `json:"var"`
+	Points []RDPoint `json:"points"`
+}
+
+// Report bundles everything qa knows about one workload or checkpoint.
+type Report struct {
+	Title       string        `json:"title"`
+	Workload    string        `json:"workload,omitempty"`
+	Codec       string        `json:"codec,omitempty"`
+	Created     time.Time     `json:"created"`
+	Assessments []*Assessment `json:"assessments,omitempty"`
+	RD          []VarRD       `json:"rate_distortion,omitempty"`
+	Notes       []string      `json:"notes,omitempty"`
+}
+
+// AddNote appends a free-form provenance note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteMarkdown renders the report as a self-contained markdown
+// document: summary tables plus ASCII sparkline-style histograms so it
+// reads without any plotting toolchain.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", r.Title)
+	if r.Workload != "" {
+		fmt.Fprintf(&b, "- workload: %s\n", r.Workload)
+	}
+	if r.Codec != "" {
+		fmt.Fprintf(&b, "- codec: %s\n", r.Codec)
+	}
+	if !r.Created.IsZero() {
+		fmt.Fprintf(&b, "- created: %s\n", r.Created.UTC().Format(time.RFC3339))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	b.WriteString("\n")
+
+	if len(r.Assessments) > 0 {
+		b.WriteString("## Error assessment\n\n")
+		b.WriteString("| var | n | range | max-abs | max-rel | avg-rel | RMSE | PSNR dB | spike |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, a := range r.Assessments {
+			fmt.Fprintf(&b, "| %s | %d | [%.4g, %.4g] | %.4g | %.4g | %.4g | %.4g | %s | %.2f |\n",
+				a.Var, a.N, a.MinVal, a.MaxVal, a.MaxAbs, a.MaxRel, a.AvgRel, a.RMSE, fmtDB(a.PSNR), a.SpikeFraction)
+		}
+		b.WriteString("\n")
+		for _, a := range r.Assessments {
+			writeAssessmentDetail(&b, a)
+		}
+	}
+
+	for _, rd := range r.RD {
+		fmt.Fprintf(&b, "## Rate-distortion — %s\n\n", rd.Var)
+		b.WriteString("| divisions | bytes | bits/val | cr % | PSNR dB | max-abs | max-rel | enc s | dec s |\n")
+		b.WriteString("|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, p := range rd.Points {
+			fmt.Fprintf(&b, "| %d | %d | %.3f | %.2f | %s | %.4g | %.4g | %.4f | %.4f |\n",
+				p.Divisions, p.CompressedBytes, p.BitsPerValue, p.CompressionRate, fmtDB(p.PSNR), p.MaxAbs, p.MaxRel, p.EncodeSeconds, p.DecodeSeconds)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeAssessmentDetail renders one variable's histogram, spectrum and
+// autocorrelation sections.
+func writeAssessmentDetail(b *strings.Builder, a *Assessment) {
+	fmt.Fprintf(b, "### %s\n\n", a.Var)
+	if h := a.ErrHist; h != nil && h.Total > 0 {
+		b.WriteString("Error distribution:\n\n```\n")
+		maxC := 0
+		for _, c := range h.Counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		width := (h.Max - h.Min) / float64(len(h.Counts))
+		for i, c := range h.Counts {
+			bar := ""
+			if maxC > 0 {
+				bar = strings.Repeat("#", c*40/maxC)
+			}
+			lo := h.Min + float64(i)*width
+			fmt.Fprintf(b, "%12.4g | %-40s %d\n", lo, bar, c)
+		}
+		b.WriteString("```\n\n")
+	}
+	if len(a.Spectrum) > 0 {
+		b.WriteString("Energy spectrum (fraction of total energy per band):\n\n")
+		b.WriteString("| band (×Nyquist) | signal | error |\n|---|---:|---:|\n")
+		for _, band := range a.Spectrum {
+			fmt.Fprintf(b, "| [%.3f, %.3f) | %.4f | %.4f |\n", band.LoFrac, band.HiFrac, band.SignalFrac, band.ErrorFrac)
+		}
+		b.WriteString("\n")
+	}
+	if len(a.Autocorr) > 0 {
+		b.WriteString("Error autocorrelation (lag: r):\n\n```\n")
+		for k, r := range a.Autocorr {
+			if k > 8 && k%4 != 0 {
+				continue // thin the tail: lags 0..8 then every 4th
+			}
+			fmt.Fprintf(b, "lag %2d: %+.4f\n", k, r)
+		}
+		b.WriteString("```\n\n")
+	}
+}
+
+// fmtDB formats a decibel value, keeping +Inf (bit-exact) readable.
+func fmtDB(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// WriteFiles writes <base>.md and <base>.json into dir (created if
+// missing) and returns their paths.
+func (r *Report) WriteFiles(dir, base string) (mdPath, jsonPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("qa: mkdir: %w", err)
+	}
+	mdPath = filepath.Join(dir, base+".md")
+	jsonPath = filepath.Join(dir, base+".json")
+	var md, js strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		return "", "", err
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(mdPath, []byte(md.String()), 0o644); err != nil {
+		return "", "", fmt.Errorf("qa: write: %w", err)
+	}
+	if err := os.WriteFile(jsonPath, []byte(js.String()), 0o644); err != nil {
+		return "", "", fmt.Errorf("qa: write: %w", err)
+	}
+	return mdPath, jsonPath, nil
+}
+
+// jsonFloat marshals non-finite values as null — encoding/json rejects
+// ±Inf and NaN outright, and a lossless round trip legitimately
+// produces PSNR = +Inf.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// MarshalJSON renders the assessment with non-finite metrics as null.
+func (a *Assessment) MarshalJSON() ([]byte, error) {
+	type alias Assessment
+	return json.Marshal(&struct {
+		*alias
+		MaxRel jsonFloat `json:"max_rel"`
+		AvgRel jsonFloat `json:"avg_rel"`
+		PSNR   jsonFloat `json:"psnr_db"`
+	}{(*alias)(a), jsonFloat(a.MaxRel), jsonFloat(a.AvgRel), jsonFloat(a.PSNR)})
+}
+
+// MarshalJSON renders the RD point with non-finite metrics as null.
+func (p RDPoint) MarshalJSON() ([]byte, error) {
+	type alias RDPoint
+	return json.Marshal(&struct {
+		alias
+		PSNR   jsonFloat `json:"psnr_db"`
+		MaxRel jsonFloat `json:"max_rel"`
+	}{alias(p), jsonFloat(p.PSNR), jsonFloat(p.MaxRel)})
+}

@@ -1,0 +1,135 @@
+// spectrum.go computes the per-band energy split of signal vs. error.
+// Z-checker runs a DFT over the data to show where a compressor's loss
+// lives in frequency space; the paper's premise is that wavelet
+// quantization confines loss to the high bands. A self-contained
+// iterative radix-2 FFT over the leading 2^k samples keeps this
+// dependency-free and O(n log n).
+package qa
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// fft performs an in-place iterative radix-2 Cooley-Tukey transform.
+// len(x) must be a power of two.
+func fft(x []complex128) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				u := x[i+k]
+				v := x[i+k+length/2] * w
+				x[i+k] = u + v
+				x[i+k+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// powerSpectrum returns |FFT(x)|^2 over the positive frequencies
+// [1, n/2] of the leading 2^k samples of x (k chosen so 2^k ≤
+// min(len(x), maxN)). Returns nil when fewer than 8 samples exist.
+func powerSpectrum(x []float64, maxN int) []float64 {
+	n := len(x)
+	if n > maxN {
+		n = maxN
+	}
+	// Truncate to a power of two.
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	if p < 8 {
+		return nil
+	}
+	buf := make([]complex128, p)
+	for i := 0; i < p; i++ {
+		v := x[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		buf[i] = complex(v, 0)
+	}
+	fft(buf)
+	out := make([]float64, p/2)
+	for i := 1; i <= p/2; i++ {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i-1] = re*re + im*im
+	}
+	return out
+}
+
+// bandEnergies folds the signal and error power spectra into `bands`
+// octave-style bands (each band spans twice the frequency range of the
+// previous), reporting each band's fraction of its spectrum's total
+// energy. Returns nil when the sample is too short.
+func bandEnergies(signal, errField []float64, bands, maxN int) []Band {
+	ps := powerSpectrum(signal, maxN)
+	pe := powerSpectrum(errField, maxN)
+	if ps == nil || pe == nil || len(ps) != len(pe) {
+		return nil
+	}
+	n := len(ps)
+	var totS, totE float64
+	for i := range ps {
+		totS += ps[i]
+		totE += pe[i]
+	}
+	// Octave edges: the last band covers the top half of the spectrum,
+	// the one before it the next quarter, and so on; the first band
+	// absorbs the remainder down to DC+1.
+	edges := make([]int, bands+1)
+	edges[bands] = n
+	hi := n
+	for b := bands - 1; b >= 1; b-- {
+		hi /= 2
+		if hi < b {
+			hi = b
+		}
+		edges[b] = hi
+	}
+	edges[0] = 0
+	out := make([]Band, 0, bands)
+	for b := 0; b < bands; b++ {
+		lo, hi := edges[b], edges[b+1]
+		if hi <= lo {
+			continue
+		}
+		var es, ee float64
+		for i := lo; i < hi; i++ {
+			es += ps[i]
+			ee += pe[i]
+		}
+		band := Band{
+			LoFrac: float64(lo) / float64(n),
+			HiFrac: float64(hi) / float64(n),
+		}
+		if totS > 0 {
+			band.SignalFrac = es / totS
+		}
+		if totE > 0 {
+			band.ErrorFrac = ee / totE
+		}
+		out = append(out, band)
+	}
+	return out
+}

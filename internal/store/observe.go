@@ -1,6 +1,9 @@
 package store
 
-import "lossyckpt/internal/obs"
+import (
+	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
+)
 
 // Metric names recorded by the store. Commit latency/count/errors come
 // from a span named MetricCommitSpan (yielding _seconds, _total and
@@ -42,4 +45,13 @@ func (s *Store) observer() *obs.Registry {
 		return s.opts.Observer
 	}
 	return obs.Default()
+}
+
+// journal resolves the store's effective flight recorder: the
+// configured one, else the process default (a no-op unless installed).
+func (s *Store) journal() *journal.Journal {
+	if s.opts.Journal != nil {
+		return s.opts.Journal
+	}
+	return journal.Default()
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 )
 
 // ErrQuorum indicates an operation that could not assemble its quorum.
@@ -211,6 +212,14 @@ func (r *ReplicatedStore) observer() *obs.Registry {
 	return obs.Default()
 }
 
+// journal resolves the replicated store's effective flight recorder.
+func (r *ReplicatedStore) journal() *journal.Journal {
+	if r.opts.Journal != nil {
+		return r.opts.Journal
+	}
+	return journal.Default()
+}
+
 // NextSeq returns the sequence number the next replicated commit will
 // use: ahead of every live replica and of every commit this coordinator
 // has already quorum-acknowledged.
@@ -370,6 +379,13 @@ func (r *ReplicatedStore) CommitStream(step int, write func(io.Writer) error) (G
 // remain possible.
 func (r *ReplicatedStore) collectQuorumLocked(op string, seq uint64, results <-chan commitRes, total int) (Generation, error) {
 	o := r.observer()
+	// The quorum wide event: every replica's vote lands on it, including
+	// stragglers that finish after the at-quorum early return (their
+	// votes still count in metrics; votes after End are dropped from the
+	// journal record).
+	jop := r.journal().Begin("store.quorum_commit", "op", op,
+		"quorum", strconv.Itoa(r.w), "replicas", strconv.Itoa(total))
+	jop.SetSeq(seq)
 	counts := make(map[Generation]int)
 	received, failed := 0, 0
 	var firstErr error
@@ -380,6 +396,7 @@ func (r *ReplicatedStore) collectQuorumLocked(op string, seq uint64, results <-c
 				"replica", strconv.Itoa(res.idx),
 				"ok", strconv.FormatBool(res.err == nil)).Inc()
 		}
+		jop.Vote(strconv.Itoa(res.idx), res.err == nil, res.err)
 		if res.err != nil {
 			failed++
 			if firstErr == nil {
@@ -410,6 +427,8 @@ func (r *ReplicatedStore) collectQuorumLocked(op string, seq uint64, results <-c
 					}
 				}(rest)
 			}
+			jop.SetBytes(0, int64(gen.Size))
+			jop.End(nil)
 			return gen, nil
 		}
 		if total-failed < r.w {
@@ -429,7 +448,9 @@ func (r *ReplicatedStore) collectQuorumLocked(op string, seq uint64, results <-c
 	if firstErr == nil {
 		firstErr = errors.New("replicas disagree on the committed record")
 	}
-	return Generation{}, r.quorumFailure(op, fmt.Errorf("gen %d: %w", seq, firstErr))
+	qerr := r.quorumFailure(op, fmt.Errorf("gen %d: %w", seq, firstErr))
+	jop.End(qerr)
+	return Generation{}, qerr
 }
 
 func (r *ReplicatedStore) quorumFailure(op string, cause error) error {
@@ -625,12 +646,16 @@ search:
 			if o != nil {
 				o.Event("store.read_repair_failed", "replica", idx, "seq", seq, "err", perr.Error())
 			}
+			r.journal().Note("store.read_repair_failed",
+				"replica", strconv.Itoa(idx), "seq", strconv.FormatUint(seq, 10), "err", perr.Error())
 			continue
 		}
 		if o != nil {
 			o.Counter(MetricReadRepairs, "replica", strconv.Itoa(idx), "reason", reason).Inc()
 			o.Event("store.read_repair", "replica", idx, "seq", seq, "reason", reason)
 		}
+		r.journal().Note("store.read_repair",
+			"replica", strconv.Itoa(idx), "seq", strconv.FormatUint(seq, 10), "reason", reason)
 	}
 	return winData, true, nil
 }
@@ -645,11 +670,26 @@ search:
 // convergence phase is skipped entirely rather than destroy last
 // surviving copies. The report aggregates per-replica results and the
 // residual divergence, which also feeds the divergence gauge.
-func (r *ReplicatedStore) Scrub(opts ScrubOptions) (*ScrubReport, error) {
+func (r *ReplicatedStore) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
 	o := r.observer()
-	rep := &ScrubReport{Replicas: make([]ReplicaScrub, len(r.replicas))}
+	jop := r.journal().Begin("store.scrub", "mode", "replicated")
+	if jop != nil {
+		defer func() {
+			if rep != nil {
+				repaired := 0
+				for _, rs := range rep.Replicas {
+					repaired += len(rs.Repaired)
+				}
+				jop.Set("checked", strconv.Itoa(rep.Checked),
+					"quarantined", strconv.Itoa(len(rep.Quarantined)),
+					"repaired", strconv.Itoa(repaired))
+			}
+			jop.End(err)
+		}()
+	}
+	rep = &ScrubReport{Replicas: make([]ReplicaScrub, len(r.replicas))}
 
 	for i := range r.replicas {
 		rs := &rep.Replicas[i]
@@ -711,6 +751,8 @@ func (r *ReplicatedStore) Scrub(opts ScrubOptions) (*ScrubReport, error) {
 					o.Counter(MetricReadRepairs, "replica", strconv.Itoa(idx), "reason", reason).Inc()
 					o.Event("store.scrub_repair", "replica", idx, "seq", seq, "reason", reason)
 				}
+				r.journal().Note("store.scrub_repair",
+					"replica", strconv.Itoa(idx), "seq", strconv.FormatUint(seq, 10), "reason", reason)
 			}
 			// Converge: local generations outside the agreed set are
 			// retention lag (older than a full agreed ring, meaning the

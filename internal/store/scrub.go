@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -102,13 +103,23 @@ func (r *ScrubReport) Clean() bool {
 // error covers infrastructure failures (unreadable directory, a move
 // into quarantine failing) — corrupt generations are not errors, they
 // are the report.
-func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
+func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	rep := &ScrubReport{}
+	rep = &ScrubReport{}
 	o := s.observer()
 	start := time.Now()
+	jop := s.journal().Begin("store.scrub", "dir", s.dir, "mode", "local")
+	if jop != nil {
+		defer func() {
+			jop.Set("checked", strconv.Itoa(rep.Checked),
+				"quarantined", strconv.Itoa(len(rep.Quarantined)),
+				"missing", strconv.Itoa(len(rep.Missing)),
+				"rebuilt", strconv.FormatBool(rep.ManifestRebuilt))
+			jop.End(err)
+		}()
+	}
 
 	gens := s.generationsLocked()
 	var survivors []Generation

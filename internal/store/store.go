@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 )
 
 // Errors returned by the store.
@@ -68,6 +69,10 @@ type Options struct {
 	// falls back to the process default registry, itself a no-op unless
 	// installed.
 	Observer *obs.Registry
+	// Journal receives flight-recorder wide events (commit operations,
+	// quorum votes, read repairs, scrub outcomes). nil falls back to the
+	// process default journal, itself a no-op unless installed.
+	Journal *journal.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -291,7 +296,16 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // the backend's PayloadWriter, publish it, then make the manifest
 // update — the commit point — and prune the retention ring. The caller
 // holds s.mu and has validated seq.
-func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error) (Generation, error) {
+func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error) (gen Generation, err error) {
+	// One flight-recorder wide event per commit, with a progress
+	// breadcrumb at each durability milestone so a kill leaves the stage
+	// reached and bytes committed on record.
+	jop := s.journal().Begin("store.commit", "dir", s.dir, "backend", s.b.Kind().String())
+	if jop != nil {
+		jop.SetSeq(seq)
+		jop.SetStep(step)
+		defer func() { jop.End(err) }()
+	}
 	pw, err := s.b.BeginPayload(seq)
 	if err != nil {
 		return Generation{}, err
@@ -301,11 +315,13 @@ func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error)
 		pw.Abort()
 		return Generation{}, fmt.Errorf("store: commit gen %d: stream: %w", seq, err)
 	}
+	jop.Progress("payload_streamed", int64(cw.n))
 	if err := pw.Commit(); err != nil {
 		return Generation{}, fmt.Errorf("store: commit gen %d: %w", seq, err)
 	}
+	jop.Progress("payload_durable", int64(cw.n))
 
-	gen := Generation{
+	gen = Generation{
 		Seq:  seq,
 		Step: uint64(step),
 		Size: cw.n,
@@ -334,6 +350,7 @@ func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error)
 	if o := s.observer(); o != nil && len(dropped) > 0 {
 		o.Counter(MetricPrunedGens).Add(float64(len(dropped)))
 	}
+	jop.SetBytes(int64(cw.n), int64(cw.n))
 	return gen, nil
 }
 

@@ -14,6 +14,7 @@ package tune
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"lossyckpt/internal/entropy"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 )
 
 // Metric names recorded by the tuner.
@@ -262,6 +264,8 @@ func (t *Tuner) probe(varName string, rawBytes int, sample []byte) *decision {
 		sel.GzipBlock = gzipio.DefaultBlockSize
 	}
 	t.cfg.Observer.Counter(MetricDecisions, "codec", sel.Label()).Inc()
+	journal.Default().Note("tune.decision", "var", varName,
+		"codec", sel.Codec.String(), "shuffle", strconv.FormatBool(sel.Shuffle))
 
 	bps := 0.0
 	if best.seconds > 0 {

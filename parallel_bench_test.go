@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/obs"
+	"lossyckpt/internal/obs/journal"
 )
 
 // parallelChunkExtent slices the leading axis into ~128-plane slabs — large
@@ -136,6 +138,46 @@ func BenchmarkChunkedParallelObs(b *testing.B) {
 	}
 	b.Run("noop", func(b *testing.B) { run(b, nil) })
 	b.Run("enabled", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// BenchmarkChunkedParallelJournal measures the flight-recorder cost on
+// the same pipeline: each iteration is one full wide event — begin
+// record, stage waterfall, byte totals, end record appended to a real
+// JSONL file. The acceptance bar is ≤5% overhead for on vs off.
+func BenchmarkChunkedParallelJournal(b *testing.B) {
+	f := syntheticClimate(b, 1156, 82, 2)
+	run := func(b *testing.B, j *journal.Journal) {
+		opts := core.DefaultOptions()
+		opts.Workers = 2
+		b.SetBytes(int64(f.Bytes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := j.Begin("ckpt.checkpoint", "codec", "lossy", "mode", "chunked")
+			res, err := core.CompressChunkedParallel(f, opts, parallelChunkExtent)
+			if err != nil {
+				op.End(err)
+				b.Fatal(err)
+			}
+			if op != nil {
+				op.SetStep(i)
+				op.SetBytes(int64(f.Bytes()), int64(len(res.Data)))
+				op.Stage("transform", res.Timings.Wavelet)
+				op.Stage("quantize", res.Timings.Quantize)
+				op.Stage("entropy", res.Timings.Gzip)
+			}
+			op.End(nil)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		j, err := journal.Open(filepath.Join(b.TempDir(), "bench.jsonl"), journal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		run(b, j)
+	})
 }
 
 // --- Allocation benchmarks for the pooled hot paths ----------------------
