@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-qa bench-smoke bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke serve-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-qa bench-smoke bench-compare bench-compare-smoke
 
-check: fmt-check vet build race fuzz-smoke bench-compare-smoke
+check: fmt-check vet build race fuzz-smoke serve-smoke bench-compare-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -46,6 +46,13 @@ fuzz-smoke:
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzLZ4Decompress$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzDecompressAny$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/entropy -run='^Fuzz' -fuzz='^FuzzShuffle$$' -fuzztime=$(FUZZTIME)
+
+# serve-smoke exercises the checkpoint daemon end to end with real
+# binaries: concurrent multi-tenant client saves, SIGTERM drain,
+# restart, kill -9, and a post-kill fsck that must find every tenant
+# store clean.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh
 
 # crash-matrix-replicated runs the replication acceptance harnesses in
 # full and verbose: the single-store and object-backend kill-at-every-

@@ -1,0 +1,256 @@
+// client.go is the lossyckpt front end of the lossyckptd daemon: the
+// client-side of the daemon's wire protocol. Where `save`/`restore`
+// operate on a local store directory, `client save`/`client restore`
+// talk to a running daemon over HTTP — the daemon owns compression,
+// the store and its durability protocol; the client just ships named
+// fields.
+//
+//	lossyckpt client save    -addr host:port -tenant t -token s -in a.grd[,b.grd...] -step N [-codec none] [-deadline-ms 0]
+//	lossyckpt client restore -addr host:port -tenant t -token s -out dir [-deadline-ms 0]
+//	lossyckpt client inspect -addr host:port -tenant t -token s
+//	lossyckpt client fsck    -addr host:port -tenant t -token s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lossyckpt/internal/server"
+)
+
+func cmdClient(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lossyckpt client <save|restore|inspect|fsck> [flags]")
+	}
+	switch args[0] {
+	case "save":
+		return cmdClientSave(args[1:])
+	case "restore":
+		return cmdClientRestore(args[1:])
+	case "inspect":
+		return cmdClientInspect(args[1:])
+	case "fsck":
+		return cmdClientFsck(args[1:])
+	default:
+		return fmt.Errorf("unknown client subcommand %q", args[0])
+	}
+}
+
+// clientFlags are the connection flags every client subcommand shares.
+type clientFlags struct {
+	addr, tenant, token *string
+	deadlineMs          *int
+}
+
+func addClientFlags(fs *flag.FlagSet) clientFlags {
+	return clientFlags{
+		addr:       fs.String("addr", "127.0.0.1:8777", "daemon address host:port"),
+		tenant:     fs.String("tenant", "default", "tenant namespace"),
+		token:      fs.String("token", "", "bearer token (required; also read from LOSSYCKPT_TOKEN)"),
+		deadlineMs: fs.Int("deadline-ms", 0, "request deadline the daemon enforces (0 = daemon default)"),
+	}
+}
+
+func (cf clientFlags) request(method, endpoint, query string, body io.Reader) (*http.Response, error) {
+	token := *cf.token
+	if token == "" {
+		token = os.Getenv("LOSSYCKPT_TOKEN")
+	}
+	if token == "" {
+		return nil, fmt.Errorf("client: -token (or LOSSYCKPT_TOKEN) is required")
+	}
+	url := fmt.Sprintf("http://%s/v1/%s/%s%s", *cf.addr, *cf.tenant, endpoint, query)
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	if *cf.deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", fmt.Sprint(*cf.deadlineMs))
+		// Give the transport a little slack past the server deadline so
+		// the typed 504 arrives instead of a client-side timeout.
+		client := &http.Client{Timeout: time.Duration(*cf.deadlineMs)*time.Millisecond + 5*time.Second}
+		return client.Do(req)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// fail turns a non-200 response into an error carrying the daemon's
+// message (429/503/504/507 are the daemon's typed refusals).
+func fail(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("client %s: %s (HTTP %d)", op, msg, resp.StatusCode)
+}
+
+func cmdClientSave(args []string) error {
+	fs := flag.NewFlagSet("client save", flag.ContinueOnError)
+	cf := addClientFlags(fs)
+	in := fs.String("in", "", "comma-separated .grd files (required); each file's base name becomes the variable name")
+	step := fs.Int("step", 0, "application step this checkpoint belongs to")
+	codec := fs.String("codec", "none", "checkpoint codec the daemon applies (none, gzip, lz4, lossy)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("client save: -in is required")
+	}
+	var fields []server.NamedField
+	for _, path := range strings.Split(*in, ",") {
+		fld, err := readField(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		fields = append(fields, server.NamedField{Name: name, Field: fld})
+	}
+	var buf bytes.Buffer
+	if err := server.WriteFields(&buf, fields); err != nil {
+		return err
+	}
+	resp, err := cf.request("POST", "save", fmt.Sprintf("?step=%d&codec=%s", *step, *codec), &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail("save", resp)
+	}
+	var sr server.SaveResult
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	fmt.Printf("saved generation %d (step %d, codec %s): %d field(s), %d bytes\n",
+		sr.Generation, sr.Step, sr.Codec, sr.Fields, sr.Size)
+	if sr.ExpireAt != 0 {
+		fmt.Printf("expires at %s\n", time.Unix(sr.ExpireAt, 0).Format(time.RFC3339))
+	}
+	return nil
+}
+
+func cmdClientRestore(args []string) error {
+	fs := flag.NewFlagSet("client restore", flag.ContinueOnError)
+	cf := addClientFlags(fs)
+	out := fs.String("out", "", "output directory for restored .grd files (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("client restore: -out is required")
+	}
+	resp, err := cf.request("GET", "restore", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail("restore", resp)
+	}
+	fields, err := server.ReadFields(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, nf := range fields {
+		path := filepath.Join(*out, nf.Name+".grd")
+		if err := writeField(path, nf.Field); err != nil {
+			return err
+		}
+		fmt.Printf("restored %s: %s\n", path, nf.Field)
+	}
+	fmt.Printf("generation %s (step %s, codec %s): %d field(s) recovered\n",
+		resp.Header.Get("X-Generation"), resp.Header.Get("X-Step"), resp.Header.Get("X-Codec"), len(fields))
+	if p := resp.Header.Get("X-Partial"); p != "" {
+		fmt.Printf("partial recovery: %s frame(s) skipped\n", p)
+	}
+	return nil
+}
+
+func cmdClientInspect(args []string) error {
+	fs := flag.NewFlagSet("client inspect", flag.ContinueOnError)
+	cf := addClientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := cf.request("GET", "inspect", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail("inspect", resp)
+	}
+	var ir server.InspectResult
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return err
+	}
+	fmt.Printf("tenant %s: %d generation(s), %d bytes stored", ir.Tenant, len(ir.Generations), ir.UsedBytes)
+	if ir.QuotaBytes > 0 {
+		fmt.Printf(" of %d quota", ir.QuotaBytes)
+	}
+	fmt.Println()
+	for _, g := range ir.Generations {
+		fmt.Printf("  generation %d: step %d, %d bytes, crc %08x", g.Seq, g.Step, g.Size, g.CRC)
+		if g.ExpireAt != 0 {
+			fmt.Printf(", expires %s", time.Unix(g.ExpireAt, 0).Format(time.RFC3339))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdClientFsck(args []string) error {
+	fs := flag.NewFlagSet("client fsck", flag.ContinueOnError)
+	cf := addClientFlags(fs)
+	decode := fs.Bool("decode", false, "fully decode every entry server-side (paranoid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	query := ""
+	if *decode {
+		query = "?decode=true"
+	}
+	resp, err := cf.request("POST", "fsck", query, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail("fsck", resp)
+	}
+	var sr server.ScrubResult
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	fmt.Printf("checked %d generation(s)\n", sr.Checked)
+	for _, seq := range sr.Quarantined {
+		fmt.Printf("  generation %d corrupt: quarantined\n", seq)
+	}
+	for _, seq := range sr.Missing {
+		fmt.Printf("  generation %d missing: dropped from index\n", seq)
+	}
+	for _, seq := range sr.Expired {
+		fmt.Printf("  generation %d expired: pruned\n", seq)
+	}
+	if sr.Divergent > 0 {
+		fmt.Printf("replica divergence after repair: %d generation(s)\n", sr.Divergent)
+	}
+	if !sr.Clean {
+		return fmt.Errorf("client fsck: store was not clean")
+	}
+	fmt.Println("store is clean")
+	return nil
+}

@@ -104,7 +104,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore|fsck|report> [flags]")
+		return fmt.Errorf("usage: lossyckpt <gen|compress|decompress|inspect|diff|save|restore|fsck|report|client> [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -125,6 +125,8 @@ func run(args []string) error {
 		return cmdFsck(args[1:])
 	case "report":
 		return cmdReport(args[1:])
+	case "client":
+		return cmdClient(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -107,7 +107,20 @@ func TestTunedLossyCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, ok := codec.Tuner.Cached("temperature"); !ok {
-		t.Fatal("tuner has no cached decision for temperature after checkpoint")
+		// Observe's online drift check evicts a cached decision when the
+		// real encode's throughput lands 2x off the probe's estimate —
+		// wall-clock noise can trigger that legitimately. A decision was
+		// still made; only a missing decision with no drift re-probe to
+		// explain the eviction is a bug.
+		var reprobes float64
+		for _, ms := range reg.Snapshot().Metrics {
+			if ms.Name == tune.MetricReProbes {
+				reprobes += ms.Value
+			}
+		}
+		if reprobes == 0 {
+			t.Fatal("tuner has no cached decision for temperature after checkpoint")
+		}
 	}
 	if _, err := m.Restore(&buf); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ package ckpt
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,13 @@ var ErrStoreEmpty = errors.New("ckpt: no restorable generation in store")
 // replication-agnostic. The returned Generation records the committed
 // sequence number, size and CRC.
 func (m *Manager) CheckpointTo(st store.Target, step int) (rep *Report, gen store.Generation, err error) {
+	return m.CheckpointToCtx(context.Background(), st, step)
+}
+
+// CheckpointToCtx is CheckpointTo bound to a request context: the
+// context reaches the store's commit and retry path, so a cancelled
+// request aborts the commit instead of sleeping out backoff ladders.
+func (m *Manager) CheckpointToCtx(ctx context.Context, st store.Target, step int) (rep *Report, gen store.Generation, err error) {
 	// Open the checkpoint wide event here so the store's commit and vote
 	// records become children of the same operation; the inner
 	// Checkpoint call enriches it (see journal.go).
@@ -43,7 +51,7 @@ func (m *Manager) CheckpointTo(st store.Target, step int) (rep *Report, gen stor
 			op.End(err)
 		}()
 	}
-	gen, err = st.CommitFunc(step, func(w io.Writer) error {
+	gen, err = st.CommitFuncCtx(ctx, step, func(w io.Writer) error {
 		var cerr error
 		rep, cerr = m.Checkpoint(w, step)
 		return cerr
@@ -200,6 +208,13 @@ type LoadedCheckpoint struct {
 // partial recovery. workers bounds lossy decode parallelism (0 =
 // GOMAXPROCS).
 func LoadLatest(st store.Target, workers int) (lc *LoadedCheckpoint, err error) {
+	return LoadLatestCtx(context.Background(), st, workers)
+}
+
+// LoadLatestCtx is LoadLatest bound to a request context: cancellation
+// is observed between generation attempts, so a restore walking a deep
+// retention ring of damaged generations stops when its request dies.
+func LoadLatestCtx(ctx context.Context, st store.Target, workers int) (lc *LoadedCheckpoint, err error) {
 	op := journal.Default().Begin("ckpt.restore", "mode", "load_latest")
 	defer func() {
 		if op == nil {
@@ -237,6 +252,9 @@ func LoadLatest(st store.Target, workers int) (lc *LoadedCheckpoint, err error) 
 		return lc, nil
 	}
 	for i := len(gens) - 1; i >= 0; i-- {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("ckpt: restore: %w", cerr)
+		}
 		lc, err := load(gens[i], false)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d: %w", gens[i].Seq, err))
@@ -245,6 +263,9 @@ func LoadLatest(st store.Target, workers int) (lc *LoadedCheckpoint, err error) 
 		return lc, nil
 	}
 	for i := len(gens) - 1; i >= 0; i-- {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("ckpt: restore: %w", cerr)
+		}
 		lc, err := load(gens[i], true)
 		if err != nil {
 			failures = append(failures, fmt.Errorf("gen %d partial: %w", gens[i].Seq, err))

@@ -25,6 +25,7 @@ package ckpt
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -110,7 +111,20 @@ const streamSegment = 256 << 10
 // written serially in registration order — the parallelism lives inside
 // the streaming codecs, where it bounds memory instead of multiplying it.
 func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err error) {
+	return m.CheckpointStreamCtx(context.Background(), w, step)
+}
+
+// CheckpointStreamCtx is CheckpointStream bound to a request context:
+// cancellation is observed before each entry and between writes inside
+// an entry, so a deadline expiring mid-checkpoint stops producing bytes
+// promptly — the store side then aborts its payload cleanly.
+func (m *Manager) CheckpointStreamCtx(ctx context.Context, w io.Writer, step int) (rep *Report, err error) {
 	start := time.Now()
+	if w = ctxWriter(ctx, w); ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ckpt: checkpoint: %w", err)
+		}
+	}
 	if len(m.names) == 0 {
 		return nil, fmt.Errorf("%w: no fields registered", ErrRegistered)
 	}
@@ -154,6 +168,9 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 	streamer, _ := m.codec.(StreamEncoder)
 	named, _ := m.codec.(NamedEncoder)
 	for i, name := range m.names {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("ckpt: checkpoint: %w", cerr)
+		}
 		f := m.fields[name]
 		var pro bytes.Buffer
 		writeString(&pro, name)
@@ -218,6 +235,15 @@ func (m *Manager) CheckpointStream(w io.Writer, step int) (rep *Report, err erro
 // store I/O overlap, and neither the manager nor the store buffers the
 // stream. The durability protocol is identical to CheckpointTo.
 func (m *Manager) CheckpointStreamTo(st store.Target, step int) (rep *Report, gen store.Generation, err error) {
+	return m.CheckpointStreamToCtx(context.Background(), st, step)
+}
+
+// CheckpointStreamToCtx is CheckpointStreamTo bound to a request
+// context: the context reaches both the producer (entry boundaries and
+// writes) and the store's commit/retry path, so one cancellation tears
+// the whole pipeline down cleanly — partial payload removed, previous
+// latest generation still indexed.
+func (m *Manager) CheckpointStreamToCtx(ctx context.Context, st store.Target, step int) (rep *Report, gen store.Generation, err error) {
 	// Like CheckpointTo: own the wide event so store commit/vote records
 	// join the same operation; CheckpointStream enriches it.
 	op := m.journal().Begin("ckpt.checkpoint", "codec", m.codec.Name(), "mode", "stream")
@@ -230,15 +256,37 @@ func (m *Manager) CheckpointStreamTo(st store.Target, step int) (rep *Report, ge
 			op.End(err)
 		}()
 	}
-	gen, err = st.CommitStream(step, func(w io.Writer) error {
+	gen, err = st.CommitStreamCtx(ctx, step, func(w io.Writer) error {
 		var cerr error
-		rep, cerr = m.CheckpointStream(w, step)
+		rep, cerr = m.CheckpointStreamCtx(ctx, w, step)
 		return cerr
 	})
 	if err != nil {
 		return nil, store.Generation{}, err
 	}
 	return rep, gen, nil
+}
+
+// ctxWriter wraps w so every write observes ctx first — the bound that
+// stops a streaming codec mid-entry once its request is cancelled. A
+// background context (Done() == nil) passes w through untouched.
+func ctxWriter(ctx context.Context, w io.Writer) io.Writer {
+	if ctx.Done() == nil {
+		return w
+	}
+	return &ctxCheckedWriter{ctx: ctx, w: w}
+}
+
+type ctxCheckedWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c *ctxCheckedWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
 }
 
 // segmentWriter frames payload bytes into streamSegment-sized v2

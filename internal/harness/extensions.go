@@ -234,6 +234,7 @@ var Runners = map[string]func(Config) (*Table, error){
 	"guard":       GuardOverhead,
 	"entropy":     EntropyStage,
 	"qa":          QualityAnalytics,
+	"serve":       ServeChaos,
 }
 
 // RunnerIDs lists the experiment ids in canonical order.
@@ -241,5 +242,5 @@ var RunnerIDs = []string{
 	"tab1", "fig6", "fig7", "fig8", "fig8-all", "fig9", "fig10",
 	"ablate-gzip", "errbound", "fpc", "nbody", "levels", "cluster", "interval",
 	"perband", "threshold", "faults", "incremental", "datasets", "guard",
-	"entropy", "qa",
+	"entropy", "qa", "serve",
 }

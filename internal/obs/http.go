@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,6 +62,7 @@ func (r *Registry) Handler() http.Handler {
 		fmt.Fprintln(w, "  /metrics.json  JSON snapshot (metrics + events)")
 		fmt.Fprintln(w, "  /summary       human summary table")
 		fmt.Fprintln(w, "  /healthz       liveness probe")
+		fmt.Fprintln(w, "  /readyz        readiness probe (503 while draining)")
 		fmt.Fprintln(w, "  /buildinfo     build and runtime facts (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
 	})
@@ -109,29 +112,87 @@ func writeBuildInfo(w io.Writer) error {
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	// ready backs /readyz: true from start, flipped false by SetReady or
+	// Shutdown so load balancers stop routing while /healthz still
+	// answers 200 (the process is alive, just draining).
+	ready atomic.Bool
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetReady flips the /readyz probe: false answers 503 (draining, stop
+// routing new work here), true answers 200. Liveness (/healthz) is
+// unaffected.
+func (s *Server) SetReady(ready bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ready)
+}
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool {
+	if s == nil {
+		return false
+	}
+	return s.ready.Load()
+}
 
 // Close stops the listener. In-flight requests get a short grace period.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.ready.Store(false)
 	s.srv.SetKeepAlivesEnabled(false)
 	return s.srv.Close()
 }
 
-// Serve starts an HTTP listener on addr serving r.Handler() in a
-// background goroutine and returns immediately. Use ":0" to bind an
-// ephemeral port and read it back from Server.Addr.
+// Shutdown drains the server gracefully: /readyz flips to 503
+// immediately, keep-alives stop, and in-flight requests run to
+// completion or until ctx expires (then they are cut off, as
+// http.Server.Shutdown's contract).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.ready.Store(false)
+	s.srv.SetKeepAlivesEnabled(false)
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve starts an HTTP listener on addr serving r.Handler() plus a
+// /readyz readiness probe in a background goroutine and returns
+// immediately. Use ":0" to bind an ephemeral port and read it back from
+// Server.Addr. The server starts ready; SetReady(false) or Shutdown
+// flip /readyz to 503.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, r.Handler())
+}
+
+// ServeHandler is Serve for callers that bring their own handler (the
+// checkpoint daemon mounts its API next to the registry surface); the
+// /readyz probe is layered on top either way.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{ln: ln, srv: srv}, nil
+	s := &Server{ln: ln}
+	s.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/", h)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
 }

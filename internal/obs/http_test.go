@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestServeReadyzAndShutdown(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	if code := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 at start", code)
+	}
+	if code := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+
+	// Drain: readiness flips, liveness stays green.
+	srv.SetReady(false)
+	if code := get(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", code)
+	}
+	if code := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200", code)
+	}
+	srv.SetReady(true)
+	if code := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after un-drain = %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if srv.Ready() {
+		t.Fatal("server still ready after Shutdown")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+func TestServeHandlerMountsReadyzNextToCustomAPI(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "pong")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code := get(t, base+"/v1/ping"); code != http.StatusOK {
+		t.Fatalf("/v1/ping = %d", code)
+	}
+	if code := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d", code)
+	}
+}

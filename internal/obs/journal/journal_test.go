@@ -419,3 +419,106 @@ func TestSummarize(t *testing.T) {
 		}
 	}
 }
+
+// TestSummarizeServerRequests: server.* records break down by the
+// outcome attribute — accepted requests, refusals by reason, and the
+// deadline-exceeded count — and the markdown report shows the table.
+func TestSummarizeServerRequests(t *testing.T) {
+	j, path := openTest(t, Options{})
+	for _, c := range []struct{ op, outcome string }{
+		{"server.save", "ok"},
+		{"server.save", "ok"},
+		{"server.save", "overload"},
+		{"server.save", "quota"},
+		{"server.restore", "deadline"},
+		{"server.inspect", "auth"},
+	} {
+		op := j.Begin(c.op, "tenant", "alpha")
+		op.Set("outcome", c.outcome)
+		if c.outcome == "ok" {
+			op.End(nil)
+		} else {
+			op.End(errors.New(c.outcome))
+		}
+	}
+
+	recs, torn, err := ReadFile(path)
+	if err != nil || torn {
+		t.Fatalf("read: err=%v torn=%v", err, torn)
+	}
+	sum := Summarize(recs, torn, 5)
+	if sum.ServerRequests != 6 {
+		t.Errorf("server requests = %d, want 6", sum.ServerRequests)
+	}
+	want := map[string]int{"overload": 1, "quota": 1, "deadline": 1, "auth": 1}
+	for reason, n := range want {
+		if sum.Rejected[reason] != n {
+			t.Errorf("rejected[%s] = %d, want %d", reason, sum.Rejected[reason], n)
+		}
+	}
+	if len(sum.Rejected) != len(want) {
+		t.Errorf("rejected map: %+v", sum.Rejected)
+	}
+	if sum.DeadlineExceeded != 1 {
+		t.Errorf("deadline exceeded = %d, want 1", sum.DeadlineExceeded)
+	}
+	var b strings.Builder
+	if err := sum.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"Daemon requests", "overload", "deadline-exceeded: 1"} {
+		if !strings.Contains(b.String(), wantStr) {
+			t.Errorf("markdown missing %q", wantStr)
+		}
+	}
+}
+
+// TestSummarizeJournalTornMidRequest: a daemon killed mid-request
+// leaves a begin with no end plus a torn final line. Replay tolerates
+// the tear and the summary lists the in-flight request as incomplete —
+// the kill evidence an operator greps for.
+func TestSummarizeJournalTornMidRequest(t *testing.T) {
+	j, path := openTest(t, Options{})
+	done := j.Begin("server.save", "tenant", "alpha")
+	done.Set("outcome", "ok")
+	done.End(nil)
+	j.Begin("server.save", "tenant", "beta") // killed before End
+	j.Close()
+
+	// Simulate the kill tearing the final append mid-line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn","op":"server.res`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, torn, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("torn journal poisoned replay: %v", err)
+	}
+	if !torn {
+		t.Fatal("tear not detected")
+	}
+	sum := Summarize(recs, torn, 5)
+	if !sum.Torn {
+		t.Error("summary does not flag the torn tail")
+	}
+	if sum.ServerRequests != 1 {
+		t.Errorf("server requests = %d, want 1 (only the completed save)", sum.ServerRequests)
+	}
+	if len(sum.Incomplete) != 1 || sum.Incomplete[0].Op != "server.save" {
+		t.Errorf("incomplete: %+v", sum.Incomplete)
+	}
+	var b strings.Builder
+	if err := sum.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"torn tail", "incomplete operations: 1"} {
+		if !strings.Contains(b.String(), wantStr) {
+			t.Errorf("markdown missing %q", wantStr)
+		}
+	}
+}

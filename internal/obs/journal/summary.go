@@ -41,6 +41,15 @@ type Summary struct {
 	Codecs map[string]int
 	// FailedVotes counts per-replica commit votes that came back false.
 	FailedVotes int
+	// ServerRequests counts completed daemon requests (server.* ops).
+	ServerRequests int
+	// Rejected breaks refused daemon requests down by refusal reason
+	// ("overload", "draining", "deadline", "quota", "auth", ...); the
+	// outcome attr the server stamps on every request record.
+	Rejected map[string]int
+	// DeadlineExceeded counts daemon requests that ran out of deadline
+	// (also present in Rejected under "deadline").
+	DeadlineExceeded int
 }
 
 // Summarize builds a Summary over a record stream. topN bounds the
@@ -49,7 +58,7 @@ func Summarize(recs []Record, torn bool, topN int) *Summary {
 	if topN <= 0 {
 		topN = 10
 	}
-	s := &Summary{Records: len(recs), Torn: torn, Codecs: map[string]int{}}
+	s := &Summary{Records: len(recs), Torn: torn, Codecs: map[string]int{}, Rejected: map[string]int{}}
 	counts := map[string]*OpCount{}
 	var ended []SlowOp
 	begun := map[string]SlowOp{}
@@ -91,6 +100,19 @@ func Summarize(recs []Record, torn bool, topN int) *Summary {
 			switch r.Op {
 			case "store.read_repair":
 				s.Repairs++
+			}
+			if strings.HasPrefix(r.Op, "server.") {
+				s.ServerRequests++
+				outcome := r.Attrs["outcome"]
+				if outcome == "" && r.Err != "" {
+					outcome = "error"
+				}
+				if outcome != "" && outcome != "ok" {
+					s.Rejected[outcome]++
+				}
+				if outcome == "deadline" {
+					s.DeadlineExceeded++
+				}
 			}
 		case "note":
 			c := counts[r.Op]
@@ -168,6 +190,22 @@ func (s *Summary) WriteMarkdown(w io.Writer) error {
 		b.WriteString("\n## Incomplete operations\n\n| id | op |\n|---|---|\n")
 		for _, o := range s.Incomplete {
 			fmt.Fprintf(&b, "| %s | %s |\n", o.ID, o.Op)
+		}
+	}
+	if s.ServerRequests > 0 || len(s.Rejected) > 0 {
+		b.WriteString("\n## Daemon requests\n\n")
+		fmt.Fprintf(&b, "- requests completed: %d\n", s.ServerRequests)
+		fmt.Fprintf(&b, "- deadline-exceeded: %d\n", s.DeadlineExceeded)
+		if len(s.Rejected) > 0 {
+			keys := make([]string, 0, len(s.Rejected))
+			for k := range s.Rejected {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("\n| refusal | count |\n|---|---:|\n")
+			for _, k := range keys {
+				fmt.Fprintf(&b, "| %s | %d |\n", k, s.Rejected[k])
+			}
 		}
 	}
 	if len(s.Codecs) > 0 {

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lossyckpt/internal/store"
+)
+
+// chaos_test.go is the kill-mid-request matrix the daemon's robustness
+// claim rests on: a simulated process kill at EVERY filesystem
+// operation boundary of a save — while a second tenant commits
+// concurrently — followed by a daemon restart on the same directories.
+// After every single crash point the restarted daemon must report a
+// clean store, restore byte-correct state for both tenants, show zero
+// cross-tenant contamination and zero temp litter.
+
+// chaosHarness runs one daemon over two tenant dirs, tenant A on an
+// injectable FaultFS.
+type chaosHarness struct {
+	dirA, dirB string
+	ffs        *store.FaultFS
+	s          *Server
+	ts         *httptest.Server
+}
+
+func startChaos(t *testing.T, dirA, dirB string, ffs *store.FaultFS) *chaosHarness {
+	t.Helper()
+	cfg := Config{
+		Tenants: []TenantConfig{
+			{Name: "alpha", Token: "tok-a", Dir: dirA, Keep: 3, FS: ffs},
+			{Name: "beta", Token: "tok-b", Dir: dirB, Keep: 3},
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("daemon restart on crashed dirs failed: %v", err)
+	}
+	return &chaosHarness{dirA: dirA, dirB: dirB, ffs: ffs, s: s, ts: httptest.NewServer(s.Handler())}
+}
+
+func (h *chaosHarness) stop() {
+	h.ts.Close()
+	h.s.Close()
+}
+
+// verifyTenant asserts the tenant restores cleanly and every field
+// carries that tenant's value signature (base), i.e. no cross-tenant
+// bytes leaked in.
+func (h *chaosHarness) verifyTenant(t *testing.T, tenant, token string, wantBases []float64) {
+	t.Helper()
+	fields, resp := restoreFields(t, h.ts, tenant, token)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant %s: restore = %d after recovery", tenant, resp.StatusCode)
+	}
+	if len(fields) == 0 {
+		t.Fatalf("tenant %s: restore returned no fields", tenant)
+	}
+	base := fields[0].Field.Data()[0]
+	ok := false
+	for _, want := range wantBases {
+		if base == want {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("tenant %s: restored base value %v not in %v — cross-tenant or torn data", tenant, base, wantBases)
+	}
+	// Every value of every field must carry the same base signature
+	// (makeFields writes base + i*100 + j): one foreign or stale value
+	// anywhere is leakage or a torn restore.
+	for i, nf := range fields {
+		for j, v := range nf.Field.Data() {
+			if want := base + float64(i*100+j); v != want {
+				t.Fatalf("tenant %s: field %s[%d] = %v, want %v", tenant, nf.Name, j, v, want)
+			}
+		}
+	}
+
+	// The store itself must audit clean.
+	fresp := doReq(t, "POST", h.ts.URL+"/v1/"+tenant+"/fsck", token, nil, nil)
+	body, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant %s: fsck = %d (%s)", tenant, fresp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"clean":true`)) {
+		t.Fatalf("tenant %s: fsck not clean after recovery: %s", tenant, body)
+	}
+}
+
+// TestChaosKillMatrixMidSave: probe how many FS ops one save costs,
+// then re-run the save with a simulated kill at each op boundary (torn
+// write on odd points, clean crash on even — both leave the FS dead, as
+// a SIGKILL would), restart the daemon on the same dirs each time, and
+// hold the recovery invariants. Tenant B commits concurrently with
+// every crashing save to prove isolation under fire.
+func TestChaosKillMatrixMidSave(t *testing.T) {
+	root := t.TempDir()
+	dirA, dirB := filepath.Join(root, "a"), filepath.Join(root, "b")
+
+	// Probe: one clean save to count the op budget of a commit.
+	probe := store.NewFaultFS(store.OsFS{})
+	h := startChaos(t, dirA, dirB, probe)
+	wantStatus(t, save(t, h.ts, "alpha", "tok-a", 1, makeFields(t, 1)), http.StatusOK)
+	wantStatus(t, save(t, h.ts, "beta", "tok-b", 1, makeFields(t, 1001)), http.StatusOK)
+	h.stop()
+	opsPerSave := probe.Ops()
+	if opsPerSave < 4 {
+		t.Fatalf("implausible op count %d for one save", opsPerSave)
+	}
+
+	stepA, stepB := 1, 1
+	for k := 1; k <= opsPerSave; k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill_at_op_%d", k), func(t *testing.T) {
+			ffs := store.NewFaultFS(store.OsFS{})
+			kind := store.Fault{Kind: store.Crash}
+			if k%2 == 1 {
+				kind = store.Fault{Kind: store.TornWrite, TornBytes: 3}
+			}
+			ffs.FailAt(k, kind)
+			h := startChaos(t, dirA, dirB, ffs)
+
+			// Tenant B saves concurrently with the doomed tenant-A save.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := save(t, h.ts, "beta", "tok-b", stepB+1, makeFields(t, 1001+float64(stepB)))
+				if resp.StatusCode == http.StatusOK {
+					stepB++
+				}
+				resp.Body.Close()
+			}()
+
+			resp := save(t, h.ts, "alpha", "tok-a", stepA+1, makeFields(t, 1+float64(stepA)))
+			saved := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			wg.Wait()
+			h.stop()
+
+			if !saved && !ffs.Crashed() {
+				t.Fatalf("save failed without the injected kill firing (op %d)", k)
+			}
+			if saved {
+				stepA++
+			}
+
+			// "Restart": a fresh daemon over the same directories with a
+			// healthy FS — the startup path must absorb whatever the kill
+			// left behind.
+			h2 := startChaos(t, dirA, dirB, store.NewFaultFS(store.OsFS{}))
+			defer h2.stop()
+			// Tenant A restores either the pre-kill or the post-kill state,
+			// never anything else; tenant B's concurrent commits are intact.
+			h2.verifyTenant(t, "alpha", "tok-a", []float64{1 + float64(stepA-1), 1 + float64(stepA)})
+			h2.verifyTenant(t, "beta", "tok-b", []float64{1001 + float64(stepB-1), 1001 + float64(stepB)})
+			assertNoTempLitter(t, dirA)
+			assertNoTempLitter(t, dirB)
+
+			// And the recovered store accepts new commits.
+			resp = save(t, h2.ts, "alpha", "tok-a", stepA+1, makeFields(t, 1+float64(stepA)))
+			wantStatus(t, resp, http.StatusOK)
+			stepA++
+		})
+	}
+}
+
+// TestChaosClientAbortMidUpload: a client that dies mid-upload must
+// not commit a torn generation or leave litter.
+func TestChaosClientAbortMidUpload(t *testing.T) {
+	root := t.TempDir()
+	dirA, dirB := filepath.Join(root, "a"), filepath.Join(root, "b")
+	h := startChaos(t, dirA, dirB, store.NewFaultFS(store.OsFS{}))
+	defer h.stop()
+
+	wantStatus(t, save(t, h.ts, "alpha", "tok-a", 1, makeFields(t, 1)), http.StatusOK)
+
+	blob := encodeFields(t, makeFields(t, 2))
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest("POST", h.ts.URL+"/v1/alpha/save?step=2", pr)
+		req.Header.Set("Authorization", "Bearer tok-a")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				t.Error("aborted upload reported success")
+			}
+			resp.Body.Close()
+		}
+	}()
+	pw.Write(blob[:len(blob)/3])
+	pw.CloseWithError(fmt.Errorf("client died"))
+	<-done
+
+	// The pre-abort generation is the surviving truth.
+	fields, resp := restoreFields(t, h.ts, "alpha", "tok-a")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Generation") != "1" {
+		t.Fatalf("restore after aborted upload: %d gen %s", resp.StatusCode, resp.Header.Get("X-Generation"))
+	}
+	if fields[0].Field.Data()[0] != 1 {
+		t.Fatal("surviving generation has wrong content")
+	}
+	assertNoTempLitter(t, dirA)
+}
+
+// TestChaosKillDuringConcurrentLoadThenRestart: sustained two-tenant
+// load, a process kill mid-flight (CrashNow — every subsequent FS op of
+// tenant A fails as if the process died), restart, full verification.
+func TestChaosKillDuringConcurrentLoadThenRestart(t *testing.T) {
+	root := t.TempDir()
+	dirA, dirB := filepath.Join(root, "a"), filepath.Join(root, "b")
+	ffs := store.NewFaultFS(store.OsFS{})
+	h := startChaos(t, dirA, dirB, ffs)
+
+	const rounds = 6
+	var lastA, lastB int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"alpha", "beta"} {
+		tenant := tenant
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			token, base := "tok-a", 1.0
+			if tenant == "beta" {
+				token, base = "tok-b", 1001.0
+			}
+			for step := 1; step <= rounds; step++ {
+				resp := save(t, h.ts, tenant, token, step, makeFields(t, base+float64(step-1)))
+				okSave := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if okSave {
+					mu.Lock()
+					if tenant == "alpha" {
+						lastA = step
+					} else {
+						lastB = step
+					}
+					mu.Unlock()
+				}
+				if step == rounds/2 && tenant == "alpha" {
+					ffs.CrashNow() // the process "dies" under tenant A
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h.stop()
+	if lastA == 0 || lastB != rounds {
+		t.Fatalf("load phase: lastA=%d lastB=%d (want A>0, B=%d)", lastA, lastB, rounds)
+	}
+
+	// Restart on a healthy FS: both tenants must recover.
+	h2 := startChaos(t, dirA, dirB, store.NewFaultFS(store.OsFS{}))
+	defer h2.stop()
+	h2.verifyTenant(t, "alpha", "tok-a", []float64{1 + float64(lastA-1)})
+	h2.verifyTenant(t, "beta", "tok-b", []float64{1001 + float64(lastB-1)})
+	assertNoTempLitter(t, dirA)
+	assertNoTempLitter(t, dirB)
+}
+
+// TestChaosDeadlineStormNoLitter: a burst of saves under an aggressive
+// deadline against a slow store must not leave a single temp file or
+// torn generation, whatever mix of 200s and 504s comes back.
+func TestChaosDeadlineStormNoLitter(t *testing.T) {
+	root := t.TempDir()
+	dirA, dirB := filepath.Join(root, "a"), filepath.Join(root, "b")
+	ffs := store.NewFaultFS(store.OsFS{})
+	h := startChaos(t, dirA, dirB, ffs)
+	defer h.stop()
+
+	wantStatus(t, save(t, h.ts, "alpha", "tok-a", 1, makeFields(t, 1)), http.StatusOK)
+	ffs.SetOpDelay(3 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/alpha/save?step=%d", h.ts.URL, 2+i)
+			req, _ := http.NewRequest("POST", url, bytes.NewReader(encodeFields(t, makeFields(t, 50))))
+			req.Header.Set("Authorization", "Bearer tok-a")
+			req.Header.Set("X-Deadline-Ms", fmt.Sprint(1+i*5))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	ffs.SetOpDelay(0)
+
+	assertNoTempLitter(t, dirA)
+	fresp := doReq(t, "POST", h.ts.URL+"/v1/alpha/fsck", "tok-a", nil, nil)
+	body, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if !bytes.Contains(body, []byte(`"clean":true`)) {
+		t.Fatalf("store not clean after deadline storm: %s", body)
+	}
+}

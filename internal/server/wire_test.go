@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lossyckpt/internal/grid"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	in := makeFields(t, 42)
+	var buf bytes.Buffer
+	if err := WriteFields(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFields(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d fields, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || !out[i].Field.Equal(in[i].Field) {
+			t.Fatalf("field %d differs after round trip", i)
+		}
+	}
+}
+
+func TestWireEmptyStream(t *testing.T) {
+	out, err := ReadFields(bytes.NewReader(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty stream: %v, %d fields", err, len(out))
+	}
+}
+
+func TestWireTornStream(t *testing.T) {
+	blob := encodeFields(t, makeFields(t, 1))
+	for _, cut := range []int{1, 3, len(blob) / 2, len(blob) - 1} {
+		if _, err := ReadFields(bytes.NewReader(blob[:cut])); !errors.Is(err, ErrWire) {
+			t.Fatalf("cut at %d: err = %v, want ErrWire", cut, err)
+		}
+	}
+}
+
+func TestWireDuplicateName(t *testing.T) {
+	f, err := grid.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	dup := []NamedField{{Name: "x", Field: f}, {Name: "x", Field: f}}
+	if err := WriteFields(&buf, dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFields(&buf); !errors.Is(err, ErrWire) {
+		t.Fatalf("duplicate name: err = %v, want ErrWire", err)
+	}
+}
+
+func TestWireRejectsBadNames(t *testing.T) {
+	f, err := grid.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFields(&buf, []NamedField{{Name: "", Field: f}}); !errors.Is(err, ErrWire) {
+		t.Fatalf("empty name: err = %v, want ErrWire", err)
+	}
+	long := make([]byte, maxWireNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := WriteFields(&buf, []NamedField{{Name: string(long), Field: f}}); !errors.Is(err, ErrWire) {
+		t.Fatalf("oversized name: err = %v, want ErrWire", err)
+	}
+}

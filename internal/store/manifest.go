@@ -15,11 +15,16 @@ var ErrManifest = errors.New("store: malformed manifest")
 const (
 	manifestMagic   = 0x4D534B4C // "LKSM"
 	manifestVersion = 1
+	// manifestVersionTTL extends each entry with an expire_at timestamp.
+	// encode only emits it when some generation actually carries one, so
+	// TTL-free stores stay byte-identical to version 1.
+	manifestVersionTTL = 2
 	// maxManifestGens bounds the generation count a manifest header may
 	// declare, so a corrupt count cannot force a huge allocation.
 	maxManifestGens = 1 << 16
-	manifestHeader  = 4 + 2 + 8 + 4 // magic, version, nextSeq, count
-	manifestEntry   = 8 + 8 + 8 + 4 // seq, step, size, crc
+	manifestHeader  = 4 + 2 + 8 + 4     // magic, version, nextSeq, count
+	manifestEntry   = 8 + 8 + 8 + 4     // seq, step, size, crc
+	manifestEntryV2 = manifestEntry + 8 // + expire_at
 )
 
 // Generation is one retained checkpoint: its monotonically increasing
@@ -30,6 +35,17 @@ type Generation struct {
 	Step uint64
 	Size uint64
 	CRC  uint32
+	// ExpireAt is the unix second after which TTL retention may prune
+	// this generation (0 = never expires). It is assigned once by the
+	// commit coordinator, so every replica records the identical value
+	// and quorum voting stays byte-exact.
+	ExpireAt int64
+}
+
+// Expired reports whether the generation's TTL has elapsed at time
+// nowUnix, tolerating skew seconds of clock disagreement.
+func (g Generation) Expired(nowUnix int64, skew int64) bool {
+	return g.ExpireAt != 0 && nowUnix > g.ExpireAt+skew
 }
 
 // manifest is the store's CRC-protected index: the next sequence number
@@ -48,16 +64,25 @@ func (m *manifest) latest() (Generation, bool) {
 }
 
 // encode serializes the manifest with a trailing CRC-32 of everything
-// before it.
+// before it. The version is 1 unless some generation carries an
+// expire_at stamp, so stores that never use TTL retention produce
+// byte-identical manifests to every earlier release.
 func (m *manifest) encode() []byte {
-	out := make([]byte, 0, manifestHeader+manifestEntry*len(m.Gens)+4)
+	version, entry := uint16(manifestVersion), manifestEntry
+	for _, g := range m.Gens {
+		if g.ExpireAt != 0 {
+			version, entry = manifestVersionTTL, manifestEntryV2
+			break
+		}
+	}
+	out := make([]byte, 0, manifestHeader+entry*len(m.Gens)+4)
 	var b8 [8]byte
 	var b4 [4]byte
 	var b2 [2]byte
 
 	binary.LittleEndian.PutUint32(b4[:], manifestMagic)
 	out = append(out, b4[:]...)
-	binary.LittleEndian.PutUint16(b2[:], manifestVersion)
+	binary.LittleEndian.PutUint16(b2[:], version)
 	out = append(out, b2[:]...)
 	binary.LittleEndian.PutUint64(b8[:], m.NextSeq)
 	out = append(out, b8[:]...)
@@ -72,6 +97,10 @@ func (m *manifest) encode() []byte {
 		out = append(out, b8[:]...)
 		binary.LittleEndian.PutUint32(b4[:], g.CRC)
 		out = append(out, b4[:]...)
+		if version == manifestVersionTTL {
+			binary.LittleEndian.PutUint64(b8[:], uint64(g.ExpireAt))
+			out = append(out, b8[:]...)
+		}
 	}
 	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(out))
 	return append(out, b4[:]...)
@@ -92,7 +121,13 @@ func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
 	if binary.LittleEndian.Uint32(body[0:4]) != manifestMagic {
 		return nil, 0, fmt.Errorf("%w: bad magic", ErrManifest)
 	}
-	if v := binary.LittleEndian.Uint16(body[4:6]); v != manifestVersion {
+	v := binary.LittleEndian.Uint16(body[4:6])
+	entry := manifestEntry
+	switch v {
+	case manifestVersion:
+	case manifestVersionTTL:
+		entry = manifestEntryV2
+	default:
 		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrManifest, v)
 	}
 	nextSeq := binary.LittleEndian.Uint64(body[6:14])
@@ -100,7 +135,7 @@ func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
 	if count > maxManifestGens {
 		return nil, 0, fmt.Errorf("%w: generation count %d exceeds cap", ErrManifest, count)
 	}
-	if len(body) != manifestHeader+manifestEntry*int(count) {
+	if len(body) != manifestHeader+entry*int(count) {
 		return nil, 0, fmt.Errorf("%w: %d bytes for %d generations", ErrManifest, len(raw), count)
 	}
 	gens := make([]Generation, count)
@@ -112,13 +147,16 @@ func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
 			Size: binary.LittleEndian.Uint64(body[off+16:]),
 			CRC:  binary.LittleEndian.Uint32(body[off+24:]),
 		}
+		if v == manifestVersionTTL {
+			gens[i].ExpireAt = int64(binary.LittleEndian.Uint64(body[off+28:]))
+		}
 		if gens[i].Seq >= nextSeq {
 			return nil, 0, fmt.Errorf("%w: generation %d not below next sequence %d", ErrManifest, gens[i].Seq, nextSeq)
 		}
 		if i > 0 && gens[i].Seq <= gens[i-1].Seq {
 			return nil, 0, fmt.Errorf("%w: generations not strictly increasing", ErrManifest)
 		}
-		off += manifestEntry
+		off += entry
 	}
 	return gens, nextSeq, nil
 }

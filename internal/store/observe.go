@@ -25,6 +25,8 @@ const (
 	MetricScrubRuns        = "lossyckpt_store_scrub_runs_total"
 	MetricScrubChecked     = "lossyckpt_store_scrub_checked_total"
 	MetricScrubQuarantined = "lossyckpt_store_scrub_quarantined_total"
+	// MetricExpiredGens counts generations TTL retention pruned.
+	MetricExpiredGens = "lossyckpt_store_expired_generations_total"
 
 	// Replication metrics: per-replica commit outcomes (labeled
 	// replica=<index>, ok=<true|false>), read-repair events (labeled

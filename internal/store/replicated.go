@@ -265,8 +265,19 @@ func (r *ReplicatedStore) enqueueLocked(idx int, fn func()) {
 // Commit fans payload out to every live replica under one sequence
 // number and returns once W replicas hold byte-identical records.
 func (r *ReplicatedStore) Commit(step int, payload []byte) (Generation, error) {
+	return r.CommitCtx(context.Background(), step, payload)
+}
+
+// CommitCtx is Commit bound to a request context: the coordinator's
+// context reaches every replica's retry ladder, so cancellation aborts
+// the fan-out between attempts instead of sleeping out N backoff
+// budgets.
+func (r *ReplicatedStore) CommitCtx(ctx context.Context, step int, payload []byte) (Generation, error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	if err := ctx.Err(); err != nil {
+		return Generation{}, fmt.Errorf("store: replicated commit: %w", err)
 	}
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
@@ -274,12 +285,18 @@ func (r *ReplicatedStore) Commit(step int, payload []byte) (Generation, error) {
 	if len(live) < r.w {
 		return Generation{}, r.quorumFailure("commit", fmt.Errorf("%d live replicas < quorum %d", len(live), r.w))
 	}
+	// Seq and expiry are coordinator-assigned so every replica records
+	// the identical generation and quorum voting stays byte-exact.
 	seq := r.nextSeqLocked()
+	exp := r.expireStamp()
 	results := make(chan commitRes, len(live))
 	for _, idx := range live {
 		idx, st := idx, r.replicas[idx].st
 		r.enqueueLocked(idx, func() {
-			gen, err := st.CommitAt(seq, step, payload)
+			gen, err := st.commitStreamAt(ctx, seq, step, exp, func(w io.Writer) error {
+				_, werr := w.Write(payload)
+				return werr
+			})
 			results <- commitRes{idx: idx, gen: gen, err: err}
 		})
 	}
@@ -288,11 +305,45 @@ func (r *ReplicatedStore) Commit(step int, payload []byte) (Generation, error) {
 
 // CommitFunc buffers write's output and replicates it as one generation.
 func (r *ReplicatedStore) CommitFunc(step int, write func(io.Writer) error) (Generation, error) {
+	return r.CommitFuncCtx(context.Background(), step, write)
+}
+
+// CommitFuncCtx is CommitFunc bound to a request context.
+func (r *ReplicatedStore) CommitFuncCtx(ctx context.Context, step int, write func(io.Writer) error) (Generation, error) {
 	var buf payloadBuffer
 	if err := write(&buf); err != nil {
 		return Generation{}, err
 	}
-	return r.Commit(step, buf.b)
+	return r.CommitCtx(ctx, step, buf.b)
+}
+
+// now resolves the coordinator's wall clock.
+func (r *ReplicatedStore) now() time.Time {
+	if r.opts.Now != nil {
+		return r.opts.Now()
+	}
+	return time.Now()
+}
+
+// expireStamp returns the expiry second for a generation committed now
+// (0 when TTL retention is off).
+func (r *ReplicatedStore) expireStamp() int64 {
+	if r.opts.TTL <= 0 {
+		return 0
+	}
+	return r.now().Add(r.opts.TTL).Unix()
+}
+
+// ttlSkewSeconds resolves the clock-skew tolerance for expiry checks.
+func (r *ReplicatedStore) ttlSkewSeconds() int64 {
+	switch {
+	case r.opts.TTLSkew > 0:
+		return int64(r.opts.TTLSkew / time.Second)
+	case r.opts.TTLSkew < 0:
+		return 0
+	default:
+		return 30
+	}
 }
 
 // fanoutWriter tees a producer's stream into one pipe per replica. A
@@ -327,8 +378,18 @@ func (f *fanoutWriter) Write(p []byte) (int, error) {
 // (one synchronous pipe per replica — the stream paces at the slowest
 // live branch) and succeeds once W replicas hold identical records.
 func (r *ReplicatedStore) CommitStream(step int, write func(io.Writer) error) (Generation, error) {
+	return r.CommitStreamCtx(context.Background(), step, write)
+}
+
+// CommitStreamCtx is CommitStream bound to a request context; the
+// coordinator's context reaches every replica's commit and retry
+// ladder.
+func (r *ReplicatedStore) CommitStreamCtx(ctx context.Context, step int, write func(io.Writer) error) (Generation, error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
+	}
+	if err := ctx.Err(); err != nil {
+		return Generation{}, fmt.Errorf("store: replicated commit: %w", err)
 	}
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
@@ -337,6 +398,7 @@ func (r *ReplicatedStore) CommitStream(step int, write func(io.Writer) error) (G
 		return Generation{}, r.quorumFailure("commit", fmt.Errorf("%d live replicas < quorum %d", len(live), r.w))
 	}
 	seq := r.nextSeqLocked()
+	exp := r.expireStamp()
 	results := make(chan commitRes, len(live))
 	pws := make([]*io.PipeWriter, len(live))
 	for i, idx := range live {
@@ -344,7 +406,7 @@ func (r *ReplicatedStore) CommitStream(step int, write func(io.Writer) error) (G
 		pws[i] = pw
 		idx, st := idx, r.replicas[idx].st
 		r.enqueueLocked(idx, func() {
-			gen, err := st.CommitStreamAt(seq, step, func(w io.Writer) error {
+			gen, err := st.commitStreamAt(ctx, seq, step, exp, func(w io.Writer) error {
 				_, cerr := io.Copy(w, pr)
 				return cerr
 			})
@@ -705,6 +767,7 @@ func (r *ReplicatedStore) Scrub(opts ScrubOptions) (rep *ScrubReport, err error)
 			rep.Checked += lrep.Checked
 			rep.Quarantined = append(rep.Quarantined, lrep.Quarantined...)
 			rep.Missing = append(rep.Missing, lrep.Missing...)
+			rep.Expired = append(rep.Expired, lrep.Expired...)
 			rep.ManifestRebuilt = rep.ManifestRebuilt || lrep.ManifestRebuilt
 		}
 	}
@@ -725,7 +788,14 @@ func (r *ReplicatedStore) Scrub(opts ScrubOptions) (rep *ScrubReport, err error)
 				local[g.Seq] = g
 			}
 			// Heal: every agreed generation must exist here, byte-identical.
+			// Expired generations are exempt — replica-local TTL pruning is
+			// about to remove them everywhere, and re-materializing a copy
+			// one replica already pruned would ping-pong against it.
+			nowU, skew := r.now().Unix(), r.ttlSkewSeconds()
 			for seq, want := range agreed {
+				if want.Expired(nowU, skew) {
+					continue
+				}
 				if have, ok := local[seq]; ok && have == want {
 					continue
 				}

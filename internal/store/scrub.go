@@ -70,6 +70,11 @@ type ScrubReport struct {
 	// Missing lists indexed generations whose file has vanished: nothing
 	// to quarantine, they are just dropped from the index.
 	Missing []uint64
+	// Expired lists generations TTL retention pruned this pass. Unlike
+	// quarantine this destroys the payload — expiry is policy, not
+	// corruption — and the newest verified generation is never pruned,
+	// so a store cannot scrub itself down to zero restorable state.
+	Expired []uint64
 	// ManifestRebuilt is true when the newest generation was dropped and
 	// the manifest was rebuilt from the surviving files.
 	ManifestRebuilt bool
@@ -116,6 +121,7 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 			jop.Set("checked", strconv.Itoa(rep.Checked),
 				"quarantined", strconv.Itoa(len(rep.Quarantined)),
 				"missing", strconv.Itoa(len(rep.Missing)),
+				"expired", strconv.Itoa(len(rep.Expired)),
 				"rebuilt", strconv.FormatBool(rep.ManifestRebuilt))
 			jop.End(err)
 		}()
@@ -165,6 +171,32 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 			o.Counter(MetricScrubQuarantined, "reason", reason).Inc()
 			o.Event("store.scrub_quarantined", "seq", g.Seq, "reason", reason, "path", qpath)
 		}
+	}
+
+	// TTL retention: prune expired survivors, destroying the payload (it
+	// is obsolete by policy, not corrupt). The stamp on the record is
+	// authoritative, so expiry is honored even if the store was reopened
+	// without Options.TTL. The newest verified generation always
+	// survives, and the skew tolerance keeps replicas with disagreeing
+	// clocks from prune/repair ping-pong.
+	if n := len(survivors); n > 0 {
+		nowU := s.now().Unix()
+		skew := s.ttlSkewSeconds()
+		kept := survivors[:0]
+		for i, g := range survivors {
+			if i < n-1 && g.Expired(nowU, skew) {
+				rep.Expired = append(rep.Expired, g.Seq)
+				dropped = true
+				s.b.RemovePayload(g.Seq)
+				if o != nil {
+					o.Counter(MetricExpiredGens).Inc()
+					o.Event("store.scrub_expired", "seq", g.Seq, "expire_at", g.ExpireAt)
+				}
+				continue
+			}
+			kept = append(kept, g)
+		}
+		survivors = kept
 	}
 
 	if dropped {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -55,9 +56,24 @@ type Options struct {
 	// between retries (0 means 1ms / 100ms).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
-	// Sleep is the backoff clock, injectable for tests; nil means
-	// time.Sleep.
+	// Sleep is the backoff clock, injectable for tests; nil means a
+	// context-aware sleep that wakes early when the operation's context
+	// is cancelled (see retry.go). An injected Sleep is called as-is and
+	// is not interruptible.
 	Sleep func(time.Duration)
+	// TTL, when positive, stamps every committed generation with an
+	// expiry (commit time + TTL); the scrubber prunes expired
+	// generations, except the newest one (a store never scrubs itself
+	// down to zero restorable checkpoints). 0 disables TTL retention.
+	TTL time.Duration
+	// TTLSkew is the clock-skew tolerance for TTL pruning: a generation
+	// is only pruned once now > expire_at + TTLSkew, so replicas with
+	// slightly disagreeing clocks do not ping-pong prune/repair. 0 means
+	// 30s; negative means no tolerance.
+	TTLSkew time.Duration
+	// Now is the wall clock for TTL stamps and expiry checks, injectable
+	// for tests; nil means time.Now.
+	Now func() time.Time
 	// Jitter is the backoff randomness source, returning values in
 	// [0,1): each retry sleeps backoff/2 + jitter·backoff/2, so N
 	// replicas retrying a shared fault spread out instead of thundering
@@ -91,9 +107,6 @@ func (o Options) withDefaults() Options {
 	if o.BackoffCap == 0 {
 		o.BackoffCap = 100 * time.Millisecond
 	}
-	if o.Sleep == nil {
-		o.Sleep = time.Sleep
-	}
 	if o.Jitter == nil {
 		o.Jitter = defaultJitter
 	}
@@ -124,8 +137,13 @@ type Store struct {
 	b    Backend
 	opts Options
 
-	mu  sync.Mutex // guards man and all directory mutations
+	mu  sync.Mutex // guards man, opCtx and all directory mutations
 	man manifest
+	// opCtx is the context of the operation currently holding mu (nil
+	// outside ctx-aware entry points). The retry ladder reads it so a
+	// cancelled request aborts between attempts instead of sleeping out
+	// the full capped backoff.
+	opCtx context.Context
 	// rebuilt records that Open found no valid manifest and recovered
 	// the generation index by scanning the directory.
 	rebuilt bool
@@ -243,11 +261,23 @@ func parseGenName(name string) (uint64, bool) {
 // point) → retention pruning. On any error the store's previous latest
 // generation is still intact and indexed.
 func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
+	return s.CommitCtx(context.Background(), step, payload)
+}
+
+// CommitCtx is Commit bound to a request context: cancellation aborts
+// the commit between retry attempts and backoff sleeps. The previous
+// latest generation stays indexed on abort.
+func (s *Store) CommitCtx(ctx context.Context, step int, payload []byte) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
 	}
+	if err := ctx.Err(); err != nil {
+		return Generation{}, fmt.Errorf("store: commit: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.opCtx = ctx
+	defer func() { s.opCtx = nil }()
 	if o := s.observer(); o != nil {
 		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", fmt.Sprint(len(payload)))
 		defer func() {
@@ -257,7 +287,7 @@ func (s *Store) Commit(step int, payload []byte) (gen Generation, err error) {
 			}
 		}()
 	}
-	return s.commitAtLocked(s.nextSeqLocked(), step, func(w io.Writer) error {
+	return s.commitAtLocked(s.nextSeqLocked(), step, s.expireStamp(), func(w io.Writer) error {
 		_, werr := w.Write(payload)
 		return werr
 	})
@@ -292,11 +322,25 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// ctxFailWriter fails writes once ctx is dead, so a cancelled commit
+// aborts at the next chunk boundary instead of streaming on.
+type ctxFailWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c ctxFailWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
+}
+
 // commitAtLocked is the shared commit core: stream the payload through
 // the backend's PayloadWriter, publish it, then make the manifest
 // update — the commit point — and prune the retention ring. The caller
 // holds s.mu and has validated seq.
-func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error) (gen Generation, err error) {
+func (s *Store) commitAtLocked(seq uint64, step int, expireAt int64, feed func(io.Writer) error) (gen Generation, err error) {
 	// One flight-recorder wide event per commit, with a progress
 	// breadcrumb at each durability milestone so a kill leaves the stage
 	// reached and bytes committed on record.
@@ -310,10 +354,23 @@ func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error)
 	if err != nil {
 		return Generation{}, err
 	}
+	// A ctx-bound commit refuses further payload chunks — and the
+	// durability flush below — once its context dies: the abort path
+	// still runs (cleanup ops ignore the dead request context), so a
+	// cancelled commit removes its partial payload instead of littering.
+	ctx := s.retryCtx()
 	cw := &countingWriter{w: pw}
-	if err := feed(cw); err != nil {
+	var sink io.Writer = cw
+	if ctx.Done() != nil {
+		sink = ctxFailWriter{ctx: ctx, w: cw}
+	}
+	if err := feed(sink); err != nil {
 		pw.Abort()
 		return Generation{}, fmt.Errorf("store: commit gen %d: stream: %w", seq, err)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		pw.Abort()
+		return Generation{}, fmt.Errorf("store: commit gen %d: %w", seq, cerr)
 	}
 	jop.Progress("payload_streamed", int64(cw.n))
 	if err := pw.Commit(); err != nil {
@@ -322,10 +379,11 @@ func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error)
 	jop.Progress("payload_durable", int64(cw.n))
 
 	gen = Generation{
-		Seq:  seq,
-		Step: uint64(step),
-		Size: cw.n,
-		CRC:  cw.crc,
+		Seq:      seq,
+		Step:     uint64(step),
+		Size:     cw.n,
+		CRC:      cw.crc,
+		ExpireAt: expireAt,
 	}
 	// The manifest update is the commit point: before it, the store
 	// still indexes the previous latest; after it, the new generation is
@@ -357,11 +415,45 @@ func (s *Store) commitAtLocked(seq uint64, step int, feed func(io.Writer) error)
 // CommitFunc buffers write's output and commits it as one generation —
 // the bridge for writers like ckpt.Manager.Checkpoint.
 func (s *Store) CommitFunc(step int, write func(io.Writer) error) (Generation, error) {
+	return s.CommitFuncCtx(context.Background(), step, write)
+}
+
+// CommitFuncCtx is CommitFunc bound to a request context.
+func (s *Store) CommitFuncCtx(ctx context.Context, step int, write func(io.Writer) error) (Generation, error) {
 	var buf payloadBuffer
 	if err := write(&buf); err != nil {
 		return Generation{}, err
 	}
-	return s.Commit(step, buf.b)
+	return s.CommitCtx(ctx, step, buf.b)
+}
+
+// now resolves the store's wall clock.
+func (s *Store) now() time.Time {
+	if s.opts.Now != nil {
+		return s.opts.Now()
+	}
+	return time.Now()
+}
+
+// ttlSkewSeconds resolves the clock-skew tolerance for expiry checks.
+func (s *Store) ttlSkewSeconds() int64 {
+	switch {
+	case s.opts.TTLSkew > 0:
+		return int64(s.opts.TTLSkew / time.Second)
+	case s.opts.TTLSkew < 0:
+		return 0
+	default:
+		return 30
+	}
+}
+
+// expireStamp returns the expiry second for a generation committed now
+// (0 when TTL retention is off).
+func (s *Store) expireStamp() int64 {
+	if s.opts.TTL <= 0 {
+		return 0
+	}
+	return s.now().Add(s.opts.TTL).Unix()
 }
 
 type payloadBuffer struct{ b []byte }
@@ -542,10 +634,13 @@ func (s *Store) rescan(minNext uint64) error {
 			Size: uint64(len(data)),
 			CRC:  crc32.ChecksumIEEE(data),
 		}
-		// The payload bytes carry no step number; when the old index
-		// still matches the file, keep its step instead of zeroing it.
+		// The payload bytes carry no step number or expiry; when the old
+		// index still matches the file, keep both instead of zeroing
+		// them. A generation whose stamp is lost becomes immortal — the
+		// fail-safe direction: recovery never invents a reason to delete.
 		if p, ok := prior[seq]; ok && p.Size == g.Size && p.CRC == g.CRC {
 			g.Step = p.Step
+			g.ExpireAt = p.ExpireAt
 		}
 		gens = append(gens, g)
 		if seq > maxSeq {
@@ -575,34 +670,5 @@ func (s *Store) sweep() {
 	if o := s.observer(); o != nil && swept > 0 {
 		o.Counter(MetricSweptFiles).Add(float64(swept))
 		o.Event("store.sweep", "dir", s.dir, "removed", swept)
-	}
-}
-
-// retry runs fn, retrying transient errors with capped exponential
-// backoff; permanent errors and exhausted budgets return immediately.
-// Each sleep is jittered into [backoff/2, backoff) so replicas
-// retrying a shared fault de-synchronize instead of thundering.
-func (s *Store) retry(op string, fn func() error) error {
-	backoff := s.opts.BackoffBase
-	var err error
-	for attempt := 0; ; attempt++ {
-		err = fn()
-		if err == nil || !IsTransient(err) || attempt >= s.opts.Retries {
-			return err
-		}
-		half := backoff / 2
-		sleep := half + time.Duration(s.opts.Jitter()*float64(half))
-		if sleep <= 0 {
-			sleep = backoff
-		}
-		if o := s.observer(); o != nil {
-			o.Counter(MetricRetries, "op", op).Inc()
-			o.Counter(MetricBackoffSeconds).Add(sleep.Seconds())
-		}
-		s.opts.Sleep(sleep)
-		backoff *= 2
-		if backoff > s.opts.BackoffCap {
-			backoff = s.opts.BackoffCap
-		}
 	}
 }

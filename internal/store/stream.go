@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -22,11 +23,24 @@ import (
 // failed store write underneath it) aborts the commit: the partial payload
 // is removed and the previous latest generation stays indexed.
 func (s *Store) CommitStream(step int, write func(io.Writer) error) (gen Generation, err error) {
+	return s.CommitStreamCtx(context.Background(), step, write)
+}
+
+// CommitStreamCtx is CommitStream bound to a request context:
+// cancellation aborts the commit between retry attempts and backoff
+// sleeps, the partial payload is removed, and the previous latest
+// generation stays indexed.
+func (s *Store) CommitStreamCtx(ctx context.Context, step int, write func(io.Writer) error) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
 	}
+	if err := ctx.Err(); err != nil {
+		return Generation{}, fmt.Errorf("store: commit: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.opCtx = ctx
+	defer func() { s.opCtx = nil }()
 	if o := s.observer(); o != nil {
 		sp := o.StartSpan(MetricCommitSpan, "step", fmt.Sprint(step), "bytes", "streamed")
 		defer func() {
@@ -36,22 +50,35 @@ func (s *Store) CommitStream(step int, write func(io.Writer) error) (gen Generat
 			}
 		}()
 	}
-	return s.commitAtLocked(s.nextSeqLocked(), step, write)
+	return s.commitAtLocked(s.nextSeqLocked(), step, s.expireStamp(), write)
 }
 
 // CommitStreamAt is CommitStream with a caller-chosen sequence number —
 // the streaming entry point for replicated commits, where a coordinator
 // assigns one seq across N replicas. seq below the store's NextSeq means
 // this replica has already seen newer state: ErrSeqConflict.
-func (s *Store) CommitStreamAt(seq uint64, step int, write func(io.Writer) error) (gen Generation, err error) {
+func (s *Store) CommitStreamAt(seq uint64, step int, write func(io.Writer) error) (Generation, error) {
+	return s.commitStreamAt(context.Background(), seq, step, s.expireStamp(), write)
+}
+
+// commitStreamAt is the coordinator-facing commit core: the sequence
+// number AND the expiry stamp arrive from the caller, so a replicated
+// commit records byte-identical metadata on every replica (an expiry
+// computed per replica would break quorum record voting).
+func (s *Store) commitStreamAt(ctx context.Context, seq uint64, step int, expireAt int64, write func(io.Writer) error) (gen Generation, err error) {
 	if step < 0 {
 		return Generation{}, fmt.Errorf("store: negative step %d", step)
 	}
 	if seq == 0 {
 		return Generation{}, fmt.Errorf("%w: sequence numbers are 1-based", ErrSeqConflict)
 	}
+	if err := ctx.Err(); err != nil {
+		return Generation{}, fmt.Errorf("store: commit gen %d: %w", seq, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.opCtx = ctx
+	defer func() { s.opCtx = nil }()
 	if seq < s.nextSeqLocked() {
 		return Generation{}, fmt.Errorf("%w: commit at %d but store is at %d", ErrSeqConflict, seq, s.nextSeqLocked())
 	}
@@ -64,5 +91,5 @@ func (s *Store) CommitStreamAt(seq uint64, step int, write func(io.Writer) error
 			}
 		}()
 	}
-	return s.commitAtLocked(seq, step, write)
+	return s.commitAtLocked(seq, step, expireAt, write)
 }

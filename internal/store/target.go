@@ -27,11 +27,18 @@ type Target interface {
 	NextSeq() uint64
 	// Commit adds payload as the next generation.
 	Commit(step int, payload []byte) (Generation, error)
+	// CommitCtx is Commit bound to a request context: cancellation
+	// aborts between retry attempts and backoff sleeps.
+	CommitCtx(ctx context.Context, step int, payload []byte) (Generation, error)
 	// CommitFunc buffers write's output and commits it as one generation.
 	CommitFunc(step int, write func(io.Writer) error) (Generation, error)
+	// CommitFuncCtx is CommitFunc bound to a request context.
+	CommitFuncCtx(ctx context.Context, step int, write func(io.Writer) error) (Generation, error)
 	// CommitStream commits the bytes write produces without buffering
 	// them.
 	CommitStream(step int, write func(io.Writer) error) (Generation, error)
+	// CommitStreamCtx is CommitStream bound to a request context.
+	CommitStreamCtx(ctx context.Context, step int, write func(io.Writer) error) (Generation, error)
 	// ReadGeneration returns generation seq's payload, verified.
 	ReadGeneration(seq uint64) ([]byte, error)
 	// ReadGenerationRaw returns generation seq's bytes plus whether they
