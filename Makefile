@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt-check vet build test race fuzz-smoke serve-smoke crash-matrix-replicated bench-parallel bench-obs bench-gzip bench-entropy bench-qa bench-smoke bench-compare bench-compare-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke serve-smoke crash-matrix-replicated crash-matrix-dedup bench-parallel bench-obs bench-gzip bench-entropy bench-dedup bench-qa bench-smoke bench-compare bench-compare-smoke
 
 check: fmt-check vet build race fuzz-smoke serve-smoke bench-compare-smoke
 
@@ -35,6 +35,8 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzDecodeManifest$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzOpenDir$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run='^Fuzz' -fuzz='^FuzzDecodePointer$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cas -run='^Fuzz' -fuzz='^FuzzDecodeRecipe$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cas -run='^Fuzz' -fuzz='^FuzzChunker$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/fpc -run='^Fuzz' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/container -run='^Fuzz' -fuzz='^FuzzFromBytes$$' -fuzztime=$(FUZZTIME)
@@ -62,6 +64,13 @@ serve-smoke:
 crash-matrix-replicated:
 	$(GO) test ./internal/store -run '^TestCrashMatrix$$|^TestObjectCrashMatrix$$|^TestReplicatedCrashMatrix$$' -v -count=1
 
+# crash-matrix-dedup kills a dedup store at every write boundary of the
+# chunks -> recipe -> manifest commit and during GC: after each crash
+# the store must reopen to a readable, bit-exact generation with zero
+# torn state, and one GC cycle must leave zero leaked chunks.
+crash-matrix-dedup:
+	$(GO) test ./internal/store -run '^TestCrashMatrixDedup$$|^TestCrashMatrixDedupGC$$' -v -count=1
+
 # bench-parallel runs the parallel-engine benchmarks that feed
 # BENCH_parallel.json (workers sweep + allocation counts).
 bench-parallel:
@@ -84,6 +93,12 @@ bench-gzip:
 bench-entropy:
 	$(GO) test -run xxx -bench 'Entropy' -benchtime 3x .
 
+# bench-dedup runs the delta-checkpoint + chunk-dedup benchmarks that
+# feed BENCH_dedup.json (mutation-fraction sweep with committed physical
+# bytes and elided compression CPU, plus the raw chunker throughput).
+bench-dedup:
+	$(GO) test -run xxx -bench 'Dedup' -benchtime 3x .
+
 # bench-qa smokes the quality-analytics and flight-recorder loop: a heat
 # workload quality report (markdown + JSON with rate-distortion table),
 # a journaled save/restore round trip, and the journal post-mortem — all
@@ -102,7 +117,7 @@ bench-qa:
 # bench-smoke executes every benchmark once — CI's guard that the bench
 # code itself keeps compiling and running.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc|ParallelGzip|StreamingCheckpoint|Entropy' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ChunkedParallel|Alloc|ParallelGzip|StreamingCheckpoint|Entropy|Dedup' -benchtime 1x .
 
 # bench-compare diffs two BENCH_*.json snapshots and fails on >15%
 # ns_per_op regressions:  make bench-compare OLD=old.json NEW=new.json
@@ -118,3 +133,4 @@ bench-compare-smoke:
 	$(GO) run ./cmd/benchdiff BENCH_obs.json BENCH_obs.json
 	$(GO) run ./cmd/benchdiff BENCH_gzip.json BENCH_gzip.json
 	$(GO) run ./cmd/benchdiff BENCH_entropy.json BENCH_entropy.json
+	$(GO) run ./cmd/benchdiff BENCH_dedup.json BENCH_dedup.json

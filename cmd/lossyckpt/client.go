@@ -202,6 +202,10 @@ func cmdClientInspect(args []string) error {
 		fmt.Printf(" of %d quota", ir.QuotaBytes)
 	}
 	fmt.Println()
+	if d := ir.Dedup; d != nil {
+		fmt.Printf("  dedup: %d recipe generation(s), %d logical bytes as %d recipe + %d chunk bytes (%d chunks, ratio %.2fx)\n",
+			d.Generations, d.LogicalBytes, d.RecipeBytes, d.ChunkBytes, d.Chunks, d.Ratio)
+	}
 	for _, g := range ir.Generations {
 		fmt.Printf("  generation %d: step %d, %d bytes, crc %08x", g.Seq, g.Step, g.Size, g.CRC)
 		if g.ExpireAt != 0 {

@@ -489,6 +489,7 @@ func cmdSave(args []string) error {
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	in := fs.String("in", "", "comma-separated .grd files to checkpoint (required)")
 	keep := fs.Int("keep", 3, "generations to retain")
+	dedup := fs.Bool("dedup", false, "content-addressed chunk dedup: unchanged slabs across generations are stored once")
 	codecName := fs.String("codec", "lossy", "checkpoint codec: none, gzip, lz4, fpc or lossy")
 	step := fs.Int("step", 0, "application step recorded in the checkpoint")
 	workers := fs.Int("workers", 0, "parallel compression workers (0 = GOMAXPROCS, 1 = serial)")
@@ -564,7 +565,7 @@ func cmdSave(args []string) error {
 			return err
 		}
 	}
-	st, err := sf.open(*dir, store.Options{Keep: *keep})
+	st, err := sf.open(*dir, store.Options{Keep: *keep, Dedup: *dedup})
 	if err != nil {
 		return err
 	}
@@ -582,6 +583,9 @@ func cmdSave(args []string) error {
 		}
 	}
 	fmt.Printf("store %s retains %d generation(s), keep %d\n", st.Dir(), len(st.Generations()), *keep)
+	if *dedup {
+		printDedupStats(st)
+	}
 	if rs, ok := st.(*store.ReplicatedStore); ok {
 		fmt.Printf("replicated %d-way (write quorum %d), backend %s\n",
 			rs.Replicas(), rs.Quorum(), *sf.backend)
@@ -707,6 +711,11 @@ func cmdFsck(args []string) error {
 	}
 	if len(rep.Replicas) > 0 {
 		fmt.Printf("replica divergence after repair: %d generation(s)\n", rep.Divergent)
+	}
+	if bad, derr := fsckDedup(st); derr != nil {
+		return derr
+	} else if bad {
+		return fmt.Errorf("fsck: chunk store is not clean")
 	}
 	// Report the surviving entries' entropy framing and guarantees so an
 	// operator knows what a restore would promise.

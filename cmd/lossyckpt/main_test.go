@@ -426,3 +426,42 @@ func TestStoreFlagsValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSaveDedupRoundTripAndFsck: -dedup stores generations as chunk
+// recipes, restores stay bit-exact, and fsck's chunk audit passes.
+func TestSaveDedupRoundTripAndFsck(t *testing.T) {
+	dir := t.TempDir()
+	grd := filepath.Join(dir, "pressure.grd")
+	if err := run([]string{"gen", "-out", grd, "-shape", "64x16x2", "-steps", "3", "-var", "pressure"}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+	for step := 1; step <= 3; step++ {
+		if err := run([]string{"save", "-dir", ckptDir, "-in", grd, "-keep", "-1",
+			"-codec", "none", "-dedup", "-step", fmt.Sprint(step)}); err != nil {
+			t.Fatalf("dedup save %d: %v", step, err)
+		}
+	}
+	// Generations live as recipes next to a chunk directory.
+	if fi, err := os.Stat(filepath.Join(ckptDir, "cas")); err != nil || !fi.IsDir() {
+		t.Fatalf("dedup store has no cas/ chunk directory: %v", err)
+	}
+	outDir := filepath.Join(dir, "restored")
+	if err := run([]string{"restore", "-dir", ckptDir, "-out", outDir}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	orig, err := os.ReadFile(grd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(outDir, "pressure.grd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(got) {
+		t.Error("dedup round trip differs from original field")
+	}
+	if err := run([]string{"fsck", "-dir", ckptDir}); err != nil {
+		t.Fatalf("fsck on dedup store: %v", err)
+	}
+}

@@ -83,6 +83,7 @@ type fileTenant struct {
 	Keep       int    `json:"keep,omitempty"`
 	TTL        string `json:"ttl,omitempty"`
 	QuotaBytes int64  `json:"quota_bytes,omitempty"`
+	Dedup      bool   `json:"dedup,omitempty"`
 	Replicas   int    `json:"replicas,omitempty"`
 	Quorum     int    `json:"quorum,omitempty"`
 	Backend    string `json:"backend,omitempty"`
@@ -130,6 +131,7 @@ func loadConfig(path string) (server.Config, error) {
 			Keep:       ft.Keep,
 			TTL:        ttl,
 			QuotaBytes: ft.QuotaBytes,
+			Dedup:      ft.Dedup,
 			Replicas:   ft.Replicas,
 			Quorum:     ft.Quorum,
 			Backend:    ft.Backend,
@@ -149,6 +151,7 @@ func run(args []string, sigs <-chan os.Signal, logw *os.File) error {
 	keep := fs.Int("keep", 3, "single-tenant mode: retention ring size (negative keeps everything)")
 	ttl := fs.Duration("ttl", 0, "single-tenant mode: generation TTL (0 = no TTL retention)")
 	quota := fs.Int64("quota-bytes", 0, "single-tenant mode: stored-bytes quota (0 = unlimited)")
+	dedup := fs.Bool("dedup", false, "single-tenant mode: content-addressed chunk dedup for the store")
 	replicas := fs.Int("replicas", 1, "single-tenant mode: replica count")
 	quorum := fs.Int("quorum", 0, "single-tenant mode: write quorum (0 = majority)")
 	backend := fs.String("backend", "posix", "single-tenant mode: store backend (posix or object)")
@@ -188,6 +191,7 @@ func run(args []string, sigs <-chan os.Signal, logw *os.File) error {
 			Keep:       *keep,
 			TTL:        *ttl,
 			QuotaBytes: *quota,
+			Dedup:      *dedup,
 			Replicas:   n,
 			Quorum:     *quorum,
 			Backend:    *backend,

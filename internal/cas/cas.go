@@ -1,0 +1,226 @@
+// Package cas implements the content-addressed chunk layer under the
+// store's dedup path: a content-defined chunker (gear rolling hash with
+// min/avg/max bounds), SHA-256 chunk addressing, a recipe codec that
+// turns a generation payload into a list of chunk references, and an
+// in-memory refcount index the store rebuilds at Open and keeps current
+// across commits, prunes and GC passes.
+//
+// The package is pure — no filesystem, no store dependency — so the
+// chunk math can be fuzzed and property-tested in isolation and reused
+// verbatim by every backend.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// HashSize is the byte length of a chunk address (SHA-256).
+const HashSize = 32
+
+// Hash addresses one chunk by the SHA-256 of its content.
+type Hash [HashSize]byte
+
+// Sum returns the content address of data.
+func Sum(data []byte) Hash { return sha256.Sum256(data) }
+
+// String renders the address as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash inverts Hash.String.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != HashSize {
+		return h, fmt.Errorf("cas: bad chunk hash %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Default chunker bounds. The average targets the store's commit-chunk
+// granularity (256 KiB) so one content-defined chunk is one bounded
+// write; min/max keep the size distribution tight enough that a single
+// flipped byte dirties O(1) chunks.
+const (
+	DefaultMinChunk = 64 << 10
+	DefaultAvgChunk = 256 << 10
+	DefaultMaxChunk = 1 << 20
+)
+
+// Config bounds the content-defined chunker. Cut points depend only on
+// content and these bounds, so two stores with the same Config chunk
+// identical payloads identically — the property replicated commits rely
+// on for byte-exact quorum voting over recipes.
+type Config struct {
+	// Min is the smallest chunk the cutter may emit (except the final
+	// tail). 0 means DefaultMinChunk.
+	Min int
+	// Avg is the target average chunk size; it must be a power of two
+	// (the cutter masks the rolling hash with Avg-1). 0 means
+	// DefaultAvgChunk.
+	Avg int
+	// Max force-cuts a chunk regardless of content. 0 means
+	// DefaultMaxChunk.
+	Max int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Min == 0 {
+		c.Min = DefaultMinChunk
+	}
+	if c.Avg == 0 {
+		c.Avg = DefaultAvgChunk
+	}
+	if c.Max == 0 {
+		c.Max = DefaultMaxChunk
+	}
+	return c
+}
+
+// Validate rejects bounds the cutter cannot honor.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Avg&(c.Avg-1) != 0 {
+		return fmt.Errorf("cas: average chunk size %d is not a power of two", c.Avg)
+	}
+	if c.Min <= 0 || c.Min > c.Avg || c.Avg > c.Max {
+		return fmt.Errorf("cas: chunk bounds min=%d avg=%d max=%d violate 0 < min <= avg <= max", c.Min, c.Avg, c.Max)
+	}
+	return nil
+}
+
+// gearTable is the 256-entry random table driving the gear rolling
+// hash. It is generated once from a fixed splitmix64 seed so cut points
+// are stable across processes, architectures and releases — a chunk
+// written by one store must be findable by every other.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range t {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// Chunker is a streaming content-defined cutter: bytes go in via Write,
+// complete chunks come out through the emit callback, and Flush emits
+// the final partial chunk. Cut points use the gear hash — h = h<<1 +
+// gear[b] — masked to the average size, with min/max bounds; because
+// the hash has a finite window (64 bytes effectively), cut points
+// resynchronize shortly after any local edit, which is what makes slab
+// boundaries in the chunked compression layout stable cut points
+// without explicit alignment plumbing.
+type Chunker struct {
+	cfg  Config
+	mask uint64
+	buf  []byte
+	emit func(chunk []byte) error
+}
+
+// NewChunker builds a streaming cutter delivering chunks to emit. The
+// chunk slice passed to emit is only valid during the call.
+func NewChunker(cfg Config, emit func(chunk []byte) error) (*Chunker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Chunker{
+		cfg:  cfg,
+		mask: uint64(cfg.Avg - 1),
+		buf:  make([]byte, 0, cfg.Max),
+		emit: emit,
+	}, nil
+}
+
+// Write implements io.Writer, emitting every complete chunk found in
+// the stream so far.
+func (c *Chunker) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		take := c.cfg.Max - len(c.buf)
+		if take > len(p) {
+			take = len(p)
+		}
+		c.buf = append(c.buf, p[:take]...)
+		p = p[take:]
+		for {
+			cut := c.cut()
+			if cut == 0 {
+				break
+			}
+			if err := c.emit(c.buf[:cut]); err != nil {
+				return 0, err
+			}
+			c.buf = append(c.buf[:0], c.buf[cut:]...)
+		}
+	}
+	return written, nil
+}
+
+// cut finds the first content-defined cut point in the buffered bytes,
+// or 0 when the buffer holds no complete chunk yet.
+func (c *Chunker) cut() int {
+	if len(c.buf) < c.cfg.Min {
+		return 0
+	}
+	var h uint64
+	// Warm the hash over the window before Min so the boundary decision
+	// at Min already has full context.
+	warm := c.cfg.Min - 64
+	if warm < 0 {
+		warm = 0
+	}
+	for i := warm; i < c.cfg.Min; i++ {
+		h = h<<1 + gearTable[c.buf[i]]
+	}
+	for i := c.cfg.Min; i < len(c.buf); i++ {
+		if h&c.mask == 0 {
+			return i
+		}
+		h = h<<1 + gearTable[c.buf[i]]
+	}
+	if len(c.buf) >= c.cfg.Max {
+		return c.cfg.Max
+	}
+	return 0
+}
+
+// Flush emits the final partial chunk, if any. The chunker is reusable
+// afterwards (a fresh stream starts clean).
+func (c *Chunker) Flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	chunk := c.buf
+	c.buf = c.buf[:0]
+	return c.emit(chunk)
+}
+
+var _ io.Writer = (*Chunker)(nil)
+
+// Split cuts data into content-defined chunks in one call — the
+// convenience used by tests and by PutGeneration's buffered path.
+func Split(cfg Config, data []byte) ([][]byte, error) {
+	var out [][]byte
+	ch, err := NewChunker(cfg, func(chunk []byte) error {
+		out = append(out, append([]byte(nil), chunk...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ch.Write(data); err != nil {
+		return nil, err
+	}
+	if err := ch.Flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package cas
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+func randomBytes(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestSplitRoundTrip: chunks concatenate back to the input and respect
+// the configured bounds.
+func TestSplitRoundTrip(t *testing.T) {
+	cfg := Config{Min: 1 << 10, Avg: 4 << 10, Max: 16 << 10}
+	for _, n := range []int{0, 1, 100, 1 << 10, 4<<10 + 37, 1 << 20} {
+		data := randomBytes(int64(n)+1, n)
+		chunks, err := Split(cfg, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back []byte
+		for i, c := range chunks {
+			if len(c) > cfg.Max {
+				t.Fatalf("n=%d chunk %d exceeds max: %d", n, i, len(c))
+			}
+			if i < len(chunks)-1 && len(c) < cfg.Min {
+				t.Fatalf("n=%d non-final chunk %d below min: %d", n, i, len(c))
+			}
+			back = append(back, c...)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("n=%d: chunks do not reassemble input", n)
+		}
+	}
+}
+
+// TestChunkerDeterministic: identical input chunks identically however
+// it is fed — the property replicated recipes rely on.
+func TestChunkerDeterministic(t *testing.T) {
+	cfg := Config{Min: 1 << 10, Avg: 4 << 10, Max: 16 << 10}
+	data := randomBytes(7, 256<<10)
+	whole, err := Split(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the same bytes one-at-a-time-ish through a streaming chunker.
+	var dribble [][]byte
+	ch, err := NewChunker(cfg, func(c []byte) error {
+		dribble = append(dribble, append([]byte(nil), c...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); {
+		n := 1 + (off % 1000)
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := ch.Write(data[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := ch.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != len(dribble) {
+		t.Fatalf("chunk count differs: %d vs %d", len(whole), len(dribble))
+	}
+	for i := range whole {
+		if !bytes.Equal(whole[i], dribble[i]) {
+			t.Fatalf("chunk %d differs between whole and dribbled feed", i)
+		}
+	}
+}
+
+// TestChunkerResync: a local edit only dirties a bounded number of
+// chunks — cut points resynchronize after the edit.
+func TestChunkerResync(t *testing.T) {
+	cfg := Config{Min: 1 << 10, Avg: 4 << 10, Max: 16 << 10}
+	data := randomBytes(42, 1<<20)
+	edited := append([]byte(nil), data...)
+	edited[len(edited)/2] ^= 0xFF
+
+	sums := func(d []byte) map[Hash]bool {
+		chunks, err := Split(cfg, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[Hash]bool, len(chunks))
+		for _, c := range chunks {
+			m[Sum(c)] = true
+		}
+		return m
+	}
+	a, b := sums(data), sums(edited)
+	changed := 0
+	for h := range b {
+		if !a[h] {
+			changed++
+		}
+	}
+	// A one-byte edit must dirty only a handful of chunks out of ~256.
+	if changed > 6 {
+		t.Fatalf("one-byte edit dirtied %d chunks (of %d)", changed, len(b))
+	}
+	if changed == 0 {
+		t.Fatal("edit dirtied no chunks — hashing is broken")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Config{
+		{Min: 10, Avg: 24, Max: 100}, // avg not a power of two
+		{Min: 0, Avg: 4, Max: 8},     // min defaults above avg
+		{Min: 16, Avg: 8, Max: 32},   // min > avg
+		{Min: 4, Avg: 8, Max: 7},     // avg > max
+		{Min: -1, Avg: 8, Max: 16},   // negative
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+// TestRecipeRoundTrip: encode → decode is identity and the decoded
+// recipe carries the logical size/CRC.
+func TestRecipeRoundTrip(t *testing.T) {
+	data := randomBytes(3, 300<<10)
+	chunks, err := Split(Config{Min: 8 << 10, Avg: 32 << 10, Max: 128 << 10}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recipe{Size: uint64(len(data)), CRC: crc32.ChecksumIEEE(data)}
+	for _, c := range chunks {
+		r.Chunks = append(r.Chunks, Ref{Hash: Sum(c), Len: uint32(len(c))})
+	}
+	raw := r.Encode()
+	if len(raw) != r.EncodedSize() {
+		t.Fatalf("EncodedSize %d != actual %d", r.EncodedSize(), len(raw))
+	}
+	got, err := DecodeRecipe(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != r.Size || got.CRC != r.CRC || len(got.Chunks) != len(r.Chunks) {
+		t.Fatalf("decoded recipe differs: %+v vs %+v", got, r)
+	}
+	for i := range got.Chunks {
+		if got.Chunks[i] != r.Chunks[i] {
+			t.Fatalf("chunk ref %d differs", i)
+		}
+	}
+	if got.TotalLen() != r.Size {
+		t.Fatalf("TotalLen %d != Size %d", got.TotalLen(), r.Size)
+	}
+	if !IsRecipe(raw) {
+		t.Fatal("IsRecipe rejects a valid recipe")
+	}
+}
+
+// TestRecipeCorruption: every single-byte corruption is rejected.
+func TestRecipeCorruption(t *testing.T) {
+	r := &Recipe{Size: 10, CRC: 123, Chunks: []Ref{{Hash: Sum([]byte("x")), Len: 10}}}
+	raw := r.Encode()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x01
+		if _, err := DecodeRecipe(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	if _, err := DecodeRecipe(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated recipe accepted")
+	}
+	if _, err := DecodeRecipe(nil); err == nil {
+		t.Fatal("empty recipe accepted")
+	}
+}
+
+// TestIndexRefcounts: add/release bookkeeping and zero-crossing report.
+func TestIndexRefcounts(t *testing.T) {
+	x := NewIndex()
+	a := Ref{Hash: Sum([]byte("a")), Len: 100}
+	b := Ref{Hash: Sum([]byte("b")), Len: 200}
+	x.Add([]Ref{a, b})
+	x.Add([]Ref{a})
+	if !x.Has(a.Hash) || !x.Has(b.Hash) {
+		t.Fatal("added chunks not present")
+	}
+	if x.Refs(a.Hash) != 2 || x.Refs(b.Hash) != 1 {
+		t.Fatalf("refs: a=%d b=%d", x.Refs(a.Hash), x.Refs(b.Hash))
+	}
+	if x.Chunks() != 2 || x.Bytes() != 300 {
+		t.Fatalf("chunks=%d bytes=%d", x.Chunks(), x.Bytes())
+	}
+	dead := x.Release([]Ref{a, b})
+	if len(dead) != 1 || dead[0] != b.Hash {
+		t.Fatalf("first release dead=%v", dead)
+	}
+	dead = x.Release([]Ref{a})
+	if len(dead) != 1 || dead[0] != a.Hash {
+		t.Fatalf("second release dead=%v", dead)
+	}
+	if x.Chunks() != 0 || x.Bytes() != 0 {
+		t.Fatal("index not empty after full release")
+	}
+	// Releasing untracked chunks is a no-op, never a deletion order.
+	if dead := x.Release([]Ref{a}); dead != nil {
+		t.Fatalf("untracked release reported dead=%v", dead)
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h := Sum([]byte("hello"))
+	got, err := ParseHash(h.String())
+	if err != nil || got != h {
+		t.Fatalf("ParseHash(%s) = %v, %v", h, got, err)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Fatal("short hash accepted")
+	}
+}

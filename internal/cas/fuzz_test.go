@@ -1,0 +1,59 @@
+package cas
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecodeRecipe: adversarial recipe images must never panic, and a
+// valid image must re-encode to the identical bytes.
+func FuzzDecodeRecipe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LKR1"))
+	r := &Recipe{Size: 5, CRC: crc32.ChecksumIEEE([]byte("hello")),
+		Chunks: []Ref{{Hash: Sum([]byte("hello")), Len: 5}}}
+	f.Add(r.Encode())
+	empty := &Recipe{}
+	f.Add(empty.Encode())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rec, err := DecodeRecipe(raw)
+		if err != nil {
+			return
+		}
+		if got := rec.Encode(); !bytes.Equal(got, raw) {
+			t.Fatalf("decode/encode not identity: %d vs %d bytes", len(got), len(raw))
+		}
+		if rec.TotalLen() != rec.Size {
+			t.Fatalf("accepted recipe with TotalLen %d != Size %d", rec.TotalLen(), rec.Size)
+		}
+	})
+}
+
+// FuzzChunker: arbitrary input with arbitrary (valid) bounds must chunk
+// into pieces that respect the bounds and reassemble exactly.
+func FuzzChunker(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(2))
+	f.Add(make([]byte, 100000), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, avgLog uint8) {
+		avg := 1 << (4 + avgLog%8) // 16B .. 2KiB averages
+		cfg := Config{Min: avg / 4, Avg: avg, Max: avg * 4}
+		if cfg.Min == 0 {
+			cfg.Min = 1
+		}
+		chunks, err := Split(cfg, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back []byte
+		for i, c := range chunks {
+			if len(c) > cfg.Max || len(c) == 0 {
+				t.Fatalf("chunk %d size %d outside (0,%d]", i, len(c), cfg.Max)
+			}
+			back = append(back, c...)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("chunks do not reassemble input")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package cas
+
+// Index is the in-memory refcount ledger over live chunks. It is not
+// persisted: the store rebuilds it at Open by decoding the recipes of
+// every indexed (and quarantined) generation, keeps it current across
+// commits and prunes, and a mark-and-sweep GC pass reconstructs it from
+// scratch as the crash backstop — so a counter can never drift from the
+// durable truth for longer than one GC cycle.
+//
+// Index is not concurrency-safe; the store drives it under its mutex.
+type Index struct {
+	refs map[Hash]*chunkInfo
+}
+
+type chunkInfo struct {
+	size uint32
+	refs int
+}
+
+// NewIndex returns an empty ledger.
+func NewIndex() *Index {
+	return &Index{refs: make(map[Hash]*chunkInfo)}
+}
+
+// Has reports whether the index holds a live reference to h — the
+// presence probe the commit path uses to skip rewriting (and, upstream,
+// re-compressing) a chunk that already exists.
+func (x *Index) Has(h Hash) bool {
+	ci, ok := x.refs[h]
+	return ok && ci.refs > 0
+}
+
+// Add takes one reference on every chunk of refs (a committed or
+// reloaded recipe).
+func (x *Index) Add(refs []Ref) {
+	for _, r := range refs {
+		if ci, ok := x.refs[r.Hash]; ok {
+			ci.refs++
+			continue
+		}
+		x.refs[r.Hash] = &chunkInfo{size: r.Len, refs: 1}
+	}
+}
+
+// Release drops one reference on every chunk of refs and returns the
+// addresses that reached zero — the chunks the store may now delete.
+// A release on an untracked chunk is ignored (the fail-safe direction:
+// never report a chunk deletable on bookkeeping confusion).
+func (x *Index) Release(refs []Ref) []Hash {
+	var dead []Hash
+	for _, r := range refs {
+		ci, ok := x.refs[r.Hash]
+		if !ok {
+			continue
+		}
+		ci.refs--
+		if ci.refs <= 0 {
+			delete(x.refs, r.Hash)
+			dead = append(dead, r.Hash)
+		}
+	}
+	return dead
+}
+
+// Chunks returns the number of live chunks.
+func (x *Index) Chunks() int { return len(x.refs) }
+
+// Bytes returns the total physical bytes of live chunks.
+func (x *Index) Bytes() int64 {
+	var n int64
+	for _, ci := range x.refs {
+		n += int64(ci.size)
+	}
+	return n
+}
+
+// Refs returns the reference count of h (0 when untracked) — the fsck
+// surface for verifying on-disk refcounts against recomputed truth.
+func (x *Index) Refs(h Hash) int {
+	if ci, ok := x.refs[h]; ok {
+		return ci.refs
+	}
+	return 0
+}
+
+// Hashes returns every live chunk address, in map order.
+func (x *Index) Hashes() []Hash {
+	out := make([]Hash, 0, len(x.refs))
+	for h := range x.refs {
+		out = append(out, h)
+	}
+	return out
+}

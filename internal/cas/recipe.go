@@ -1,0 +1,138 @@
+package cas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrRecipe indicates a structurally invalid or checksum-failing recipe
+// image. The store treats it like any other corrupt payload: the
+// generation is quarantined, its chunks stay alive until GC re-marks.
+var ErrRecipe = errors.New("cas: malformed recipe")
+
+const (
+	recipeMagic   = 0x31524B4C // "LKR1"
+	recipeVersion = 1
+	// maxRecipeChunks bounds the chunk count a recipe header may declare
+	// so corrupt input cannot force a huge allocation (2^20 chunks at the
+	// 64 KiB minimum is a 64 GiB generation — far past any payload here).
+	maxRecipeChunks = 1 << 20
+	recipeHeader    = 4 + 2 + 8 + 4 + 4 // magic, version, size, crc, count
+	recipeEntry     = HashSize + 4      // hash, length
+)
+
+// Ref is one chunk reference inside a recipe: the content address plus
+// the chunk's length (so logical offsets and physical accounting never
+// need to read the chunk itself).
+type Ref struct {
+	Hash Hash
+	Len  uint32
+}
+
+// Recipe is the decoded form of a dedup generation payload: the logical
+// payload's size and CRC-32 (matching the manifest record, which always
+// describes logical bytes) plus the ordered chunk references that
+// reassemble it.
+type Recipe struct {
+	Size   uint64
+	CRC    uint32
+	Chunks []Ref
+}
+
+// TotalLen sums the chunk lengths — it must equal Size for a recipe to
+// decode at all, so it mainly serves tests.
+func (r *Recipe) TotalLen() uint64 {
+	var n uint64
+	for _, c := range r.Chunks {
+		n += uint64(c.Len)
+	}
+	return n
+}
+
+// EncodedSize returns the byte length Encode will produce.
+func (r *Recipe) EncodedSize() int {
+	return recipeHeader + recipeEntry*len(r.Chunks) + 4
+}
+
+// Encode serializes the recipe with a trailing CRC-32 of everything
+// before it, mirroring the manifest codec's torn-tail detection.
+func (r *Recipe) Encode() []byte {
+	out := make([]byte, 0, r.EncodedSize())
+	var b8 [8]byte
+	var b4 [4]byte
+	var b2 [2]byte
+
+	binary.LittleEndian.PutUint32(b4[:], recipeMagic)
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint16(b2[:], recipeVersion)
+	out = append(out, b2[:]...)
+	binary.LittleEndian.PutUint64(b8[:], r.Size)
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint32(b4[:], r.CRC)
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(r.Chunks)))
+	out = append(out, b4[:]...)
+	for _, c := range r.Chunks {
+		out = append(out, c.Hash[:]...)
+		binary.LittleEndian.PutUint32(b4[:], c.Len)
+		out = append(out, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(out))
+	return append(out, b4[:]...)
+}
+
+// DecodeRecipe parses and verifies a recipe image. Every header-declared
+// size is validated against the remaining input before any allocation,
+// chunk lengths must be positive and sum exactly to the declared logical
+// size — corrupt input returns ErrRecipe, never panics.
+func DecodeRecipe(raw []byte) (*Recipe, error) {
+	if len(raw) < recipeHeader+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecipe, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrRecipe)
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != recipeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrRecipe)
+	}
+	if v := binary.LittleEndian.Uint16(body[4:6]); v != recipeVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrRecipe, v)
+	}
+	r := &Recipe{
+		Size: binary.LittleEndian.Uint64(body[6:14]),
+		CRC:  binary.LittleEndian.Uint32(body[14:18]),
+	}
+	count := binary.LittleEndian.Uint32(body[18:22])
+	if count > maxRecipeChunks {
+		return nil, fmt.Errorf("%w: chunk count %d exceeds cap", ErrRecipe, count)
+	}
+	if len(body) != recipeHeader+recipeEntry*int(count) {
+		return nil, fmt.Errorf("%w: %d bytes for %d chunks", ErrRecipe, len(raw), count)
+	}
+	r.Chunks = make([]Ref, count)
+	off := recipeHeader
+	var total uint64
+	for i := range r.Chunks {
+		copy(r.Chunks[i].Hash[:], body[off:off+HashSize])
+		r.Chunks[i].Len = binary.LittleEndian.Uint32(body[off+HashSize:])
+		if r.Chunks[i].Len == 0 {
+			return nil, fmt.Errorf("%w: zero-length chunk %d", ErrRecipe, i)
+		}
+		total += uint64(r.Chunks[i].Len)
+		off += recipeEntry
+	}
+	if total != r.Size {
+		return nil, fmt.Errorf("%w: chunk lengths sum to %d, header declares %d", ErrRecipe, total, r.Size)
+	}
+	return r, nil
+}
+
+// IsRecipe reports whether raw decodes as a recipe — the cheap probe
+// fsck and GC use on quarantined payloads of unknown provenance.
+func IsRecipe(raw []byte) bool {
+	_, err := DecodeRecipe(raw)
+	return err == nil
+}

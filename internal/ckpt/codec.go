@@ -53,6 +53,14 @@ type Encoded struct {
 	// lossy paths, in chunk order — the waterfall the flight-recorder
 	// journal attaches to checkpoint wide events. Nil otherwise.
 	ChunkTimings []core.Timings
+	// Reused marks a whole-entry delta reuse: the payload was served from
+	// the manager's cache because the array was byte-identical to the
+	// previous checkpoint (delta mode only).
+	Reused bool
+	// SlabsReused / SlabsTotal account slab-level delta reuse under the
+	// chunked lossy path (delta mode only; zero otherwise).
+	SlabsReused int
+	SlabsTotal  int
 }
 
 // Codec turns fields into bytes and back. Implementations must be safe for

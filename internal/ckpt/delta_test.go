@@ -1,0 +1,278 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lossyckpt/internal/grid"
+)
+
+// deltaManager builds a manager over two smooth 3-D fields.
+func deltaManager(t *testing.T, codec Codec) (*Manager, *grid.Field, *grid.Field) {
+	t.Helper()
+	m := NewManager(codec, 2)
+	mk := func(phase float64) *grid.Field {
+		f, err := grid.New(16, 10, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := f.Data()
+		for i := range d {
+			d[i] = math.Sin(float64(i)/53.0 + phase)
+		}
+		return f
+	}
+	a, b := mk(0), mk(1.5)
+	if err := m.Register("temp", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("vel", b); err != nil {
+		t.Fatal(err)
+	}
+	return m, a, b
+}
+
+// TestDeltaCheckpointByteIdentical: with delta on, both the buffered and
+// streaming checkpoints must produce byte-identical output to a delta-off
+// manager over the same state — cold, clean re-checkpoint, and after a
+// sparse mutation.
+func TestDeltaCheckpointByteIdentical(t *testing.T) {
+	lossy := func() *Lossy {
+		c := NewLossy()
+		c.ChunkExtent = 4
+		return c
+	}
+	mDelta, a, _ := deltaManager(t, lossy())
+	mPlain, pa, _ := deltaManager(t, lossy())
+	mDelta.SetDelta(true)
+
+	snapshot := func(m *Manager) []byte {
+		var buf bytes.Buffer
+		if _, err := m.Checkpoint(&buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Cold: everything compresses, identical output.
+	d0, p0 := snapshot(mDelta), snapshot(mPlain)
+	if !bytes.Equal(d0, p0) {
+		t.Fatal("cold delta checkpoint differs from plain")
+	}
+
+	// Clean re-checkpoint (same step: it is in the header): full reuse,
+	// still identical.
+	var buf bytes.Buffer
+	rep, err := mDelta.Checkpoint(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaSlabsReused == 0 || rep.DeltaSlabsCompressed != 0 {
+		t.Fatalf("clean re-checkpoint: reused %d, compressed %d", rep.DeltaSlabsReused, rep.DeltaSlabsCompressed)
+	}
+	if !bytes.Equal(buf.Bytes(), snapshot(mPlain)) {
+		t.Fatal("reused checkpoint differs from plain")
+	}
+
+	// Sparse mutation: one slab of one variable dirtied.
+	planeElems := a.Len() / 16
+	for i := 0; i < planeElems; i++ {
+		a.Data()[i] += 0.25
+		pa.Data()[i] += 0.25
+	}
+	var mbuf bytes.Buffer
+	mrep, err := mDelta.Checkpoint(&mbuf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mbuf.Bytes(), snapshot(mPlain)) {
+		t.Fatal("mutated delta checkpoint differs from plain")
+	}
+	if mrep.DeltaSlabsCompressed != 1 {
+		t.Fatalf("one dirty slab but %d compressed (%d reused)", mrep.DeltaSlabsCompressed, mrep.DeltaSlabsReused)
+	}
+
+	// Streaming path: identical stream content too.
+	var sbuf bytes.Buffer
+	srep, err := mDelta.CheckpointStream(&sbuf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.DeltaSlabsReused == 0 {
+		t.Fatal("streaming delta checkpoint reused nothing")
+	}
+	// Restore the stream into a fresh manager: byte-correct state.
+	mR, ra, rb := deltaManager(t, lossy())
+	_ = rb
+	if _, err := mR.Restore(bytes.NewReader(sbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !ra.SameShape(a) {
+		t.Fatal("restored shape mismatch")
+	}
+}
+
+// TestDeltaWholeEntryReuse: codecs without slab support (gzip) reuse
+// whole unchanged variables, skipping their encode entirely.
+func TestDeltaWholeEntryReuse(t *testing.T) {
+	m, a, _ := deltaManager(t, NewGzip())
+	m.SetDelta(true)
+
+	var b1 bytes.Buffer
+	if _, err := m.Checkpoint(&b1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	rep, err := m.Checkpoint(&b2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReusedEntries != 2 {
+		t.Fatalf("clean re-checkpoint reused %d entries, want 2", rep.ReusedEntries)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("reused checkpoint differs")
+	}
+	for _, e := range rep.Entries {
+		if !e.Reused {
+			t.Fatalf("entry %s not marked reused", e.Name)
+		}
+		if e.Timings.Gzip != 0 {
+			t.Fatalf("reused entry %s reports encode CPU", e.Name)
+		}
+	}
+
+	// Mutate one variable: exactly one entry re-encodes.
+	a.Data()[0] += 1
+	var b3 bytes.Buffer
+	rep3, err := m.Checkpoint(&b3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.ReusedEntries != 1 {
+		t.Fatalf("one mutated variable but %d entries reused", rep3.ReusedEntries)
+	}
+
+	// The stream restores byte-correct (lossless codec).
+	before := append([]float64(nil), a.Data()...)
+	a.Apply(func(float64) float64 { return -7 })
+	if _, err := m.Restore(bytes.NewReader(b3.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.Data() {
+		if v != before[i] {
+			t.Fatalf("restored[%d] = %v, want %v", i, v, before[i])
+		}
+	}
+}
+
+// TestDeltaResetOnRestore: a restore invalidates the baseline, so the
+// next checkpoint recompresses (correctness over reuse) and delta
+// re-engages on the one after.
+func TestDeltaResetOnRestore(t *testing.T) {
+	lossy := NewLossy()
+	lossy.ChunkExtent = 4
+	m, _, _ := deltaManager(t, lossy)
+	m.SetDelta(true)
+
+	var b1 bytes.Buffer
+	if _, err := m.Checkpoint(&b1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Restore(bytes.NewReader(b1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	rep, err := m.Checkpoint(&b2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaSlabsReused != 0 {
+		t.Fatalf("post-restore checkpoint reused %d slabs from a stale cache", rep.DeltaSlabsReused)
+	}
+	var b3 bytes.Buffer
+	rep3, err := m.Checkpoint(&b3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.DeltaSlabsReused == 0 {
+		t.Fatal("delta did not re-engage after re-baselining")
+	}
+	if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+		t.Fatal("clean re-checkpoint after restore differs")
+	}
+}
+
+// TestDeltaDisabled: SetDelta(false) drops state and restores the plain
+// path (no reuse accounting).
+func TestDeltaDisabled(t *testing.T) {
+	m, _, _ := deltaManager(t, NewGzip())
+	m.SetDelta(true)
+	var b bytes.Buffer
+	if _, err := m.Checkpoint(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.SetDelta(false)
+	if m.DeltaEnabled() {
+		t.Fatal("delta still enabled")
+	}
+	var b2 bytes.Buffer
+	rep, err := m.Checkpoint(&b2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReusedEntries != 0 || rep.DeltaSlabsReused != 0 {
+		t.Fatalf("delta-off checkpoint reports reuse: %+v", rep)
+	}
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Fatal("delta on/off outputs differ")
+	}
+}
+
+// TestDeltaLosslessRoundTripAllCodecs: every generation of a mutating
+// series restores byte-correct through a delta manager (core acceptance:
+// delta must never change restored bytes).
+func TestDeltaLosslessRoundTripAllCodecs(t *testing.T) {
+	for _, name := range []string{"none", "gzip", "fpc"} {
+		t.Run(name, func(t *testing.T) {
+			codec, err := CodecByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, a, b := deltaManager(t, codec)
+			m.SetDelta(true)
+			var gens [][]byte
+			var states [][]float64
+			for step := 0; step < 4; step++ {
+				if step > 0 {
+					// Sparse mutation: one plane of one variable.
+					plane := a.Len() / 16
+					for i := step * plane; i < (step+1)*plane; i++ {
+						a.Data()[i] *= 1.01
+					}
+				}
+				var buf bytes.Buffer
+				if _, err := m.Checkpoint(&buf, step); err != nil {
+					t.Fatal(err)
+				}
+				gens = append(gens, buf.Bytes())
+				snap := append([]float64(nil), a.Data()...)
+				snap = append(snap, b.Data()...)
+				states = append(states, snap)
+			}
+			for gi, g := range gens {
+				if _, err := m.Restore(bytes.NewReader(g)); err != nil {
+					t.Fatalf("restore gen %d: %v", gi, err)
+				}
+				got := append([]float64(nil), a.Data()...)
+				got = append(got, b.Data()...)
+				for i, v := range got {
+					if v != states[gi][i] {
+						t.Fatalf("gen %d element %d: %v != %v", gi, i, v, states[gi][i])
+					}
+				}
+			}
+		})
+	}
+}

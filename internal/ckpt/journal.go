@@ -7,6 +7,8 @@
 package ckpt
 
 import (
+	"fmt"
+
 	"lossyckpt/internal/core"
 	"lossyckpt/internal/obs/journal"
 )
@@ -75,6 +77,12 @@ func (m *Manager) fillCheckpoint(op *journal.Op, rep *Report, encoded []*Encoded
 	op.Stage("encode", agg.Encode)
 	op.Stage("format", agg.Format)
 	op.Stage("entropy", agg.Gzip)
+	if m.DeltaEnabled() {
+		op.Set("delta", "true",
+			"entries_reused", fmt.Sprint(rep.ReusedEntries),
+			"slabs_reused", fmt.Sprint(rep.DeltaSlabsReused),
+			"slabs_compressed", fmt.Sprint(rep.DeltaSlabsCompressed))
+	}
 	for i, e := range rep.Entries {
 		je := journal.Entry{
 			Var:      e.Name,

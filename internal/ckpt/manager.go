@@ -72,6 +72,9 @@ type Manager struct {
 	// enriches it instead of opening its own. A Manager is documented
 	// as not safe for concurrent use, so a plain field suffices.
 	curOp *journal.Op
+	// delta, when non-nil, carries per-variable fingerprints and cached
+	// encodings between checkpoints (see delta.go). nil = delta off.
+	delta map[string]*varDelta
 }
 
 // NewManager returns a manager using the given codec. workers bounds the
@@ -131,6 +134,10 @@ type EntryReport struct {
 	// established; on restore it is parsed back off the payload envelope
 	// so callers can report what the generation actually promised.
 	Guarantee *guard.Annotation
+	// Reused marks an entry served whole from the delta cache; SlabsReused
+	// counts slab-level reuse under the chunked lossy delta path.
+	Reused      bool
+	SlabsReused int
 }
 
 // Report aggregates one Checkpoint or Restore.
@@ -147,6 +154,12 @@ type Report struct {
 	Wall time.Duration
 	// Step is the application step counter stored in the stream.
 	Step int
+	// Delta-mode reuse accounting (zero when delta is off): entries served
+	// whole from cache, and slabs reused vs freshly compressed under the
+	// chunked lossy path.
+	ReusedEntries        int
+	DeltaSlabsReused     int
+	DeltaSlabsCompressed int
 }
 
 // CompressionRatePct returns the aggregate cr (Eq. 5) in percent.
@@ -210,15 +223,20 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, m.workers)
 	named, _ := m.codec.(NamedEncoder)
+	deltas := m.deltaFor()
+	de, _ := m.codec.(DeltaEncoder)
 	for i, name := range m.names {
 		wg.Add(1)
 		go func(i int, name string, f *grid.Field) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if named != nil {
+			switch {
+			case deltas != nil:
+				encoded[i], errs[i] = m.encodeDelta(name, f, deltas[name], de)
+			case named != nil:
 				encoded[i], errs[i] = named.EncodeNamed(name, f)
-			} else {
+			default:
 				encoded[i], errs[i] = m.codec.Encode(f)
 			}
 		}(i, name, m.fields[name])
@@ -259,9 +277,12 @@ func (m *Manager) Checkpoint(w io.Writer, step int) (rep *Report, err error) {
 			CompressedBytes: len(encoded[i].Payload),
 			Timings:         encoded[i].Timings,
 			Guarantee:       encoded[i].Guarantee,
+			Reused:          encoded[i].Reused,
+			SlabsReused:     encoded[i].SlabsReused,
 		})
 		rep.RawBytes += encoded[i].RawBytes
 		rep.CompressedBytes += len(encoded[i].Payload)
+		rep.addReuse(encoded[i])
 	}
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		return nil, fmt.Errorf("ckpt: write: %w", err)
@@ -447,6 +468,9 @@ func (m *Manager) applyEntry(ent *rawEntry, seen map[string]bool, rep *Report) e
 // matching shape. It returns the report and the stored step counter.
 func (m *Manager) Restore(r io.Reader) (rep *Report, err error) {
 	start := time.Now()
+	// Even a failed restore may have overwritten some arrays; the delta
+	// baseline no longer describes the live state either way.
+	m.resetDelta()
 	if o := m.observer(); o != nil {
 		sp := o.StartSpan(MetricRestoreSpan, "codec", m.codec.Name(), "mode", "full")
 		defer func() { sp.EndErr(err) }()
@@ -498,6 +522,7 @@ func (m *Manager) Restore(r io.Reader) (rep *Report, err error) {
 // usable.
 func (m *Manager) RestorePartial(r io.Reader) (rep *Report, skipped []string, err error) {
 	start := time.Now()
+	m.resetDelta()
 	if o := m.observer(); o != nil {
 		sp := o.StartSpan(MetricRestoreSpan, "codec", m.codec.Name(), "mode", "partial")
 		defer func() {

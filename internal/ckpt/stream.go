@@ -167,6 +167,8 @@ func (m *Manager) CheckpointStreamCtx(ctx context.Context, w io.Writer, step int
 	namedStreamer, _ := m.codec.(NamedStreamEncoder)
 	streamer, _ := m.codec.(StreamEncoder)
 	named, _ := m.codec.(NamedEncoder)
+	deltas := m.deltaFor()
+	de, _ := m.codec.(DeltaEncoder)
 	for i, name := range m.names {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("ckpt: checkpoint: %w", cerr)
@@ -188,6 +190,11 @@ func (m *Manager) CheckpointStreamCtx(ctx context.Context, w io.Writer, step int
 		var enc *Encoded
 		var eerr error
 		switch {
+		case deltas != nil:
+			// Delta mode trades the zero-buffer streaming encode for
+			// per-entry payload reuse: the entry is encoded (or served)
+			// buffered, then streamed out through the segment framing.
+			enc, eerr = m.encodeDelta(name, f, deltas[name], de)
 		case namedStreamer != nil:
 			enc, eerr = namedStreamer.EncodeNamedTo(sw, name, f)
 		case streamer != nil:
@@ -218,9 +225,12 @@ func (m *Manager) CheckpointStreamCtx(ctx context.Context, w io.Writer, step int
 			CompressedBytes: int(sw.n),
 			Timings:         enc.Timings,
 			Guarantee:       enc.Guarantee,
+			Reused:          enc.Reused,
+			SlabsReused:     enc.SlabsReused,
 		})
 		rep.RawBytes += enc.RawBytes
 		rep.CompressedBytes += int(sw.n)
+		rep.addReuse(enc)
 		// Breadcrumb for kill-mid-checkpoint replay: the furthest entry
 		// written and the stream bytes produced so far.
 		jop.Progress("entry:"+name, int64(cw.n))

@@ -85,6 +85,11 @@ type ChunkedResult struct {
 	// checkpoint wide events. Identical across the serial, parallel and
 	// streaming paths (chunks are folded in deterministic order).
 	PerChunk []Timings
+	// SlabsReused counts slabs whose compressed frame came from a
+	// SlabCache instead of the pipeline (CompressChunkedDelta only; zero
+	// elsewhere). Reused slabs contribute bytes and quality stats to the
+	// aggregate but no phase CPU.
+	SlabsReused int
 }
 
 // CompressionRatePct returns cr (Eq. 5) in percent, framing included.

@@ -1,0 +1,91 @@
+package faultsim
+
+import (
+	"testing"
+	"time"
+
+	"lossyckpt/internal/ckpt"
+)
+
+// TestMutateSparseDeterministic: same (seed, step) → identical result;
+// different steps move the region.
+func TestMutateSparseDeterministic(t *testing.T) {
+	a, err := NewSparseApp(SparseConfig{Elems: 4096, MutateFraction: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSparseApp(SparseConfig{Elems: 4096, MutateFraction: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Field().Equal(b.Field()) {
+		t.Fatal("identical seeds produced different initial states")
+	}
+	for i := 0; i < 5; i++ {
+		a.Step()
+		b.Step()
+	}
+	if !a.Field().Equal(b.Field()) {
+		t.Fatal("identical sparse workloads diverged")
+	}
+
+	// The mutated fraction is honoured: a 1% step changes ~1% of values.
+	before := append([]float64(nil), a.Field().Data()...)
+	a2, _ := NewSparseApp(SparseConfig{Elems: 4096, MutateFraction: 0.05, Seed: 7})
+	for i := 0; i < 5; i++ {
+		a2.Step()
+	}
+	MutateSparse(a.Field(), 0.01, 7, 6)
+	changed := 0
+	for i, v := range a.Field().Data() {
+		if v != before[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > 4096/100+1 {
+		t.Fatalf("1%% mutation changed %d of 4096 values", changed)
+	}
+}
+
+// TestSparseAppUnderFaultsim: the workload replays deterministically
+// through rollback — a lossless run matches its failure-free reference
+// bit-exactly, which only holds if Step(k) depends on nothing but
+// (seed, k).
+func TestSparseAppUnderFaultsim(t *testing.T) {
+	mk := func() App {
+		a, err := NewSparseApp(SparseConfig{Elems: 2048, MutateFraction: 0.1, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	res, err := Run(mk(), mk(), Config{
+		TotalSteps:      40,
+		CheckpointEvery: 5,
+		Codec:           ckpt.NewGzip(),
+		MTBF:            120 * time.Millisecond,
+		StepCost:        10 * time.Millisecond,
+		CheckpointCost:  time.Millisecond,
+		RestartCost:     5 * time.Millisecond,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("expected at least one injected failure")
+	}
+	if res.FinalError.MaxPct != 0 {
+		t.Fatalf("lossless sparse run diverged from reference: max |err| = %g", res.FinalError.MaxPct)
+	}
+}
+
+// TestSparseConfigValidation rejects nonsense parameters.
+func TestSparseConfigValidation(t *testing.T) {
+	if _, err := NewSparseApp(SparseConfig{Elems: 0}); err == nil {
+		t.Fatal("zero elements accepted")
+	}
+	if _, err := NewSparseApp(SparseConfig{Elems: 8, MutateFraction: 1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}

@@ -235,6 +235,7 @@ var Runners = map[string]func(Config) (*Table, error){
 	"entropy":     EntropyStage,
 	"qa":          QualityAnalytics,
 	"serve":       ServeChaos,
+	"dedup":       Dedup,
 }
 
 // RunnerIDs lists the experiment ids in canonical order.
@@ -242,5 +243,5 @@ var RunnerIDs = []string{
 	"tab1", "fig6", "fig7", "fig8", "fig8-all", "fig9", "fig10",
 	"ablate-gzip", "errbound", "fpc", "nbody", "levels", "cluster", "interval",
 	"perband", "threshold", "faults", "incremental", "datasets", "guard",
-	"entropy", "qa", "serve",
+	"entropy", "qa", "serve", "dedup",
 }

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lossyckpt/internal/cas"
+	"lossyckpt/internal/ckpt"
+	"lossyckpt/internal/faultsim"
+	"lossyckpt/internal/server"
+	"lossyckpt/internal/store"
+)
+
+// Dedup is experiment X17: delta checkpointing through the
+// content-addressed chunk store. The sparse-update workload (shared
+// with X11's incremental control) is checkpointed for several
+// generations at mutation fractions of 0, 1, 10 and 100% of the
+// footprint per step; each generation reports the bytes the dedup
+// store physically committed (recipe + new chunks), the dedup ratio so
+// far, the compression CPU the delta slab cache actually spent, and
+// how many slabs it reused. The 1% series is then replayed through a
+// dedup tenant of the checkpoint daemon to show the same accounting
+// end-to-end over HTTP.
+func Dedup(cfg Config) (*Table, error) {
+	const (
+		gens  = 3
+		elems = 1 << 16 // 512 KiB logical footprint
+	)
+	fractions := []float64{0, 0.01, 0.10, 1.0}
+	// Chunks sized below the compressed slab frames, so one dirty slab
+	// dirties a few chunks, not most of the payload.
+	chunkCfg := cas.Config{Min: 4 << 10, Avg: 16 << 10, Max: 64 << 10}
+
+	root, err := os.MkdirTemp(cfg.TmpDir, "lossyckpt-dedup-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	t := &Table{
+		ID:    "dedup",
+		Title: "Delta checkpoints through the content-addressed chunk store (sparse-update sweep)",
+		Header: []string{"mutation [%]", "gen", "logical [KiB]", "committed [KiB]",
+			"dedup ratio", "compress [ms]", "slabs reused"},
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	for fi, frac := range fractions {
+		app, err := faultsim.NewSparseApp(faultsim.SparseConfig{
+			Elems: elems, MutateFraction: frac, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		codec := ckpt.NewLossy()
+		codec.ChunkExtent = elems / 32 // 32 slabs for the delta cache
+		mgr := ckpt.NewManager(codec, 0)
+		mgr.SetDelta(true)
+		if err := mgr.Register("state", app.Field()); err != nil {
+			return nil, err
+		}
+		st, err := store.Open(filepath.Join(root, fmt.Sprintf("f%d", fi)),
+			store.Options{Keep: -1, Dedup: true, DedupChunk: chunkCfg})
+		if err != nil {
+			return nil, err
+		}
+		for g := 1; g <= gens; g++ {
+			if g > 1 {
+				app.Step()
+			}
+			before := st.PhysicalBytes()
+			rep, gen, err := mgr.CheckpointTo(st, app.StepCount())
+			if err != nil {
+				return nil, err
+			}
+			committed := st.PhysicalBytes() - before
+			agg := rep.AggregateTimings()
+			compress := agg.Wavelet + agg.Quantize + agg.Encode + agg.Gzip
+			t.AddRow(frac*100, g, float64(gen.Size)/1024, float64(committed)/1024,
+				st.DedupStats().Ratio(), ms(compress), rep.DeltaSlabsReused)
+		}
+		// Every generation must read back byte-exact from the chunk layer
+		// — dedup changes storage, never payloads.
+		for _, g := range st.Generations() {
+			if _, err := st.ReadGeneration(g.Seq); err != nil {
+				return nil, fmt.Errorf("dedup: generation %d unreadable at %.0f%% mutation: %w",
+					g.Seq, frac*100, err)
+			}
+		}
+	}
+
+	// Daemon leg: the 1% series through a dedup tenant over HTTP.
+	if err := dedupDaemonLeg(t, root, cfg.Seed, elems, gens, chunkCfg); err != nil {
+		return nil, err
+	}
+
+	t.Notes = append(t.Notes,
+		"committed bytes are physical (recipe + new chunks); unchanged content-defined chunks are stored once",
+		"compress CPU drops with mutation fraction because the delta slab cache skips the pipeline for clean slabs",
+		"the daemon row shows the same accounting through a dedup tenant's save/inspect HTTP surface")
+	return t, nil
+}
+
+// dedupDaemonLeg replays the 1%-mutation series through a daemon
+// tenant with dedup enabled and appends one summary row from the
+// inspect endpoint.
+func dedupDaemonLeg(t *Table, root string, seed int64, elems, gens int, chunkCfg cas.Config) error {
+	srv, err := server.New(server.Config{
+		StoreOptions: store.Options{DedupChunk: chunkCfg},
+		Tenants: []server.TenantConfig{{
+			Name: "dedup", Token: "tok", Dir: filepath.Join(root, "daemon"),
+			Keep: -1, Dedup: true,
+		}}})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	app, err := faultsim.NewSparseApp(faultsim.SparseConfig{
+		Elems: elems, MutateFraction: 0.01, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for g := 1; g <= gens; g++ {
+		if g > 1 {
+			app.Step()
+		}
+		var buf bytes.Buffer
+		if err := server.WriteFields(&buf, []server.NamedField{{Name: "state", Field: app.Field()}}); err != nil {
+			return err
+		}
+		req, err := http.NewRequest("POST",
+			fmt.Sprintf("%s/v1/dedup/save?step=%d", ts.URL, app.StepCount()), &buf)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer tok")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("dedup: daemon save %d: status %d", g, resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequest("GET", ts.URL+"/v1/dedup/inspect", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var ir server.InspectResult
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return err
+	}
+	if ir.Dedup == nil {
+		return fmt.Errorf("dedup: daemon inspect returned no dedup accounting")
+	}
+	t.AddRow("1 (daemon)", len(ir.Generations), float64(ir.Dedup.LogicalBytes)/1024,
+		float64(ir.UsedBytes)/1024, ir.Dedup.Ratio, "-", "-")
+	return nil
+}

@@ -1,9 +1,8 @@
 package harness
 
 import (
-	"math/rand"
-
 	"lossyckpt/internal/core"
+	"lossyckpt/internal/faultsim"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/gzipio"
 	"lossyckpt/internal/incr"
@@ -66,15 +65,12 @@ func Incremental(cfg Config) (*Table, error) {
 	}
 
 	// Sparse updates: the same array with only 1% of values touched — the
-	// regime incremental checkpointing was designed for.
+	// regime incremental checkpointing was designed for. The mutation
+	// comes from the shared faultsim sparse workload so this control and
+	// the dedup experiment (X17) sweep the same update pattern.
 	sparsePrev := temp.Clone()
 	sparseCur := temp.Clone()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	touched := sparseCur.Len() / 100
-	for k := 0; k < touched; k++ {
-		i := rng.Intn(sparseCur.Len())
-		sparseCur.Data()[i] += rng.NormFloat64()
-	}
+	faultsim.MutateSparse(sparseCur, 0.01, cfg.Seed, 1)
 	if err := measure("sparse control (1% updates)", sparsePrev, sparseCur); err != nil {
 		return nil, err
 	}

@@ -76,6 +76,20 @@ func (t *Tracker) Registered(name string) bool {
 	return ok
 }
 
+// Rebase resets name's baseline to the array's current content and
+// restarts its diff chain at sequence 0 — the escape hatch from the
+// replay-cost drawback: after a full (non-incremental) checkpoint or a
+// restore, the next EncodeDiff is #1 against the fresh state instead of
+// extending an ever-longer chain. Unlike Register it refuses unknown
+// names, so a typo cannot silently fork a second chain.
+func (t *Tracker) Rebase(name string, f *grid.Field) error {
+	if _, ok := t.base[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	t.Register(name, f)
+	return nil
+}
+
 // EncodeDiff produces the incremental checkpoint of the array against the
 // last baseline and advances the baseline to the current content.
 func (t *Tracker) EncodeDiff(name string, f *grid.Field) ([]byte, error) {
@@ -130,6 +144,17 @@ func (r *Restorer) Register(name string, f *grid.Field) {
 	}
 	r.state[name] = words
 	r.seq[name] = 0
+}
+
+// Rebase resets name's reconstructed state to the array's current
+// content and restarts the expected diff sequence at 0 — the restore
+// side of Tracker.Rebase. It refuses unknown names.
+func (r *Restorer) Rebase(name string, f *grid.Field) error {
+	if _, ok := r.state[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	r.Register(name, f)
+	return nil
 }
 
 // ApplyDiff advances the named state by one diff. Diffs must be applied in

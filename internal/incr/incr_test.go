@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -162,5 +163,76 @@ func TestCorruptDiffRejected(t *testing.T) {
 	mut[len(mut)-3] ^= 0xFF // corrupt gzip payload
 	if err := re.ApplyDiff("x", mut); err == nil {
 		t.Error("corrupt diff accepted")
+	}
+}
+
+func TestRebaseRestartsChain(t *testing.T) {
+	f := randomField(3, 2000)
+	tr := NewTracker(gzipio.Default)
+	re := NewRestorer()
+	tr.Register("x", f)
+	re.Register("x", f)
+
+	// Advance the chain a couple of diffs.
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 2; step++ {
+		for k := 0; k < 100; k++ {
+			f.Data()[rng.Intn(f.Len())] = rng.NormFloat64()
+		}
+		d, err := tr.EncodeDiff("x", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := re.ApplyDiff("x", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rebase both sides on the current state (e.g. a full checkpoint was
+	// just taken): the next diff is #1 again and applies on a fresh chain.
+	if err := tr.Rebase("x", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Rebase("x", f); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		f.Data()[rng.Intn(f.Len())] = rng.NormFloat64()
+	}
+	d, err := tr.EncodeDiff("x", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := binary.LittleEndian.Uint64(d[0:]); seq != 1 {
+		t.Fatalf("post-rebase diff carries sequence %d, want 1", seq)
+	}
+	if err := re.ApplyDiff("x", d); err != nil {
+		t.Fatalf("post-rebase diff rejected: %v", err)
+	}
+	got := grid.MustNew(2000)
+	if err := re.State("x", got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("state after rebase + diff not bit-exact")
+	}
+
+	// A stale pre-rebase restorer must reject the restarted chain rather
+	// than silently corrupt state.
+	stale := NewRestorer()
+	stale.Register("x", randomField(5, 2000))
+	for i := 0; i < 2; i++ { // advance expected seq past 1
+		stale.seq["x"] = uint64(i + 1)
+	}
+	if err := stale.ApplyDiff("x", d); !errors.Is(err, ErrSequence) {
+		t.Fatalf("stale restorer accepted restarted chain: %v", err)
+	}
+
+	// Unknown names are refused — Rebase never forks a new chain.
+	if err := tr.Rebase("nope", f); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Tracker.Rebase unknown: %v", err)
+	}
+	if err := re.Rebase("nope", f); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Restorer.Rebase unknown: %v", err)
 	}
 }

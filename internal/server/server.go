@@ -491,23 +491,52 @@ func (s *Server) handleRestore(ctx context.Context, t *tenant, w http.ResponseWr
 	return WriteFields(w, fields)
 }
 
-// InspectResult is the JSON response of an inspect.
+// InspectResult is the JSON response of an inspect. UsedBytes is
+// physical occupancy (what the quota meters); for a dedup tenant the
+// Dedup block breaks it into recipes and shared chunks.
 type InspectResult struct {
 	Tenant      string             `json:"tenant"`
 	Dir         string             `json:"dir"`
 	UsedBytes   int64              `json:"used_bytes"`
 	QuotaBytes  int64              `json:"quota_bytes,omitempty"`
+	Dedup       *DedupInfo         `json:"dedup,omitempty"`
 	Generations []store.Generation `json:"generations"`
 }
 
+// DedupInfo is the dedup slice of an inspect response.
+type DedupInfo struct {
+	Generations  int     `json:"generations"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	RecipeBytes  int64   `json:"recipe_bytes"`
+	Chunks       int     `json:"chunks"`
+	ChunkBytes   int64   `json:"chunk_bytes"`
+	Ratio        float64 `json:"ratio"`
+}
+
+// dedupStatser is the optional stats surface both store flavours offer.
+type dedupStatser interface{ DedupStats() store.DedupStats }
+
 func (s *Server) handleInspect(_ context.Context, t *tenant, w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, InspectResult{
+	res := InspectResult{
 		Tenant:      t.cfg.Name,
 		Dir:         t.cfg.Dir,
 		UsedBytes:   t.usedBytes(),
 		QuotaBytes:  t.cfg.QuotaBytes,
 		Generations: t.st.Generations(),
-	})
+	}
+	if ds, ok := t.st.(dedupStatser); ok {
+		if st := ds.DedupStats(); st.Enabled {
+			res.Dedup = &DedupInfo{
+				Generations:  st.DedupGens,
+				LogicalBytes: st.LogicalBytes,
+				RecipeBytes:  st.RecipeBytes,
+				Chunks:       st.Chunks,
+				ChunkBytes:   st.ChunkBytes,
+				Ratio:        st.Ratio(),
+			}
+		}
+	}
+	return writeJSON(w, res)
 }
 
 // ScrubResult is the JSON response of a fsck or scrub.

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"lossyckpt/internal/cas"
 	"lossyckpt/internal/grid"
 	"lossyckpt/internal/obs"
 	"lossyckpt/internal/store"
@@ -481,4 +482,68 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// TestDedupTenantQuotaMetersPhysicalBytes: a dedup tenant saving the
+// same state repeatedly is charged for recipes + shared chunks, not the
+// logical sum of generation sizes — so it stays under a quota that
+// refuses the identical workload on a plain tenant after two saves.
+func TestDedupTenantQuotaMetersPhysicalBytes(t *testing.T) {
+	mk := func() []NamedField {
+		f, err := grid.New(32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range f.Data() {
+			f.Data()[j] = float64(j % 251)
+		}
+		return []NamedField{{Name: "state", Field: f}}
+	}
+	fields := mk()
+	quota := int64(2 * len(encodeFields(t, fields)))
+
+	_, ts := twoTenants(t, func(c *Config) {
+		c.StoreOptions.DedupChunk = cas.Config{Min: 1 << 10, Avg: 4 << 10, Max: 16 << 10}
+		c.Tenants[0].Dedup = true
+		c.Tenants[0].Keep = -1
+		c.Tenants[0].QuotaBytes = quota
+		c.Tenants[1].Keep = -1
+		c.Tenants[1].QuotaBytes = quota
+	})
+
+	// Five identical saves: logical usage is ~5 payloads, far over
+	// quota, but the dedup tenant's physical usage stays ~1 payload.
+	for i := 0; i < 5; i++ {
+		wantStatus(t, save(t, ts, "alpha", "tok-a", 1, fields), http.StatusOK)
+	}
+	// The plain tenant hits the same quota on logical == physical bytes.
+	wantStatus(t, save(t, ts, "beta", "tok-b", 1, fields), http.StatusOK)
+	wantStatus(t, save(t, ts, "beta", "tok-b", 1, fields), http.StatusOK)
+	wantStatus(t, save(t, ts, "beta", "tok-b", 1, fields), http.StatusInsufficientStorage)
+
+	// Inspect reports the dedup accounting and physical usage under quota.
+	resp := doReq(t, "GET", ts.URL+"/v1/alpha/inspect", "tok-a", nil, nil)
+	defer resp.Body.Close()
+	var ir InspectResult
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.UsedBytes >= quota {
+		t.Fatalf("dedup tenant used %d of %d after 5 identical saves", ir.UsedBytes, quota)
+	}
+	if ir.Dedup == nil {
+		t.Fatal("inspect omitted dedup block for a dedup tenant")
+	}
+	if ir.Dedup.Generations != 5 || ir.Dedup.Ratio < 3 {
+		t.Fatalf("dedup block %+v, want 5 generations and ratio >= 3", *ir.Dedup)
+	}
+
+	// The deduped state restores byte-correct.
+	got, rresp := restoreFields(t, ts, "alpha", "tok-a")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: %d", rresp.StatusCode)
+	}
+	if len(got) != 1 || !got[0].Field.Equal(fields[0].Field) {
+		t.Fatal("restored dedup state differs")
+	}
 }

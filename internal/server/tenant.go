@@ -34,6 +34,12 @@ type TenantConfig struct {
 	// generation sizes). 0 means unlimited. A save is admitted only
 	// while usage is under quota.
 	QuotaBytes int64 `json:"quota_bytes,omitempty"`
+	// Dedup switches the tenant's store to content-addressed chunk
+	// storage: repeated slabs across generations are stored once and
+	// committed generations become recipes of chunk references. The
+	// quota then naturally meters physical bytes (recipes + shared
+	// chunks), not the logical sum of generation sizes.
+	Dedup bool `json:"dedup,omitempty"`
 	// Replicas spreads the store over N replica subdirectories with
 	// quorum commit (0 or 1 = single root).
 	Replicas int `json:"replicas,omitempty"`
@@ -69,6 +75,7 @@ func (tc TenantConfig) open(base store.Options) (*tenant, error) {
 	opts := base
 	opts.Keep = tc.Keep
 	opts.TTL = tc.TTL
+	opts.Dedup = tc.Dedup
 	if tc.FS != nil {
 		opts.FS = tc.FS
 	}
@@ -106,16 +113,15 @@ func (t *tenant) authorize(token string) bool {
 	return subtle.ConstantTimeCompare([]byte(token), []byte(t.cfg.Token)) == 1
 }
 
-// usedBytes sums the retained generations' sizes — the quantity the
-// byte quota is enforced against. Recomputed per request from the
+// usedBytes is the quantity the byte quota is enforced against: the
+// store's physical occupancy. For a plain store that is the sum of the
+// retained generations' sizes; for a dedup store it is recipes plus
+// the shared chunk population, so a tenant is never charged for
+// logical bytes dedup did not store. Recomputed per request from the
 // store's own index so restarts, scrub pruning and retention all stay
 // automatically accounted.
 func (t *tenant) usedBytes() int64 {
-	var n int64
-	for _, g := range t.st.Generations() {
-		n += int64(g.Size)
-	}
-	return n
+	return t.st.PhysicalBytes()
 }
 
 // overQuota reports whether a new save must be refused.

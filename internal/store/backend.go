@@ -111,6 +111,26 @@ type Backend interface {
 	// without destroying it, returning the destination relative to the
 	// store root.
 	Quarantine(seq uint64) (string, error)
+
+	// Chunk operations back the content-addressed dedup layer. A chunk
+	// is an immutable blob named by the lowercase hex of its content
+	// hash; WriteChunk must be durable (the dedup commit protocol relies
+	// on every referenced chunk being on stable storage before the
+	// recipe commits) and idempotent (rewriting a name with identical
+	// content is a no-op by construction, and rewriting a torn leftover
+	// replaces it). Unreferenced chunks are garbage, not corruption: GC
+	// collects them.
+	WriteChunk(name string, data []byte) error
+	// ReadChunk returns a chunk's bytes.
+	ReadChunk(name string) ([]byte, error)
+	// RemoveChunk deletes a chunk (best effort).
+	RemoveChunk(name string) error
+	// ListChunks returns the chunk names present, sorted.
+	ListChunks() ([]string, error)
+	// QuarantinedPayloads returns the raw payload images sitting in
+	// quarantine, so GC can keep their chunks marked (a quarantined
+	// recipe must stay salvageable).
+	QuarantinedPayloads() ([][]byte, error)
 }
 
 // retrier is the store's retry policy, injected into backends so every
@@ -379,6 +399,90 @@ func (b *posixBackend) Quarantine(seq uint64) (string, error) {
 	b.fs.SyncDir(qdir)
 	b.fs.SyncDir(b.dir)
 	return filepath.Join(QuarantineDir, name), nil
+}
+
+// CASDir is the subdirectory (under a posix store root) holding the
+// content-addressed chunk files of the dedup layer. It is invisible to
+// the root-directory sweep (ReadDir lists files only), so chunk
+// lifetime is governed exclusively by the refcount ledger and GC.
+const CASDir = "cas"
+
+// chunkSuffix names posix chunk files: <hex-sha256>.chk under cas/.
+const chunkSuffix = ".chk"
+
+func (b *posixBackend) chunkPath(name string) string {
+	return filepath.Join(b.dir, CASDir, name+chunkSuffix)
+}
+
+// WriteChunk stages the chunk in a temp file and publishes it by rename
+// — the same rename-as-commit protocol payloads use, so a crash mid-
+// write leaves a .tmp the next sweep collects, never a torn chunk under
+// a valid name.
+func (b *posixBackend) WriteChunk(name string, data []byte) error {
+	cdir := filepath.Join(b.dir, CASDir)
+	if err := b.rt("mkdir", func() error { return b.fs.MkdirAll(cdir) }); err != nil {
+		return err
+	}
+	final := b.chunkPath(name)
+	cw, err := newChunkedWriter(b.fs, b.rt, final+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	if _, err := cw.Write(data); err != nil {
+		return err
+	}
+	if err := cw.seal(); err != nil {
+		return err
+	}
+	if err := b.rt("rename", func() error { return b.fs.Rename(final+tmpSuffix, final) }); err != nil {
+		b.fs.Remove(final + tmpSuffix)
+		return fmt.Errorf("rename: %w", err)
+	}
+	return b.rt("syncdir", func() error { return b.fs.SyncDir(cdir) })
+}
+
+func (b *posixBackend) ReadChunk(name string) ([]byte, error) {
+	return readFileFS(b.fs, b.chunkPath(name))
+}
+
+func (b *posixBackend) RemoveChunk(name string) error {
+	return b.fs.Remove(b.chunkPath(name))
+}
+
+func (b *posixBackend) ListChunks() ([]string, error) {
+	names, err := b.fs.ReadDir(filepath.Join(b.dir, CASDir))
+	if err != nil {
+		return nil, nil // no cas/ directory: no chunks
+	}
+	var out []string
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			// Torn chunk write: litter, collect it here (the root sweep
+			// never descends into cas/).
+			b.fs.Remove(filepath.Join(b.dir, CASDir, name))
+			continue
+		}
+		if strings.HasSuffix(name, chunkSuffix) {
+			out = append(out, strings.TrimSuffix(name, chunkSuffix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *posixBackend) QuarantinedPayloads() ([][]byte, error) {
+	qdir := filepath.Join(b.dir, QuarantineDir)
+	names, err := b.fs.ReadDir(qdir)
+	if err != nil {
+		return nil, nil // no quarantine directory yet
+	}
+	var out [][]byte
+	for _, name := range names {
+		if data, rerr := readFileFS(b.fs, filepath.Join(qdir, name)); rerr == nil {
+			out = append(out, data)
+		}
+	}
+	return out, nil
 }
 
 // readFileFS slurps one file through an FS.

@@ -19,12 +19,26 @@ const (
 	// encode only emits it when some generation actually carries one, so
 	// TTL-free stores stay byte-identical to version 1.
 	manifestVersionTTL = 2
+	// manifestVersionFlags extends each entry with a flags word (dedup
+	// bit). Again emitted only when some generation carries a flag, so
+	// stores that never dedup stay byte-identical to earlier releases.
+	manifestVersionFlags = 3
 	// maxManifestGens bounds the generation count a manifest header may
 	// declare, so a corrupt count cannot force a huge allocation.
 	maxManifestGens = 1 << 16
-	manifestHeader  = 4 + 2 + 8 + 4     // magic, version, nextSeq, count
-	manifestEntry   = 8 + 8 + 8 + 4     // seq, step, size, crc
-	manifestEntryV2 = manifestEntry + 8 // + expire_at
+	manifestHeader  = 4 + 2 + 8 + 4       // magic, version, nextSeq, count
+	manifestEntry   = 8 + 8 + 8 + 4       // seq, step, size, crc
+	manifestEntryV2 = manifestEntry + 8   // + expire_at
+	manifestEntryV3 = manifestEntryV2 + 4 // + flags
+)
+
+// Generation flags.
+const (
+	// GenFlagDedup marks a generation whose payload object is a cas
+	// recipe: the manifest Size/CRC still describe the LOGICAL payload
+	// (what ReadGeneration returns), and the physical bytes live in
+	// refcounted chunks the recipe references.
+	GenFlagDedup uint32 = 1 << 0
 )
 
 // Generation is one retained checkpoint: its monotonically increasing
@@ -40,7 +54,15 @@ type Generation struct {
 	// commit coordinator, so every replica records the identical value
 	// and quorum voting stays byte-exact.
 	ExpireAt int64
+	// Flags carries per-generation format bits (GenFlagDedup). Content-
+	// defined chunking is deterministic, so replicas of one commit derive
+	// the identical flag word and quorum voting stays byte-exact.
+	Flags uint32
 }
+
+// Dedup reports whether this generation's payload object is a recipe of
+// content-addressed chunks rather than the logical bytes themselves.
+func (g Generation) Dedup() bool { return g.Flags&GenFlagDedup != 0 }
 
 // Expired reports whether the generation's TTL has elapsed at time
 // nowUnix, tolerating skew seconds of clock disagreement.
@@ -70,9 +92,12 @@ func (m *manifest) latest() (Generation, bool) {
 func (m *manifest) encode() []byte {
 	version, entry := uint16(manifestVersion), manifestEntry
 	for _, g := range m.Gens {
+		if g.Flags != 0 {
+			version, entry = manifestVersionFlags, manifestEntryV3
+			break
+		}
 		if g.ExpireAt != 0 {
 			version, entry = manifestVersionTTL, manifestEntryV2
-			break
 		}
 	}
 	out := make([]byte, 0, manifestHeader+entry*len(m.Gens)+4)
@@ -97,9 +122,13 @@ func (m *manifest) encode() []byte {
 		out = append(out, b8[:]...)
 		binary.LittleEndian.PutUint32(b4[:], g.CRC)
 		out = append(out, b4[:]...)
-		if version == manifestVersionTTL {
+		if version >= manifestVersionTTL {
 			binary.LittleEndian.PutUint64(b8[:], uint64(g.ExpireAt))
 			out = append(out, b8[:]...)
+		}
+		if version >= manifestVersionFlags {
+			binary.LittleEndian.PutUint32(b4[:], g.Flags)
+			out = append(out, b4[:]...)
 		}
 	}
 	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(out))
@@ -127,6 +156,8 @@ func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
 	case manifestVersion:
 	case manifestVersionTTL:
 		entry = manifestEntryV2
+	case manifestVersionFlags:
+		entry = manifestEntryV3
 	default:
 		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrManifest, v)
 	}
@@ -147,8 +178,11 @@ func DecodeManifest(raw []byte) ([]Generation, uint64, error) {
 			Size: binary.LittleEndian.Uint64(body[off+16:]),
 			CRC:  binary.LittleEndian.Uint32(body[off+24:]),
 		}
-		if v == manifestVersionTTL {
+		if v >= manifestVersionTTL {
 			gens[i].ExpireAt = int64(binary.LittleEndian.Uint64(body[off+28:]))
+		}
+		if v >= manifestVersionFlags {
+			gens[i].Flags = binary.LittleEndian.Uint32(body[off+36:])
 		}
 		if gens[i].Seq >= nextSeq {
 			return nil, 0, fmt.Errorf("%w: generation %d not below next sequence %d", ErrManifest, gens[i].Seq, nextSeq)

@@ -229,6 +229,66 @@ func (b *objectBackend) Sweep(indexed map[uint64]bool) int {
 	return swept
 }
 
+// objChunkPrefix keys chunk objects in the flat namespace; Sweep's name
+// parsers never match it, so chunk lifetime is governed exclusively by
+// the refcount ledger and GC.
+const objChunkPrefix = "chunk-"
+
+// WriteChunk writes the chunk straight to its final key with a durable
+// PUT, like payload objects: a torn PUT leaves garbage under a name no
+// committed recipe references (the recipe always commits after its
+// chunks), and a later writer of the same name truncates it away.
+func (b *objectBackend) WriteChunk(name string, data []byte) error {
+	cw, err := newChunkedWriter(b.fs, b.rt, b.key(objChunkPrefix+name))
+	if err != nil {
+		return err
+	}
+	if _, err := cw.Write(data); err != nil {
+		return err
+	}
+	return cw.seal()
+}
+
+func (b *objectBackend) ReadChunk(name string) ([]byte, error) {
+	return readFileFS(b.fs, b.key(objChunkPrefix+name))
+}
+
+func (b *objectBackend) RemoveChunk(name string) error {
+	return b.fs.Remove(b.key(objChunkPrefix + name))
+}
+
+func (b *objectBackend) ListChunks() ([]string, error) {
+	names, err := b.fs.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range names {
+		if strings.HasPrefix(name, objChunkPrefix) {
+			out = append(out, strings.TrimPrefix(name, objChunkPrefix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *objectBackend) QuarantinedPayloads() ([][]byte, error) {
+	names, err := b.fs.ReadDir(b.dir)
+	if err != nil {
+		return nil, nil
+	}
+	var out [][]byte
+	for _, name := range names {
+		if !strings.HasPrefix(name, objQuarantinePrefix) {
+			continue
+		}
+		if data, rerr := readFileFS(b.fs, b.key(name)); rerr == nil {
+			out = append(out, data)
+		}
+	}
+	return out, nil
+}
+
 // Quarantine copies the payload under a quarantine.-prefixed key and
 // deletes the original — the flat-namespace equivalent of the posix
 // backend's quarantine/ rename, with the same never-overwrite suffixing.

@@ -38,6 +38,20 @@ const (
 	MetricReadRepairs     = "lossyckpt_store_read_repairs_total"
 	MetricQuorumFailures  = "lossyckpt_store_quorum_failures_total"
 	MetricReplicaDiverged = "lossyckpt_store_replica_divergence"
+
+	// Dedup metrics: chunk outcomes per commit (new = written,
+	// reused = already present), cumulative logical vs physical bytes
+	// committed through the dedup path, the logical/physical ratio of
+	// the last dedup commit, and GC activity (runs, chunks swept, live
+	// chunk population after the last pass).
+	MetricDedupChunksNew     = "lossyckpt_store_dedup_chunks_new_total"
+	MetricDedupChunksReused  = "lossyckpt_store_dedup_chunks_reused_total"
+	MetricDedupLogicalBytes  = "lossyckpt_store_dedup_logical_bytes_total"
+	MetricDedupPhysicalBytes = "lossyckpt_store_dedup_physical_bytes_total"
+	MetricDedupRatio         = "lossyckpt_store_dedup_ratio"
+	MetricGCRuns             = "lossyckpt_store_gc_runs_total"
+	MetricGCSweptChunks      = "lossyckpt_store_gc_swept_chunks_total"
+	MetricGCLiveChunks       = "lossyckpt_store_gc_live_chunks"
 )
 
 // observer resolves the store's effective observer: the explicit one from

@@ -205,6 +205,34 @@ func (r *ReplicatedStore) Rebuilt() bool {
 // returns — call before tearing down the replica roots.
 func (r *ReplicatedStore) Wait() { r.wg.Wait() }
 
+// PhysicalBytes sums the physical occupancy of every live replica —
+// each replica holds its own recipe objects and chunk population, so
+// the replicated total is the straightforward sum.
+func (r *ReplicatedStore) PhysicalBytes() int64 {
+	var n int64
+	for _, i := range r.liveIdx() {
+		n += r.replicas[i].st.PhysicalBytes()
+	}
+	return n
+}
+
+// DedupStats aggregates the dedup accounting across live replicas:
+// counts and bytes sum (each replica stores its own recipes and
+// chunks); Enabled reflects the shared options.
+func (r *ReplicatedStore) DedupStats() DedupStats {
+	var out DedupStats
+	out.Enabled = r.opts.Dedup
+	for _, i := range r.liveIdx() {
+		st := r.replicas[i].st.DedupStats()
+		out.DedupGens += st.DedupGens
+		out.LogicalBytes += st.LogicalBytes
+		out.RecipeBytes += st.RecipeBytes
+		out.Chunks += st.Chunks
+		out.ChunkBytes += st.ChunkBytes
+	}
+	return out
+}
+
 func (r *ReplicatedStore) observer() *obs.Registry {
 	if r.opts.Observer != nil {
 		return r.opts.Observer

@@ -37,8 +37,10 @@ type ScrubOptions struct {
 type Quarantined struct {
 	Seq uint64
 	// Reason is why: "size", "crc" (manifest mismatch), "verify"
-	// (ScrubOptions.Verify rejected the content), or "divergent"
-	// (replicated scrub: record disagrees with the quorum).
+	// (ScrubOptions.Verify rejected the content), "recipe" / "chunk"
+	// (dedup generation whose recipe fails to decode or references a
+	// missing/corrupt chunk), or "divergent" (replicated scrub: record
+	// disagrees with the quorum).
 	Reason string
 	// Path is where the file now lives, relative to the store root.
 	Path string
@@ -78,6 +80,10 @@ type ScrubReport struct {
 	// ManifestRebuilt is true when the newest generation was dropped and
 	// the manifest was rebuilt from the surviving files.
 	ManifestRebuilt bool
+	// GC, on a store with dedup state, reports the mark-and-sweep pass
+	// over the chunk store that runs after the generation audit; nil
+	// when the store holds no chunks and dedup is off.
+	GC *GCReport
 	// Replicas, on a replicated scrub, holds each replica's local pass
 	// plus what the convergence phase did to it; nil on a plain Store.
 	Replicas []ReplicaScrub
@@ -132,28 +138,31 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 	dropped := false
 	for _, g := range gens {
 		rep.Checked++
-		data, err := s.b.ReadPayload(g.Seq)
-		if err != nil {
+		data, reason, missing := s.scrubResolveLocked(g)
+		if missing {
 			// File vanished (or is unreadable): there is nothing on disk
-			// to preserve, so just drop it from the index.
+			// to preserve, so just drop it from the index. Any chunk
+			// references it held are released by the GC pass below.
 			rep.Missing = append(rep.Missing, g.Seq)
+			s.detachRecipeLocked(g.Seq)
 			dropped = true
 			if o != nil {
-				o.Event("store.scrub_missing", "seq", g.Seq, "err", err.Error())
+				o.Event("store.scrub_missing", "seq", g.Seq)
 			}
 			continue
 		}
-		reason := ""
-		switch {
-		case uint64(len(data)) != g.Size:
-			reason = "size"
-		case crc32.ChecksumIEEE(data) != g.CRC:
-			reason = "crc"
-		case opts.Verify != nil:
-			if verr := opts.Verify(data); verr != nil {
-				reason = "verify"
-				if o != nil {
-					o.Event("store.scrub_verify_failed", "seq", g.Seq, "err", verr.Error())
+		if reason == "" {
+			switch {
+			case uint64(len(data)) != g.Size:
+				reason = "size"
+			case crc32.ChecksumIEEE(data) != g.CRC:
+				reason = "crc"
+			case opts.Verify != nil:
+				if verr := opts.Verify(data); verr != nil {
+					reason = "verify"
+					if o != nil {
+						o.Event("store.scrub_verify_failed", "seq", g.Seq, "err", verr.Error())
+					}
 				}
 			}
 		}
@@ -165,6 +174,9 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 		if err != nil {
 			return rep, fmt.Errorf("store: quarantining gen %d: %w", g.Seq, err)
 		}
+		// Quarantine parks the recipe; its chunks stay referenced until a
+		// GC pass recomputes marks (the quarantined copy keeps them).
+		s.detachRecipeLocked(g.Seq)
 		dropped = true
 		rep.Quarantined = append(rep.Quarantined, Quarantined{Seq: g.Seq, Reason: reason, Path: qpath})
 		if o != nil {
@@ -187,7 +199,7 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 			if i < n-1 && g.Expired(nowU, skew) {
 				rep.Expired = append(rep.Expired, g.Seq)
 				dropped = true
-				s.b.RemovePayload(g.Seq)
+				s.releaseGenLocked(g)
 				if o != nil {
 					o.Counter(MetricExpiredGens).Inc()
 					o.Event("store.scrub_expired", "seq", g.Seq, "expire_at", g.ExpireAt)
@@ -219,6 +231,18 @@ func (s *Store) Scrub(opts ScrubOptions) (rep *ScrubReport, err error) {
 				return rep, fmt.Errorf("store: persisting scrubbed manifest: %w", err)
 			}
 			s.man = next
+		}
+	}
+
+	// Mark-and-sweep the chunk store after the generation audit: the
+	// audit above may have quarantined or expired dedup generations, and
+	// GC is the crash backstop that collects orphan chunks and rebuilds
+	// the refcount ledger from durable truth.
+	if s.dedupActiveLocked() {
+		gcRep, gcErr := s.gcLocked()
+		rep.GC = gcRep
+		if gcErr != nil && o != nil {
+			o.Event("store.gc_error", "dir", s.dir, "err", gcErr.Error())
 		}
 	}
 
@@ -258,6 +282,9 @@ func (s *Store) Quarantine(seq uint64) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("store: quarantining gen %d: %w", seq, err)
 	}
+	// A dedup recipe keeps its chunk references alive from quarantine;
+	// only the per-seq bookkeeping is dropped (see detachRecipeLocked).
+	s.detachRecipeLocked(seq)
 	// NextSeq is already past the quarantined number, so dropping the
 	// record cannot reissue it.
 	m := manifest{NextSeq: s.man.NextSeq, Gens: append([]Generation(nil), kept...)}

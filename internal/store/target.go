@@ -44,6 +44,12 @@ type Target interface {
 	// ReadGenerationRaw returns generation seq's bytes plus whether they
 	// verify against the (quorum-agreed) record.
 	ReadGenerationRaw(seq uint64) (data []byte, verified bool, err error)
+	// PhysicalBytes returns the bytes the target actually occupies for
+	// its indexed generations — recipe plus chunk bytes for dedup
+	// generations, payload size otherwise, summed over replicas for a
+	// replicated target. Quota enforcement meters this, not logical
+	// bytes.
+	PhysicalBytes() int64
 	// Scrub audits every retained generation (and, replicated, heals
 	// lagging replicas).
 	Scrub(opts ScrubOptions) (*ScrubReport, error)
